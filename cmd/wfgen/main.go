@@ -1,0 +1,111 @@
+// Command wfgen generates workloads in the JSON schema of internal/wfio:
+// linear workflows, random well-formed graphs (bushy/lengthy/hybrid), the
+// paper's Fig. 1 motivating example, and bus/line server networks with
+// Table 6 parameter distributions.
+//
+// Usage:
+//
+//	wfgen -kind line -ops 19 > wf.json
+//	wfgen -kind bushy -ops 25 -seed 7 > wf.json
+//	wfgen -kind fig1 -dot > fig1.dot
+//	wfgen -net bus -nservers 5 -busmbps 100 > net.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/wdl"
+	"wsdeploy/internal/wfio"
+	"wsdeploy/internal/workflow"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "", "workflow kind: line|bushy|lengthy|hybrid|fig1")
+		ops      = flag.Int("ops", 19, "number of workflow nodes")
+		netKind  = flag.String("net", "", "network kind: bus|line")
+		nservers = flag.Int("nservers", 5, "number of servers")
+		busMbps  = flag.Float64("busmbps", 0, "pin the bus speed in Mbps (0 samples from Table 6)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+		dsl      = flag.Bool("dsl", false, "emit workflow definition language instead of JSON (workflows only)")
+	)
+	flag.Parse()
+	if (*kind == "") == (*netKind == "") {
+		fmt.Fprintln(os.Stderr, "wfgen: pass exactly one of -kind (workflow) or -net (network)")
+		os.Exit(1)
+	}
+	if err := run(*kind, *netKind, *ops, *nservers, *busMbps, *seed, *dot, *dsl); err != nil {
+		fmt.Fprintln(os.Stderr, "wfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, netKind string, ops, nservers int, busMbps float64, seed uint64, dot, dsl bool) error {
+	cfg := gen.ClassC()
+	r := stats.NewRNG(seed)
+	if kind != "" {
+		w, err := makeWorkflow(cfg, r, kind, ops)
+		if err != nil {
+			return err
+		}
+		if dot {
+			fmt.Print(wfio.WorkflowDOT(w, nil))
+			return nil
+		}
+		if dsl {
+			src, err := wdl.Format(w)
+			if err != nil {
+				return err
+			}
+			fmt.Print(src)
+			return nil
+		}
+		return wfio.EncodeWorkflow(os.Stdout, w)
+	}
+	n, err := makeNetwork(cfg, r, netKind, nservers, busMbps)
+	if err != nil {
+		return err
+	}
+	if dot {
+		fmt.Print(wfio.NetworkDOT(n))
+		return nil
+	}
+	return wfio.EncodeNetwork(os.Stdout, n)
+}
+
+func makeWorkflow(cfg gen.Config, r *stats.RNG, kind string, ops int) (*workflow.Workflow, error) {
+	switch kind {
+	case "line":
+		return cfg.LinearWorkflow(r, ops)
+	case "bushy":
+		return cfg.GraphWorkflow(r, ops, gen.Bushy)
+	case "lengthy":
+		return cfg.GraphWorkflow(r, ops, gen.Lengthy)
+	case "hybrid":
+		return cfg.GraphWorkflow(r, ops, gen.Hybrid)
+	case "fig1":
+		return gen.MotivatingExample(), nil
+	default:
+		return nil, fmt.Errorf("unknown workflow kind %q", kind)
+	}
+}
+
+func makeNetwork(cfg gen.Config, r *stats.RNG, kind string, nservers int, busMbps float64) (*network.Network, error) {
+	switch kind {
+	case "bus":
+		if busMbps > 0 {
+			return cfg.BusNetworkWithSpeed(r, nservers, busMbps*gen.Mbps)
+		}
+		return cfg.BusNetwork(r, nservers)
+	case "line":
+		return cfg.LineNetwork(r, nservers)
+	default:
+		return nil, fmt.Errorf("unknown network kind %q", kind)
+	}
+}

@@ -1,0 +1,219 @@
+// Command wsdeploy computes a deployment of a web-service workflow onto a
+// server network using one of the paper's algorithms, reports its cost
+// metrics, and optionally simulates the deployment and exports Graphviz
+// DOT.
+//
+// Usage:
+//
+//	wsdeploy -workflow wf.json -network net.json -algo holm
+//	wsdeploy -demo -all                 # built-in Fig. 1 example, compare all algorithms
+//	wsdeploy -demo -algo holm -simulate # Monte-Carlo simulate the chosen mapping
+//
+// Workflow and network files use the JSON schema of internal/wfio (see
+// `wfgen` to generate examples).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/sim"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/wdl"
+	"wsdeploy/internal/wfio"
+	"wsdeploy/internal/workflow"
+)
+
+func main() {
+	var (
+		wfPath   = flag.String("workflow", "", "workflow JSON file (omit with -demo)")
+		netPath  = flag.String("network", "", "network JSON file (omit with -demo)")
+		algoName = flag.String("algo", "holm", fmt.Sprintf("algorithm: one of %v", core.KnownAlgorithms()))
+		all      = flag.Bool("all", false, "compare every applicable algorithm instead of running one")
+		demo     = flag.Bool("demo", false, "use the paper's Fig. 1 workflow over a 5-server 100 Mbps bus")
+		seed     = flag.Uint64("seed", 1, "random seed for seeded algorithms")
+		simulate = flag.Bool("simulate", false, "Monte-Carlo simulate the resulting mapping")
+		simRuns  = flag.Int("simruns", 1000, "simulation runs")
+		outPath  = flag.String("out", "", "write the mapping as JSON to this file")
+		dotPath  = flag.String("dot", "", "write the deployed workflow as Graphviz DOT to this file")
+		trace    = flag.Bool("trace", false, "print the event trace and Gantt chart of one simulated execution")
+		explain  = flag.Bool("explain", false, "print a cost breakdown: per-server loads vs ideal and the top network crossings")
+		diffPath = flag.String("diff", "", "print the migration plan from the mapping JSON in this file to the computed one")
+	)
+	flag.Parse()
+	if err := run(*wfPath, *netPath, *algoName, *all, *demo, *seed, *simulate, *simRuns, *outPath, *dotPath, *trace, *explain, *diffPath); err != nil {
+		fmt.Fprintln(os.Stderr, "wsdeploy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, simulate bool, simRuns int, outPath, dotPath string, trace, explain bool, diffPath string) error {
+	w, n, err := loadInputs(wfPath, netPath, demo)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n%s\n\n", w, n)
+
+	if all {
+		return compareAll(w, n, seed)
+	}
+
+	algo, err := core.NewByName(algoName, seed)
+	if err != nil {
+		return err
+	}
+	mp, err := algo.Deploy(w, n)
+	if err != nil {
+		return err
+	}
+	model := cost.NewModel(w, n)
+	res := model.Evaluate(mp)
+	fmt.Printf("algorithm: %s\nmapping:   %s\n\n", algo.Name(), mp)
+	fmt.Printf("execution time: %.6f s\ntime penalty:   %.6f s\ncombined cost:  %.6f s\n",
+		res.ExecTime, res.TimePenalty, res.Combined)
+	for s, l := range res.Loads {
+		fmt.Printf("  load %-4s %.6f s\n", n.Servers[s].Name, l)
+	}
+
+	if simulate {
+		sr, err := sim.Simulate(w, n, mp, sim.Config{Runs: simRuns, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nsimulation (%d runs):\n  makespan mean %.6f s (p5 %.6f, p95 %.6f)\n  serial time mean %.6f s (analytic %.6f)\n  mean bits on network %.0f\n",
+			sr.Runs, sr.Makespan.Mean, sr.Makespan.P05, sr.Makespan.P95,
+			sr.SerialTime.Mean, res.ExecTime, sr.MeanBits)
+	}
+
+	if explain {
+		fmt.Printf("\n%s", model.Explain(mp, 5))
+	}
+
+	if diffPath != "" {
+		f, err := os.Open(diffPath)
+		if err != nil {
+			return err
+		}
+		old, err := wfio.DecodeMapping(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		moves, err := deploy.Diff(w, old, mp)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nmigration plan from %s:\n%s", diffPath, deploy.FormatPlan(w, moves))
+	}
+
+	if trace {
+		events, rr := sim.Trace(w, n, mp, stats.NewRNG(seed), sim.Config{})
+		fmt.Printf("\ntrace of one execution (makespan %.6fs):\n%s\n%s",
+			rr.Makespan, sim.FormatTrace(w, events), sim.Gantt(w, n, mp, events))
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := wfio.EncodeMapping(f, mp); err != nil {
+			return err
+		}
+		fmt.Printf("\nmapping written to %s\n", outPath)
+	}
+	if dotPath != "" {
+		if err := os.WriteFile(dotPath, []byte(wfio.WorkflowDOT(w, mp)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("DOT written to %s\n", dotPath)
+	}
+	return nil
+}
+
+// loadInputs reads the workflow and network from files, or builds the
+// demo pair.
+func loadInputs(wfPath, netPath string, demo bool) (*workflow.Workflow, *network.Network, error) {
+	if demo {
+		if wfPath != "" || netPath != "" {
+			return nil, nil, fmt.Errorf("-demo conflicts with -workflow/-network")
+		}
+		w := gen.MotivatingExample()
+		n, err := network.NewBus("ministry", []float64{1e9, 2e9, 2e9, 3e9, 1e9}, 100*gen.Mbps, 0.0001)
+		return w, n, err
+	}
+	if wfPath == "" || netPath == "" {
+		return nil, nil, fmt.Errorf("need -workflow and -network (or -demo)")
+	}
+	var w *workflow.Workflow
+	if strings.HasSuffix(wfPath, ".wdl") {
+		// Workflow definition language source (see internal/wdl).
+		src, err := os.ReadFile(wfPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		w, err = wdl.Parse(string(src))
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		wf, err := os.Open(wfPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer wf.Close()
+		w, err = wfio.DecodeWorkflow(wf)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	nf, err := os.Open(netPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer nf.Close()
+	n, err := wfio.DecodeNetwork(nf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, n, nil
+}
+
+// compareAll deploys with every algorithm that accepts the input pair and
+// prints a comparison table.
+func compareAll(w *workflow.Workflow, n *network.Network, seed uint64) error {
+	model := cost.NewModel(w, n)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\texec time (s)\ttime penalty (s)\tcombined (s)")
+	ran := 0
+	for _, name := range core.KnownAlgorithms() {
+		algo, err := core.NewByName(name, seed)
+		if err != nil {
+			return err
+		}
+		mp, err := algo.Deploy(w, n)
+		if err != nil {
+			// Not every algorithm fits every topology (e.g. LineLine on a
+			// bus, Exhaustive on large spaces); skip with a note.
+			fmt.Fprintf(tw, "%s\t(skipped: %v)\t\t\n", algo.Name(), err)
+			continue
+		}
+		res := model.Evaluate(mp)
+		fmt.Fprintf(tw, "%s\t%.6f\t%.6f\t%.6f\n", algo.Name(), res.ExecTime, res.TimePenalty, res.Combined)
+		ran++
+	}
+	tw.Flush()
+	if ran == 0 {
+		return fmt.Errorf("no algorithm could deploy this configuration")
+	}
+	return nil
+}

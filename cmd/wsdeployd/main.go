@@ -1,0 +1,39 @@
+// Command wsdeployd runs the deployment planner as an HTTP service.
+//
+// Usage:
+//
+//	wsdeployd -addr :8080
+//
+//	curl -s localhost:8080/v1/algorithms
+//	curl -s -X POST localhost:8080/v1/deploy -d '{
+//	  "workflow": {...wfio schema...},
+//	  "network":  {...wfio schema...},
+//	  "algorithm": "holm"
+//	}'
+//
+// See internal/httpapi for the endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"wsdeploy/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	fmt.Printf("wsdeployd listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

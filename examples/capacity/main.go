@@ -1,0 +1,82 @@
+// Capacity planning: a what-if study on top of the deployment library.
+// Given a fixed 19-operation workflow, how do bus speed and server count
+// change the achievable execution time and fairness — and when does
+// adding a server stop paying off? The example also demonstrates user
+// constraints (§2.2's "upper bound on the completion time"): it finds the
+// cheapest server count that meets a latency SLO.
+//
+// Run with: go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/stats"
+)
+
+func main() {
+	cfg := gen.ClassC()
+	r := stats.NewRNG(7)
+	w, err := cfg.LinearWorkflow(r, 19)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s (total %.0f Mcycles)\n\n", w, w.TotalCycles()/1e6)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bus (Mbps)\tservers\texec time (s)\ttime penalty (s)\tmax load (s)")
+	for _, mbps := range []float64{1, 10, 100, 1000} {
+		for _, servers := range []int{2, 3, 5, 8} {
+			powers := make([]float64, servers)
+			for i := range powers {
+				powers[i] = 2e9
+			}
+			n, err := cfg.BusNetworkWithSpeed(stats.NewRNG(100+uint64(servers)), servers, mbps*gen.Mbps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mp, err := (core.HOLM{}).Deploy(w, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := cost.NewModel(w, n).Evaluate(mp)
+			maxLoad := 0.0
+			for _, l := range res.Loads {
+				if l > maxLoad {
+					maxLoad = l
+				}
+			}
+			fmt.Fprintf(tw, "%g\t%d\t%.4f\t%.4f\t%.4f\n", mbps, servers, res.ExecTime, res.TimePenalty, maxLoad)
+		}
+	}
+	tw.Flush()
+
+	// SLO search: cheapest fleet meeting a 0.25 s execution-time bound on
+	// a 100 Mbps bus.
+	slo := cost.Constraints{MaxExecTime: 0.25}
+	fmt.Printf("\nSLO: execution time <= %.2fs on a 100 Mbps bus\n", slo.MaxExecTime)
+	for servers := 1; servers <= 8; servers++ {
+		n, err := cfg.BusNetworkWithSpeed(stats.NewRNG(200+uint64(servers)), servers, 100*gen.Mbps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := cost.NewModel(w, n)
+		mp, err := (core.HOLM{}).Deploy(w, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := slo.Check(model, mp); err != nil {
+			fmt.Printf("  %d server(s): %v\n", servers, err)
+			continue
+		}
+		fmt.Printf("  %d server(s): meets SLO (exec %.4fs) — smallest compliant fleet\n",
+			servers, model.ExecutionTime(mp))
+		break
+	}
+}

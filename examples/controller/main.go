@@ -1,0 +1,80 @@
+// Controller: a day in the life of the online deployment manager. The
+// provider's fleet starts with four servers; workflows arrive one by one
+// (each placed into the valleys of the combined load), a server fails
+// and only its orphaned operations move, a replacement joins, and a
+// global rebalance spreads the portfolio over the grown fleet.
+//
+// Run with: go run ./examples/controller
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/manager"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+func show(m *manager.Manager, what string) {
+	st := m.Status()
+	fmt.Printf("%-34s servers=%d workflows=%d penalty=%.4fs loads=", what, st.Servers, st.Workflows, st.TimePenalty)
+	for _, l := range st.Loads {
+		fmt.Printf(" %.3f", l)
+	}
+	fmt.Println()
+}
+
+func main() {
+	net, err := network.NewBus("fleet", []float64{1e9, 2e9, 2e9, 3e9}, 100*gen.Mbps, 0.0001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := manager.New(net)
+	show(m, "initial fleet")
+
+	cfg := gen.ClassC()
+	arrivals := []struct {
+		id string
+		w  func() (*workflow.Workflow, error)
+	}{
+		{"patient-rendezvous", func() (*workflow.Workflow, error) { return gen.MotivatingExample(), nil }},
+		{"billing", func() (*workflow.Workflow, error) { return cfg.LinearWorkflow(stats.NewRNG(21), 14) }},
+		{"reporting", func() (*workflow.Workflow, error) { return cfg.GraphWorkflow(stats.NewRNG(22), 18, gen.Hybrid) }},
+	}
+	for _, a := range arrivals {
+		w, err := a.w()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Deploy(a.id, w); err != nil {
+			log.Fatal(err)
+		}
+		show(m, "after deploy "+a.id)
+	}
+
+	moved, err := m.ServerDown(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(m, fmt.Sprintf("after S2 failure (%d ops moved)", moved))
+
+	idx, err := m.ServerUp("replacement", 3e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(m, fmt.Sprintf("after server %d joins", idx+1))
+
+	moved, err = m.Rebalance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(m, fmt.Sprintf("after rebalance (%d ops moved)", moved))
+
+	if err := m.Remove("billing"); err != nil {
+		log.Fatal(err)
+	}
+	show(m, "after billing retires")
+}

@@ -1,0 +1,56 @@
+// Failover: the paper's §2.1 resilience scenario. The ministry deploys
+// the patient-rendezvous workflow over 5 servers so that "whenever ... a
+// server fails, a reasonable load scale-up is still possible" — then a
+// server actually fails. The example walks the failure of each server in
+// turn and compares minimal repair (move only the dead server's
+// operations) against a full redeployment, reporting load scale-up,
+// disruption, and post-failure cost.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+)
+
+func main() {
+	w := gen.MotivatingExample()
+	n, err := network.NewBus("ministry", []float64{1e9, 2e9, 2e9, 3e9, 1e9}, 100*gen.Mbps, 0.0001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mp, err := (core.HOLM{}).Deploy(w, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := cost.NewModel(w, n).Evaluate(mp)
+	fmt.Printf("healthy deployment (%s): exec %.4fs, penalty %.4fs\n\n",
+		"HeavyOps-LargeMsgs", before.ExecTime, before.TimePenalty)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "failed\torphans\tstrategy\tscale-up\tops moved\texec after (s)\tpenalty after (s)")
+	for failed := 0; failed < n.N(); failed++ {
+		for _, mode := range []core.FailoverMode{core.RepairOrphans, core.FullRedeploy} {
+			res, err := core.Failover(w, n, mp, failed, mode, core.HOLM{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%.3f×\t%d\t%.4f\t%.4f\n",
+				n.Servers[failed].Name, res.Orphans, mode, res.ScaleUp, res.Moved,
+				res.After.ExecTime, res.After.TimePenalty)
+		}
+	}
+	tw.Flush()
+
+	fmt.Println("\nreading the table: repair never relocates survivors (0 moved beyond")
+	fmt.Println("orphans) at a modest quality cost; full redeployment recovers the")
+	fmt.Println("best achievable cost but reshuffles a large share of the fleet.")
+}

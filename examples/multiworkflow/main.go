@@ -1,0 +1,77 @@
+// Multi-workflow deployment: the paper's §6 future-work extension, built
+// here. Three departments each run their own workflow on the ministry's
+// shared 5-server bus. Deploying each workflow independently ignores the
+// load the others impose; the MultiDeploy extension plans them against a
+// shared capacity budget and balances the *combined* load.
+//
+// Run with: go run ./examples/multiworkflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+func main() {
+	cfg := gen.ClassC()
+	rendezvous := gen.MotivatingExample()
+	billing, err := cfg.LinearWorkflow(stats.NewRNG(11), 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reporting, err := cfg.GraphWorkflow(stats.NewRNG(12), 16, gen.Hybrid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workflows := []*workflow.Workflow{rendezvous, billing, reporting}
+
+	n, err := cfg.BusNetworkWithSpeed(stats.NewRNG(13), 5, 100*gen.Mbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range workflows {
+		fmt.Println(" ", w)
+	}
+	fmt.Println(" ", n)
+
+	// Baseline: each workflow deployed independently with FairLoad; the
+	// combined load is whatever falls out.
+	indLoads := make([]float64, n.N())
+	var indExec float64
+	for _, w := range workflows {
+		mp, err := (core.FairLoad{}).Deploy(w, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := cost.NewModel(w, n)
+		indExec += model.ExecutionTime(mp)
+		for s, l := range model.Loads(mp) {
+			indLoads[s] += l
+		}
+	}
+	fmt.Printf("\nindependent FairLoad deployments:\n")
+	fmt.Printf("  total exec time %.4fs, combined time penalty %.4fs\n",
+		indExec, cost.PenaltyOfLoads(indLoads))
+
+	// Extension: joint deployment against the shared capacity budget.
+	md, err := core.MultiDeploy(workflows, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njoint MultiDeploy:\n")
+	fmt.Printf("  total exec time %.4fs, combined time penalty %.4fs\n", md.TotalExec, md.TimePenalty)
+	for s, l := range md.Loads {
+		fmt.Printf("  %s combined load %.4fs\n", n.Servers[s].Name, l)
+	}
+	fmt.Printf("  max server load %.4fs\n", md.MaxLoad())
+
+	for i, w := range workflows {
+		fmt.Printf("\n  %s → %s\n", w.Name, md.Mappings[i])
+	}
+}

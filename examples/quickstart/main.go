@@ -1,0 +1,56 @@
+// Quickstart: build a small workflow, a server bus, deploy it with the
+// paper's best algorithm (Heavy Operations – Large Messages), and print
+// the mapping with its cost metrics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+func main() {
+	// A 6-operation order-processing pipeline: each operation costs CPU
+	// cycles, each arrow carries an XML message of a known size.
+	b := workflow.NewBuilder("order-pipeline")
+	receive := b.Op("ReceiveOrder", 5e6)
+	validate := b.Op("ValidateOrder", 20e6)
+	price := b.Op("PriceOrder", 50e6)
+	charge := b.Op("ChargeCard", 30e6)
+	pack := b.Op("SchedulePacking", 20e6)
+	confirm := b.Op("SendConfirmation", 5e6)
+	b.Chain(gen.MediumMsgBits, receive, validate, price, charge)
+	b.Link(charge, pack, gen.ComplexMsgBits) // the big shipping manifest
+	b.Link(pack, confirm, gen.SimpleMsgBits)
+	w, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three servers on a 10 Mbps bus: one fast box and two slower ones.
+	n, err := network.NewBus("shop-servers", []float64{3e9, 1e9, 1e9}, 10*gen.Mbps, 0.0001)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy with HeavyOps-LargeMsgs and compare against the fairness
+	// baseline.
+	model := cost.NewModel(w, n)
+	for _, algo := range []core.Algorithm{core.HOLM{}, core.FairLoad{}} {
+		mp, err := algo.Deploy(w, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := model.Evaluate(mp)
+		fmt.Printf("%-20s %s\n", algo.Name(), mp)
+		fmt.Printf("%-20s exec=%.4fs penalty=%.4fs combined=%.4fs\n\n",
+			"", res.ExecTime, res.TimePenalty, res.Combined)
+	}
+}

@@ -1,0 +1,68 @@
+// Streaming: continuous operation under load. Patient cases arrive as a
+// Poisson stream at increasing rates over the ministry's 5 servers; the
+// example shows how each algorithm's deployment behaves as the fleet
+// approaches saturation — where the paper's fairness metric turns into
+// real throughput: an unfair placement saturates its hottest server long
+// before the fleet's aggregate capacity is reached.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/sim"
+)
+
+func main() {
+	w := gen.MotivatingExample()
+	n, err := network.NewBus("ministry", []float64{1e9, 2e9, 2e9, 3e9, 1e9}, 100*gen.Mbps, 0.0001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := n.TotalPower() / w.ExpectedCycles()
+	fmt.Printf("%s\nfleet capacity: about %.1f cases/second\n\n", w, capacity)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tload\tarrivals/s\tmean case time (s)\tp95 (s)\tthroughput/s\thottest server")
+	for _, algo := range []core.Algorithm{core.HOLM{}, core.FLTR2{Seed: 7}, core.FLMME{Seed: 7}} {
+		mp, err := algo.Deploy(w, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, frac := range []float64{0.25, 0.60, 0.95} {
+			res, err := sim.SimulateStream(w, n, mp, sim.StreamConfig{
+				ArrivalRate: capacity * frac,
+				Instances:   1500,
+				Seed:        11,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			maxU := 0.0
+			for _, u := range res.Utilization {
+				if u > maxU {
+					maxU = u
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%.0f%%\t%.1f\t%.4f\t%.4f\t%.1f\t%.0f%%\n",
+				algo.Name(), frac*100, capacity*frac,
+				res.Sojourn.Mean, res.Sojourn.P95, res.Throughput, maxU*100)
+		}
+	}
+	tw.Flush()
+
+	// The aggregate capacity is not reachable: ConductMeeting (500 Mcycles,
+	// probability 1) is indivisible, so whichever server hosts it caps the
+	// sustainable rate at P(s)/500M — 6 cases/s on the 3 GHz box. The
+	// placement decides how close to that single-operation ceiling the
+	// system gets; FLMME's unfair packing loses another 40% below it.
+	fmt.Println("\nbottleneck: the indivisible 500 Mcycle ConductMeeting caps throughput at")
+	fmt.Println("P(host)/500M cases/s — operation granularity, not fleet capacity, binds.")
+}

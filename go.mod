@@ -1,0 +1,3 @@
+module wsdeploy
+
+go 1.22

@@ -1,0 +1,252 @@
+package wsdeploy
+
+// Cross-package integration tests: each walks a realistic end-to-end
+// path through the whole stack — generate → serialize → deploy →
+// validate → simulate → fail over — asserting the invariants that only
+// hold when the packages agree with each other.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/manager"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/sim"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/wdl"
+	"wsdeploy/internal/wfio"
+	"wsdeploy/internal/workflow"
+)
+
+// TestEndToEndPipeline: random graph → JSON round trip → WDL round trip
+// → deploy with every suite algorithm → cost model ↔ simulator agreement.
+func TestEndToEndPipeline(t *testing.T) {
+	cfg := gen.ClassC()
+	for seed := uint64(0); seed < 5; seed++ {
+		w, err := cfg.GraphWorkflow(stats.NewRNG(seed), 21, gen.Hybrid)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// JSON round trip preserves costing exactly.
+		var buf bytes.Buffer
+		if err := wfio.EncodeWorkflow(&buf, w); err != nil {
+			t.Fatal(err)
+		}
+		w2, err := wfio.DecodeWorkflow(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		n, err := cfg.BusNetworkWithSpeed(stats.NewRNG(seed+100), 5, 10*gen.Mbps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range core.BusSuite(seed) {
+			mp, err := a.Deploy(w, n)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, a.Name(), err)
+			}
+			// The decoded twin produces identical costs under the same
+			// mapping.
+			c1 := cost.NewModel(w, n).Evaluate(mp)
+			c2 := cost.NewModel(w2, n).Evaluate(mp)
+			if math.Abs(c1.Combined-c2.Combined) > 1e-12 {
+				t.Fatalf("serialization changed costs: %v vs %v", c1.Combined, c2.Combined)
+			}
+			// Simulated expected serial time converges to the analytic
+			// amortised execution time.
+			res, err := sim.Simulate(w, n, mp, sim.Config{Runs: 4000, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dev := stats.RelDev(res.SerialTime.Mean, c1.ExecTime); math.Abs(dev) > 0.06 {
+				t.Fatalf("seed %d %s: sim/model deviation %.1f%%", seed, a.Name(), dev*100)
+			}
+		}
+	}
+}
+
+// TestWDLThroughTheStack: author a workflow in the DSL, deploy it, fail a
+// server, and verify the mapping stays consistent end to end.
+func TestWDLThroughTheStack(t *testing.T) {
+	src := `workflow claims
+op Intake 5M
+msg 7581B
+op Verify 50M
+xor Fraud? 1M {
+    branch 1 {
+        msg 21392B
+        op Investigate 500M
+        msg 7581B
+    }
+    branch 9 {
+        msg 873B
+    }
+}
+msg 7581B
+op Settle 50M
+and Notify 1M {
+    branch { msg 873B op EmailClient 5M msg 873B }
+    branch { msg 873B op UpdateLedger 50M msg 873B }
+}
+msg 873B
+op Archive 5M`
+	w, err := wdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.M() != 11 {
+		t.Fatalf("M = %d", w.M())
+	}
+	np, _ := w.Probabilities()
+	for u, nd := range w.Nodes {
+		if nd.Name == "Investigate" && math.Abs(np[u]-0.1) > 1e-12 {
+			t.Fatalf("prob(Investigate) = %v", np[u])
+		}
+	}
+
+	n, err := network.NewBus("claims-fleet", []float64{1e9, 2e9, 3e9}, 10*gen.Mbps, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := (core.HOLM{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cost.NewModel(w, n).Evaluate(mp)
+
+	res, err := core.Failover(w, n, mp, mp[0], core.RepairOrphans, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Mapping.Validate(w, res.Network); err != nil {
+		t.Fatal(err)
+	}
+	// Work is conserved: probability-weighted cycles before == after.
+	cyclesOf := func(net *network.Network, m deploy.Mapping) float64 {
+		model := cost.NewModel(w, net)
+		var sum float64
+		for op, s := range m {
+			if s != deploy.Unassigned {
+				sum += model.NodeProb(op) * w.Nodes[op].Cycles
+			}
+		}
+		return sum
+	}
+	if math.Abs(cyclesOf(n, mp)-cyclesOf(res.Network, res.Mapping)) > 1 {
+		t.Fatal("failover lost work")
+	}
+	if before.ExecTime <= 0 || res.After.ExecTime <= 0 {
+		t.Fatal("degenerate costs")
+	}
+}
+
+// TestManagerAgainstGroundTruth: the controller's combined Status must
+// equal recomputing every workflow's loads from scratch, across churn.
+func TestManagerAgainstGroundTruth(t *testing.T) {
+	cfg := gen.ClassC()
+	n, err := network.NewBus("fleet", []float64{1e9, 2e9, 2e9, 3e9}, 100*gen.Mbps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := manager.New(n)
+	wfs := map[string]*workflow.Workflow{}
+	for i, id := range []string{"a", "b", "c", "d"} {
+		var w *workflow.Workflow
+		if i%2 == 0 {
+			w, err = cfg.LinearWorkflow(stats.NewRNG(uint64(40+i)), 10+i)
+		} else {
+			w, err = cfg.GraphWorkflow(stats.NewRNG(uint64(40+i)), 12+i, gen.Bushy)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wfs[id] = w
+		if err := m.Deploy(id, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.ServerDown(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	delete(wfs, "b")
+	if _, err := m.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := m.Status()
+	ground := make([]float64, m.Network().N())
+	for id, w := range wfs {
+		mp, ok := m.Mapping(id)
+		if !ok {
+			t.Fatalf("mapping %q missing", id)
+		}
+		for s, l := range cost.NewModel(w, m.Network()).Loads(mp) {
+			ground[s] += l
+		}
+	}
+	for s := range ground {
+		if math.Abs(ground[s]-st.Loads[s]) > 1e-9 {
+			t.Fatalf("server %d: status load %v vs ground truth %v", s, st.Loads[s], ground[s])
+		}
+	}
+	if math.Abs(st.TimePenalty-cost.PenaltyOfLoads(ground)) > 1e-9 {
+		t.Fatal("penalty accounting broken")
+	}
+}
+
+// TestStreamRespectsAnalyticCapacityOrdering: a deployment with lower
+// analytic max-load sustains at least the throughput of one with higher
+// max-load, under heavy streaming.
+func TestStreamRespectsAnalyticCapacityOrdering(t *testing.T) {
+	cfg := gen.ClassC()
+	w, err := cfg.LinearWorkflow(stats.NewRNG(77), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := cfg.BusNetworkWithSpeed(stats.NewRNG(78), 4, 1000*gen.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := (core.FairLoad{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := deploy.Uniform(w.M(), 0)
+	model := cost.NewModel(w, n)
+	maxLoad := func(mp deploy.Mapping) float64 {
+		mx := 0.0
+		for _, l := range model.Loads(mp) {
+			if l > mx {
+				mx = l
+			}
+		}
+		return mx
+	}
+	if maxLoad(fair) >= maxLoad(single) {
+		t.Fatal("fixture broken: fair mapping not less loaded")
+	}
+	rate := 1.5 / maxLoad(single) // past the single-server capacity
+	cfgS := sim.StreamConfig{ArrivalRate: rate, Instances: 300, Seed: 9}
+	fairRes, err := sim.SimulateStream(w, n, fair, cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleRes, err := sim.SimulateStream(w, n, single, cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fairRes.Throughput < singleRes.Throughput {
+		t.Fatalf("fair deployment throughput %v below single-server %v",
+			fairRes.Throughput, singleRes.Throughput)
+	}
+}

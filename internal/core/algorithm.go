@@ -1,0 +1,195 @@
+// Package core implements the paper's deployment algorithms: given a
+// workflow W(O, E) and a server network N(S, L), each algorithm computes a
+// mapping of operations to servers that trades off workflow execution time
+// against fairness of the load distribution (ICDE 2007, §3).
+//
+// The suite contains, per the paper:
+//
+//   - Exhaustive — enumerates all N^M mappings (§3.1, Appendix);
+//   - LineLine — the two-phase fill + critical-bridge algorithm for
+//     Line–Line configurations, with its four variants (§3.2);
+//   - FairLoad — worst-fit bin packing on ideal cycles (§3.3);
+//   - FLTR — Fair Load with tie resolution among equal-cost operations
+//     (§3.3, Fig. 4);
+//   - FLTR2 — tie resolution among operations and servers (§3.3);
+//   - FLMME — Fair Load, Merge Messages' Ends (§3.3);
+//   - HOLM — Heavy Operations, Large Messages (§3.3);
+//   - Sampling — the random-sampling baseline of the evaluation (§4.1).
+//
+// All greedy algorithms are written against general (well-formed) workflow
+// graphs using the probability-amortised costs of §3.4; on linear
+// workflows every probability is 1 and they reduce exactly to the
+// Line–Bus family. FairLoad ignores the graph structure entirely, which
+// is the paper's explicit design ("algorithm Fair Load ... remains
+// exactly the same").
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// Algorithm computes a deployment mapping for a workflow over a network.
+// Implementations must return a total, valid mapping or an error; they
+// must not retain or mutate their inputs.
+type Algorithm interface {
+	// Name returns the algorithm's display name, matching the paper's
+	// terminology.
+	Name() string
+	// Deploy computes the mapping.
+	Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error)
+}
+
+// instance bundles the per-deployment state shared by the greedy
+// algorithms: effective (probability-amortised) operation cycles and
+// message sizes, plus the remaining ideal cycles per server.
+type instance struct {
+	w     *workflow.Workflow
+	n     *network.Network
+	model *cost.Model
+
+	effCycles []float64 // per op: prob(op)·C(op), or raw C(op)
+	effBits   []float64 // per edge: prob(e)·MsgSize(e), or raw size
+
+	// idealRemaining[s] is the paper's Ideal_Cycles(s), decremented as
+	// operations are assigned: Sum_Cycles · P(s) / Sum_Capacity.
+	idealRemaining []float64
+}
+
+// newInstance prepares shared state. When useProbabilities is true the
+// instance amortises cycles and message sizes by the workflow's execution
+// probabilities (the §3.4 graph family); otherwise it uses raw values
+// (FairLoad, and the line family where probabilities are all 1 anyway).
+func newInstance(w *workflow.Workflow, n *network.Network, useProbabilities bool) (*instance, error) {
+	if w.M() == 0 {
+		return nil, fmt.Errorf("core: empty workflow")
+	}
+	if n.N() == 0 {
+		return nil, fmt.Errorf("core: empty network")
+	}
+	in := &instance{
+		w:         w,
+		n:         n,
+		model:     cost.NewModel(w, n),
+		effCycles: make([]float64, w.M()),
+		effBits:   make([]float64, len(w.Edges)),
+	}
+	for op, nd := range w.Nodes {
+		in.effCycles[op] = nd.Cycles
+	}
+	for e, edge := range w.Edges {
+		in.effBits[e] = edge.SizeBits
+	}
+	if useProbabilities {
+		for op := range in.effCycles {
+			in.effCycles[op] *= in.model.NodeProb(op)
+		}
+		for e := range in.effBits {
+			in.effBits[e] *= in.model.EdgeProb(e)
+		}
+	}
+	var sumCycles float64
+	for _, c := range in.effCycles {
+		sumCycles += c
+	}
+	totalPower := n.TotalPower()
+	in.idealRemaining = make([]float64, n.N())
+	for s := range in.idealRemaining {
+		in.idealRemaining[s] = sumCycles * n.Servers[s].PowerHz / totalPower
+	}
+	return in, nil
+}
+
+// assign places op on server s and charges its effective cycles against
+// the server's remaining ideal budget.
+func (in *instance) assign(mp deploy.Mapping, op, s int) {
+	mp[op] = s
+	in.idealRemaining[s] -= in.effCycles[op]
+}
+
+// serversByRemaining returns server indices sorted by remaining ideal
+// cycles, most-starved first (the paper's Servers_List ordering). Ties
+// break on the lower server index for determinism.
+func (in *instance) serversByRemaining() []int {
+	idx := make([]int, in.n.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := in.idealRemaining[idx[a]], in.idealRemaining[idx[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// opsByCycles returns the given operations sorted by effective cycles,
+// heaviest first (the paper's Operations_List ordering). Ties break on
+// the lower operation index for determinism.
+func (in *instance) opsByCycles(ops []int) []int {
+	out := append([]int(nil), ops...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ca, cb := in.effCycles[out[a]], in.effCycles[out[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// gainAt implements the paper's Gain_Of_Operation_At_Server (Fig. 5),
+// generalized to graphs: the number of (probability-amortised) message
+// bits that stay off the network if op is deployed on server s, given the
+// neighbours' current placement in mp.
+func (in *instance) gainAt(op, s int, mp deploy.Mapping) float64 {
+	var gain float64
+	for _, ei := range in.w.In(op) {
+		if from := in.w.Edges[ei].From; mp[from] == s {
+			gain += in.effBits[ei]
+		}
+	}
+	for _, ei := range in.w.Out(op) {
+		if to := in.w.Edges[ei].To; mp[to] == s {
+			gain += in.effBits[ei]
+		}
+	}
+	return gain
+}
+
+// crossTransferTime estimates the time to push the given bits between two
+// distinct servers. On a bus every pair costs the same and the estimate is
+// exact; on other topologies it averages over all distinct pairs.
+func crossTransferTime(n *network.Network, bits float64) float64 {
+	if n.N() < 2 {
+		return 0
+	}
+	if n.Topology() == network.Bus {
+		return n.TransferTime(0, 1, bits)
+	}
+	var sum float64
+	pairs := 0
+	for i := 0; i < n.N(); i++ {
+		for j := i + 1; j < n.N(); j++ {
+			sum += n.TransferTime(i, j, bits)
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// validated runs deploy.Mapping.Validate as a final safety net so that no
+// algorithm can leak a partial mapping.
+func validated(mp deploy.Mapping, w *workflow.Workflow, n *network.Network, algo string) (deploy.Mapping, error) {
+	if err := mp.Validate(w, n); err != nil {
+		return nil, fmt.Errorf("core: %s produced invalid mapping: %w", algo, err)
+	}
+	return mp, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// DefaultExhaustiveLimit bounds how many of the N^M configurations the
+// Exhaustive algorithm will enumerate before refusing to run; the paper
+// itself only uses the exhaustive algorithm "in small configurations".
+const DefaultExhaustiveLimit = 20_000_000
+
+// Exhaustive enumerates every possible mapping and returns the one with
+// the minimum combined cost (paper §3.1 and Appendix). Its search space
+// is N^M, so it only runs when that count does not exceed Limit.
+type Exhaustive struct {
+	// Limit caps the number of enumerated configurations; zero means
+	// DefaultExhaustiveLimit.
+	Limit int
+}
+
+// Name implements Algorithm.
+func (Exhaustive) Name() string { return "Exhaustive" }
+
+// Deploy implements Algorithm.
+func (a Exhaustive) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	best, _, err := a.Search(w, n)
+	return best, err
+}
+
+// SearchStats reports what the exhaustive enumeration saw; the evaluation
+// section uses the per-metric minima to normalize solution quality.
+type SearchStats struct {
+	Enumerated     int64
+	BestCombined   float64
+	BestExecTime   float64 // minimum execution time over all mappings
+	BestPenalty    float64 // minimum time penalty over all mappings
+	WorstCombined  float64
+	BestExecMap    deploy.Mapping
+	BestPenaltyMap deploy.Mapping
+}
+
+// Search enumerates all mappings, returning the combined-cost optimum and
+// enumeration statistics.
+func (a Exhaustive) Search(w *workflow.Workflow, n *network.Network) (deploy.Mapping, SearchStats, error) {
+	limit := a.Limit
+	if limit <= 0 {
+		limit = DefaultExhaustiveLimit
+	}
+	M, N := w.M(), n.N()
+	if M == 0 || N == 0 {
+		return nil, SearchStats{}, fmt.Errorf("core: Exhaustive on empty workflow or network")
+	}
+	// Count N^M with overflow care.
+	total := 1.0
+	for i := 0; i < M; i++ {
+		total *= float64(N)
+		if total > float64(limit) {
+			return nil, SearchStats{}, fmt.Errorf("core: Exhaustive search space %d^%d exceeds limit %d", N, M, limit)
+		}
+	}
+
+	model := cost.NewModel(w, n)
+	mp := deploy.Uniform(M, 0)
+	stats := SearchStats{
+		BestCombined:  math.Inf(1),
+		BestExecTime:  math.Inf(1),
+		BestPenalty:   math.Inf(1),
+		WorstCombined: math.Inf(-1),
+	}
+	var best deploy.Mapping
+	for {
+		res := model.Evaluate(mp)
+		stats.Enumerated++
+		if res.Combined < stats.BestCombined {
+			stats.BestCombined = res.Combined
+			best = mp.Clone()
+		}
+		if res.ExecTime < stats.BestExecTime {
+			stats.BestExecTime = res.ExecTime
+			stats.BestExecMap = mp.Clone()
+		}
+		if res.TimePenalty < stats.BestPenalty {
+			stats.BestPenalty = res.TimePenalty
+			stats.BestPenaltyMap = mp.Clone()
+		}
+		if res.Combined > stats.WorstCombined {
+			stats.WorstCombined = res.Combined
+		}
+		// Advance the odometer: mp is a base-N counter over M digits.
+		i := 0
+		for ; i < M; i++ {
+			mp[i]++
+			if mp[i] < N {
+				break
+			}
+			mp[i] = 0
+		}
+		if i == M {
+			break
+		}
+	}
+	return best, stats, nil
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/workflow"
+)
+
+func TestLocalSearchNeverWorseThanBase(t *testing.T) {
+	check := func(seed uint64) bool {
+		w := lineWF(t, 12, seed)
+		n := bus(t, []float64{1e9, 2e9, 3e9}, 1*mbps)
+		model := cost.NewModel(w, n)
+		base, err := (HOLM{}).Deploy(w, n)
+		if err != nil {
+			return false
+		}
+		refined, err := (LocalSearch{}).Deploy(w, n)
+		if err != nil {
+			return false
+		}
+		return model.Combined(refined) <= model.Combined(base)+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalSearchReachesLocalOptimum(t *testing.T) {
+	w := lineWF(t, 8, 3)
+	n := bus(t, []float64{1e9, 2e9}, 10*mbps)
+	model := cost.NewModel(w, n)
+	mp, err := (LocalSearch{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No single move may improve the result.
+	base := model.Combined(mp)
+	for op := 0; op < w.M(); op++ {
+		orig := mp[op]
+		for s := 0; s < n.N(); s++ {
+			mp[op] = s
+			if model.Combined(mp) < base-1e-12 {
+				t.Fatalf("move op %d -> server %d improves a 'local optimum'", op, s)
+			}
+		}
+		mp[op] = orig
+	}
+}
+
+func TestLocalSearchCustomBase(t *testing.T) {
+	w := lineWF(t, 10, 4)
+	n := bus(t, []float64{1e9, 2e9}, 10*mbps)
+	a := LocalSearch{Base: FairLoad{}}
+	if a.Name() != "LocalSearch(FairLoad)" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	mp, err := a.Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Validate(w, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealFindsNearOptimal(t *testing.T) {
+	w := lineWF(t, 7, 5)
+	n := bus(t, []float64{1e9, 2e9}, 10*mbps)
+	model := cost.NewModel(w, n)
+	_, exact, err := Exhaustive{}.Search(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := (Anneal{Seed: 1, Steps: 20000}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := model.Combined(mp)
+	if got < exact.BestCombined-1e-12 {
+		t.Fatalf("anneal beat exhaustive: %v < %v", got, exact.BestCombined)
+	}
+	if got > exact.BestCombined*1.05 {
+		t.Fatalf("anneal far from optimum: %v vs %v", got, exact.BestCombined)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	w := lineWF(t, 10, 6)
+	n := bus(t, []float64{1e9, 2e9, 3e9}, 10*mbps)
+	a := Anneal{Seed: 9, Steps: 2000}
+	m1, err := a.Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := a.Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := range m1 {
+		if m1[op] != m2[op] {
+			t.Fatal("anneal not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestAnnealWithBase(t *testing.T) {
+	w := lineWF(t, 10, 7)
+	n := bus(t, []float64{1e9, 2e9}, 1*mbps)
+	model := cost.NewModel(w, n)
+	base, err := (HOLM{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := (Anneal{Seed: 2, Steps: 5000, Base: HOLM{}}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Combined(mp) > model.Combined(base)+1e-12 {
+		t.Fatalf("seeded anneal worse than its base: %v > %v",
+			model.Combined(mp), model.Combined(base))
+	}
+}
+
+func TestAnnealSingleServer(t *testing.T) {
+	w := lineWF(t, 5, 8)
+	n := bus(t, []float64{1e9}, 10*mbps)
+	mp, err := (Anneal{Seed: 1}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range mp {
+		if s != 0 {
+			t.Fatal("single-server anneal strayed")
+		}
+	}
+}
+
+func TestPartitionValidAndBalanced(t *testing.T) {
+	check := func(seed uint64) bool {
+		w := lineWF(t, 15, seed)
+		n := bus(t, []float64{1e9, 2e9, 3e9}, 100*mbps)
+		mp, err := (Partition{}).Deploy(w, n)
+		if err != nil || mp.Validate(w, n) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionKeepsChattyPairsTogether(t *testing.T) {
+	// A single dominant message: partition must co-locate its ends.
+	w, err := workflow.NewLine("w",
+		[]float64{10e6, 10e6, 10e6, 10e6},
+		[]float64{1e2, 1e9, 1e2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := bus(t, []float64{1e9, 1e9}, 10*mbps)
+	mp, err := (Partition{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp[1] != mp[2] {
+		t.Fatalf("partition cut the 1 Gbit edge: %v", mp)
+	}
+}
+
+func TestPartitionSingleServer(t *testing.T) {
+	w := lineWF(t, 6, 2)
+	n := bus(t, []float64{1e9}, 10*mbps)
+	mp, err := (Partition{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range mp {
+		if s != 0 {
+			t.Fatal("partition strayed on single server")
+		}
+	}
+}
+
+func TestFailoverRepairOrphans(t *testing.T) {
+	w := lineWF(t, 12, 9)
+	n := bus(t, []float64{1e9, 2e9, 2e9, 3e9}, 100*mbps)
+	mp, err := (FairLoad{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Failover(w, n, mp, 1, RepairOrphans, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Network.N() != 3 {
+		t.Fatalf("degraded network has %d servers", res.Network.N())
+	}
+	if err := res.Mapping.Validate(w, res.Network); err != nil {
+		t.Fatalf("repaired mapping invalid: %v", err)
+	}
+	// Repair must not move survivors.
+	if res.Moved != 0 {
+		t.Fatalf("repair moved %d surviving operations", res.Moved)
+	}
+	if res.Orphans == 0 {
+		t.Fatal("failed server hosted nothing; test fixture broken")
+	}
+	if res.ScaleUp < 1 {
+		t.Fatalf("scale-up %v < 1 after losing a server", res.ScaleUp)
+	}
+	if res.ScaleUp > float64(n.N()) {
+		t.Fatalf("scale-up %v implausibly high", res.ScaleUp)
+	}
+}
+
+func TestFailoverFullRedeploy(t *testing.T) {
+	w := lineWF(t, 12, 10)
+	n := bus(t, []float64{1e9, 2e9, 2e9, 3e9}, 1*mbps)
+	mp, err := (HOLM{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Failover(w, n, mp, 0, FullRedeploy, HOLM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Mapping.Validate(w, res.Network); err != nil {
+		t.Fatal(err)
+	}
+	// Full redeploy on the degraded bus must not be worse than repair on
+	// the combined objective (it re-optimizes globally).
+	repair, err := Failover(w, n, mp, 0, RepairOrphans, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After.Combined > repair.After.Combined*1.5+1e-9 {
+		t.Fatalf("full redeploy (%v) much worse than repair (%v)",
+			res.After.Combined, repair.After.Combined)
+	}
+}
+
+func TestFailoverValidation(t *testing.T) {
+	w := lineWF(t, 5, 11)
+	n := bus(t, []float64{1e9, 1e9}, 10*mbps)
+	if _, err := Failover(w, n, deploy.Mapping{0}, 0, RepairOrphans, nil); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+	mp := deploy.Uniform(w.M(), 0)
+	if _, err := Failover(w, n, mp, 7, RepairOrphans, nil); err == nil {
+		t.Fatal("out-of-range server accepted")
+	}
+}
+
+func TestFailoverModeString(t *testing.T) {
+	if RepairOrphans.String() != "repair-orphans" || FullRedeploy.String() != "full-redeploy" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestFailoverPreservesWorkDistribution(t *testing.T) {
+	// After failure, total load must still account for all operations.
+	w := lineWF(t, 10, 12)
+	n := bus(t, []float64{1e9, 1e9, 1e9}, 100*mbps)
+	mp, err := (FairLoad{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Failover(w, n, mp, 2, RepairOrphans, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beforeSum, afterSum float64
+	for _, l := range res.Before.Loads {
+		beforeSum += l
+	}
+	for _, l := range res.After.Loads {
+		afterSum += l
+	}
+	// Equal-power servers: total time is conserved when a server dies.
+	if math.Abs(beforeSum-afterSum) > 1e-9 {
+		t.Fatalf("total load changed: %v -> %v", beforeSum, afterSum)
+	}
+}
+
+func TestRefinersBeatGreedyOnAdversarialInstance(t *testing.T) {
+	// An instance with mixed large/small messages where one-shot greedy
+	// leaves room: the refiners must close some of the gap.
+	w := lineWF(t, 14, 13)
+	n := bus(t, []float64{1e9, 2e9, 3e9}, 1*mbps)
+	model := cost.NewModel(w, n)
+	greedy, err := (FLTR2{Seed: 13}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := (LocalSearch{Base: FLTR2{Seed: 13}}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Combined(ls) > model.Combined(greedy)+1e-12 {
+		t.Fatalf("local search worse than its base: %v > %v",
+			model.Combined(ls), model.Combined(greedy))
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MinimizeCombined.String() != "combined" || MinimizeMakespan.String() != "makespan" {
+		t.Fatal("objective names wrong")
+	}
+}
+
+func TestMakespanObjectiveImprovesMakespan(t *testing.T) {
+	// On graph workflows with parallel branches, optimizing the makespan
+	// objective must never yield a worse makespan than the combined-
+	// objective search from the same base.
+	b := workflow.NewBuilder("par")
+	src := b.Op("src", 10e6)
+	and := b.Split(workflow.AndSplit, "and", 0)
+	ops := []workflow.NodeID{b.Op("a", 60e6), b.Op("b", 60e6), b.Op("c", 60e6)}
+	j := b.Join(workflow.AndSplit, "/and", 0)
+	snk := b.Op("snk", 10e6)
+	b.Link(src, and, 1e4)
+	for _, id := range ops {
+		b.Link(and, id, 1e4)
+		b.Link(id, j, 1e4)
+	}
+	b.Link(j, snk, 1e4)
+	w := b.MustBuild()
+	n := bus(t, []float64{1e9, 1e9, 1e9}, 1000*mbps)
+	model := cost.NewModel(w, n)
+
+	combined, err := (LocalSearch{Base: FairLoad{}}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkspan, err := (LocalSearch{Base: FairLoad{}, Objective: MinimizeMakespan}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.MakespanEstimate(mkspan) > model.MakespanEstimate(combined)+1e-12 {
+		t.Fatalf("makespan objective worse: %v vs %v",
+			model.MakespanEstimate(mkspan), model.MakespanEstimate(combined))
+	}
+	// The three parallel branches should spread across servers under the
+	// makespan objective: estimate near one branch's time, not three.
+	oneBranch := 60e6 / 1e9
+	if ms := model.MakespanEstimate(mkspan); ms > 2.2*oneBranch {
+		t.Fatalf("makespan objective failed to parallelize: %v", ms)
+	}
+}
+
+func TestAnnealMakespanObjective(t *testing.T) {
+	w := graphWF(t)
+	n := bus(t, []float64{1e9, 2e9}, 100*mbps)
+	model := cost.NewModel(w, n)
+	mp, err := (Anneal{Seed: 3, Steps: 5000, Objective: MinimizeMakespan}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Validate(w, n); err != nil {
+		t.Fatal(err)
+	}
+	if model.MakespanEstimate(mp) <= 0 {
+		t.Fatal("degenerate makespan")
+	}
+}

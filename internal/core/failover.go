@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// FailoverMode selects how a deployment reacts to a server failure.
+type FailoverMode int
+
+// Failover modes.
+const (
+	// RepairOrphans keeps every surviving assignment in place and
+	// re-deploys only the failed server's operations, worst-fit with a
+	// communication-gain tie-break. Minimal disruption.
+	RepairOrphans FailoverMode = iota
+	// FullRedeploy recomputes the whole mapping on the degraded network
+	// with a given algorithm. Maximal quality, maximal disruption.
+	FullRedeploy
+)
+
+// String names the mode.
+func (m FailoverMode) String() string {
+	if m == FullRedeploy {
+		return "full-redeploy"
+	}
+	return "repair-orphans"
+}
+
+// FailoverResult reports a failure-recovery step: the degraded network,
+// the new mapping (indexed against the degraded network), and the
+// disruption/quality metrics the paper's motivating example cares about
+// ("a reasonable load scale-up is still possible").
+type FailoverResult struct {
+	Network *network.Network
+	Mapping deploy.Mapping
+	// Moved counts operations that changed servers (excluding the forced
+	// moves off the failed server).
+	Moved int
+	// Orphans counts the operations that lived on the failed server.
+	Orphans int
+	// ScaleUp is maxLoad(after) / maxLoad(before): the load amplification
+	// the failure causes on the busiest surviving server.
+	ScaleUp float64
+	// Before and After are the full cost evaluations.
+	Before cost.Result
+	After  cost.Result
+}
+
+// Failover simulates the failure of server failed under the mapping mp
+// and recovers per the mode. algo is only used by FullRedeploy (nil means
+// HOLM).
+func Failover(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, failed int, mode FailoverMode, algo Algorithm) (*FailoverResult, error) {
+	if err := mp.Validate(w, n); err != nil {
+		return nil, fmt.Errorf("core: Failover: %w", err)
+	}
+	degraded, remap, err := n.RemoveServer(failed)
+	if err != nil {
+		return nil, err
+	}
+	before := cost.NewModel(w, n).Evaluate(mp)
+
+	var after deploy.Mapping
+	switch mode {
+	case FullRedeploy:
+		if algo == nil {
+			algo = HOLM{}
+		}
+		after, err = algo.Deploy(w, degraded)
+		if err != nil {
+			return nil, err
+		}
+	case RepairOrphans:
+		after, err = repairOrphans(w, degraded, mp, remap)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown failover mode %d", mode)
+	}
+
+	res := &FailoverResult{
+		Network: degraded,
+		Mapping: after,
+		Before:  before,
+		After:   cost.NewModel(w, degraded).Evaluate(after),
+	}
+	for op, s := range mp {
+		if s == failed {
+			res.Orphans++
+			continue
+		}
+		if after[op] != remap[s] {
+			res.Moved++
+		}
+	}
+	res.ScaleUp = maxLoad(res.After.Loads) / math.Max(maxLoad(before.Loads), 1e-300)
+	return res, nil
+}
+
+// repairOrphans re-deploys only the failed server's operations onto the
+// degraded network: surviving assignments are frozen, orphans are placed
+// heaviest-first onto the server furthest below its (recomputed) ideal
+// load, with the communication gain breaking ties among equally starved
+// servers.
+func repairOrphans(w *workflow.Workflow, degraded *network.Network, old deploy.Mapping, remap []int) (deploy.Mapping, error) {
+	in, err := newInstance(w, degraded, true)
+	if err != nil {
+		return nil, err
+	}
+	mp := deploy.NewUnassigned(w.M())
+	var orphans []int
+	for op, s := range old {
+		ns := -1
+		if s >= 0 && s < len(remap) {
+			ns = remap[s]
+		}
+		if ns < 0 {
+			orphans = append(orphans, op)
+			continue
+		}
+		in.assign(mp, op, ns)
+	}
+	for _, op := range in.opsByCycles(orphans) {
+		servers := in.serversByRemaining()
+		bestS := servers[0]
+		bestGain := in.gainAt(op, bestS, mp)
+		for _, s := range servers[1:] {
+			if in.idealRemaining[s] != in.idealRemaining[servers[0]] {
+				break
+			}
+			if g := in.gainAt(op, s, mp); g > bestGain {
+				bestGain, bestS = g, s
+			}
+		}
+		in.assign(mp, op, bestS)
+	}
+	return validated(mp, w, degraded, "repair-orphans")
+}
+
+func maxLoad(loads []float64) float64 {
+	m := 0.0
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

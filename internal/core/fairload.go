@@ -1,0 +1,39 @@
+package core
+
+import (
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// FairLoad is the paper's simplest Line–Bus heuristic (§3.3): a variant of
+// worst-fit bin packing. It computes each server's ideal number of cycles
+// (proportional to its capacity), sorts operations by cost and servers by
+// remaining ideal cycles, and repeatedly assigns the heaviest remaining
+// operation to the server that is furthest from its ideal load.
+//
+// FairLoad ignores messages entirely — it optimizes only the fairness of
+// the load distribution — and per §3.4 it "remains exactly the same" on
+// random graph workflows (raw cycles, no probability amortisation).
+type FairLoad struct{}
+
+// Name implements Algorithm.
+func (FairLoad) Name() string { return "FairLoad" }
+
+// Deploy implements Algorithm.
+func (a FairLoad) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	in, err := newInstance(w, n, false)
+	if err != nil {
+		return nil, err
+	}
+	mp := deploy.NewUnassigned(w.M())
+	ops := make([]int, w.M())
+	for i := range ops {
+		ops[i] = i
+	}
+	for _, op := range in.opsByCycles(ops) {
+		s := in.serversByRemaining()[0]
+		in.assign(mp, op, s)
+	}
+	return validated(mp, w, n, a.Name())
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// FLTR is "Fair Load – Tie Resolver for Cycles" (§3.3, Fig. 4). It follows
+// FairLoad's basic principle — heaviest remaining operation to the
+// most-starved server — but when several operations have the same cost it
+// no longer picks one at random: it deploys the candidate with the highest
+// communication saving (Gain_Of_Operation_At_Server, Fig. 5), i.e. the one
+// whose already-placed neighbours keep the most message bits off the bus.
+//
+// Per the paper, the working mapping is initialized randomly, "or else the
+// first calls of function Gain_Of_Operation_At_Server would not return any
+// gain at all": neighbours that have not been finally placed still count
+// toward the gain through their tentative random placement. On graph
+// workflows the gain and cycles are amortised by execution probability
+// (§3.4).
+type FLTR struct {
+	// Seed drives the random initial mapping; runs are deterministic for
+	// a fixed seed.
+	Seed uint64
+}
+
+// Name implements Algorithm.
+func (FLTR) Name() string { return "FL-TieResolver" }
+
+// Deploy implements Algorithm.
+func (a FLTR) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	in, err := newInstance(w, n, true)
+	if err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(a.Seed)
+	mp := deploy.Random(w, n, r)
+
+	remaining := make([]int, w.M())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		remaining = in.opsByCycles(remaining)
+		s1 := in.serversByRemaining()[0]
+
+		// Resolve the tie among all operations that cost the same as the
+		// heaviest one: keep the candidate with the best gain at s1.
+		bestIdx := 0
+		bestGain := in.gainAt(remaining[0], s1, mp)
+		for i := 1; i < len(remaining) && in.effCycles[remaining[i]] == in.effCycles[remaining[0]]; i++ {
+			if g := in.gainAt(remaining[i], s1, mp); g > bestGain {
+				bestGain, bestIdx = g, i
+			}
+		}
+		op := remaining[bestIdx]
+		in.assign(mp, op, s1)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return validated(mp, w, n, a.Name())
+}

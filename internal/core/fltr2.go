@@ -1,0 +1,60 @@
+package core
+
+import (
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// FLTR2 is "Fair Load – Tie Resolver for Cycles and Servers" (§3.3). It
+// extends FLTR by also breaking ties among servers: when several servers
+// are equally far from their ideal load, the gain function is evaluated
+// for every (tied operation, tied server) pair and the best assignment is
+// picked.
+type FLTR2 struct {
+	// Seed drives the random initial mapping.
+	Seed uint64
+}
+
+// Name implements Algorithm.
+func (FLTR2) Name() string { return "FL-TieResolver2" }
+
+// Deploy implements Algorithm.
+func (a FLTR2) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	in, err := newInstance(w, n, true)
+	if err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(a.Seed)
+	mp := deploy.Random(w, n, r)
+
+	remaining := make([]int, w.M())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		remaining = in.opsByCycles(remaining)
+		servers := in.serversByRemaining()
+
+		bestIdx, bestS := 0, servers[0]
+		bestGain := -1.0
+		for i := 0; i < len(remaining); i++ {
+			if in.effCycles[remaining[i]] != in.effCycles[remaining[0]] {
+				break
+			}
+			for _, s := range servers {
+				if in.idealRemaining[s] != in.idealRemaining[servers[0]] {
+					break
+				}
+				if g := in.gainAt(remaining[i], s, mp); g > bestGain {
+					bestGain, bestIdx, bestS = g, i, s
+				}
+			}
+		}
+		op := remaining[bestIdx]
+		in.assign(mp, op, bestS)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return validated(mp, w, n, a.Name())
+}

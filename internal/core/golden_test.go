@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// The golden tests pin the exact mappings each algorithm produces on one
+// fixed instance, so that any behavioural drift in the greedy loops —
+// sort order, tie-break, threshold — shows up as a diff rather than a
+// silent change in experiment results.
+//
+// Fixed instance: 10 operations with distinctive cycles/messages over a
+// 3-server bus (1/2/3 GHz, 10 Mbps).
+
+func goldenInstance(t *testing.T) (*workflow.Workflow, *network.Network) {
+	t.Helper()
+	w, err := workflow.NewLine("golden",
+		[]float64{10e6, 30e6, 20e6, 20e6, 50e6, 10e6, 20e6, 40e6, 10e6, 20e6},
+		[]float64{0.006984e6, 0.060648e6, 0.171136e6, 0.060648e6, 0.006984e6,
+			0.171136e6, 0.060648e6, 0.060648e6, 0.006984e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.NewBus("golden-bus", []float64{1e9, 2e9, 3e9}, 10e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, n
+}
+
+func TestGoldenMappings(t *testing.T) {
+	w, n := goldenInstance(t)
+	cases := []struct {
+		algo Algorithm
+		want []int
+	}{
+		{FairLoad{}, []int{1, 2, 0, 1, 2, 2, 2, 1, 1, 0}},
+		{FLTR{Seed: 42}, []int{2, 2, 2, 0, 2, 1, 0, 1, 1, 1}},
+		{FLTR2{Seed: 42}, []int{2, 2, 2, 0, 2, 1, 0, 1, 1, 1}},
+		{FLMME{Seed: 42}, []int{0, 2, 2, 2, 2, 0, 0, 1, 1, 1}},
+		{HOLM{}, []int{0, 0, 1, 1, 2, 1, 1, 2, 2, 2}},
+		{Partition{}, []int{0, 2, 2, 2, 1, 2, 2, 2, 2, 1}},
+		{Sampling{Samples: 200, Seed: 42}, []int{1, 1, 1, 1, 2, 2, 2, 0, 0, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.algo.Name(), func(t *testing.T) {
+			mp, err := tc.algo.Deploy(w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(mp) != len(tc.want) {
+				t.Fatalf("mapping length %d", len(mp))
+			}
+			for op := range mp {
+				if mp[op] != tc.want[op] {
+					t.Fatalf("mapping drifted:\n got  %v\n want %v", []int(mp), tc.want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sort"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// HOLM is "Heavy Operations – Large Messages" (§3.3), the algorithm the
+// paper's experiments crown as the most stable choice. Unlike the Fair
+// Load family it does not treat operations separately but as *groups*:
+// two operations are clustered together when they exchange a large
+// message, and grouped operations are always deployed on the same server.
+//
+// A message is considered large when the time needed to transfer it over
+// the network exceeds the execution time of the costliest group of
+// operations on the server with the most available cycles at decision
+// time. Each step either
+//
+//	(a) assigns the costliest group to the most-starved server (no large
+//	    message pending), or
+//	(b) avoids a large message: if one of its two ends is already placed,
+//	    the other end joins it (b1); if neither is placed, their groups
+//	    are merged (b2).
+//
+// Messages whose ends live in the same group or on the same server are
+// retired from the message list. On graph workflows, cycles and message
+// sizes are amortised by execution probability (§3.4).
+type HOLM struct{}
+
+// Name implements Algorithm.
+func (HOLM) Name() string { return "HeavyOps-LargeMsgs" }
+
+// Deploy implements Algorithm.
+func (a HOLM) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	in, err := newInstance(w, n, true)
+	if err != nil {
+		return nil, err
+	}
+	mp := deploy.NewUnassigned(w.M())
+
+	// Union-find over operations; each root identifies a group.
+	parent := make([]int, w.M())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) {
+		parent[find(x)] = find(y)
+	}
+	// groupCycles is maintained at the roots.
+	groupCycles := make([]float64, w.M())
+	copy(groupCycles, in.effCycles)
+
+	// members returns the unassigned operations of op's group.
+	members := func(root int) []int {
+		var ms []int
+		for op := range parent {
+			if find(op) == root && mp[op] == deploy.Unassigned {
+				ms = append(ms, op)
+			}
+		}
+		return ms
+	}
+
+	// The pending message list: edge indices whose ends are neither
+	// co-grouped nor both assigned.
+	messages := make([]int, 0, len(w.Edges))
+	for e := range w.Edges {
+		messages = append(messages, e)
+	}
+	retireMessages := func() {
+		kept := messages[:0]
+		for _, e := range messages {
+			from, to := w.Edges[e].From, w.Edges[e].To
+			if mp[from] != deploy.Unassigned && mp[to] != deploy.Unassigned {
+				continue // both ends placed; nothing to save any more
+			}
+			if find(from) == find(to) {
+				continue // co-grouped; they will land on one server
+			}
+			kept = append(kept, e)
+		}
+		messages = kept
+	}
+
+	assignGroup := func(root, s int) {
+		for _, op := range members(root) {
+			in.assign(mp, op, s)
+		}
+		groupCycles[root] = 0
+	}
+	assignOp := func(op, s int) {
+		in.assign(mp, op, s)
+		// The operation leaves its group; the remainder keeps its root but
+		// sheds the assigned cycles.
+		groupCycles[find(op)] -= in.effCycles[op]
+	}
+
+	unassigned := w.M()
+	for unassigned > 0 {
+		retireMessages()
+
+		// Heaviest group among groups with unassigned members.
+		rootSeen := map[int]bool{}
+		g1, g1Cycles := -1, -1.0
+		for op := range parent {
+			if mp[op] != deploy.Unassigned {
+				continue
+			}
+			r := find(op)
+			if rootSeen[r] {
+				continue
+			}
+			rootSeen[r] = true
+			if groupCycles[r] > g1Cycles {
+				g1, g1Cycles = r, groupCycles[r]
+			}
+		}
+		s1 := in.serversByRemaining()[0]
+
+		// Largest pending message.
+		m1 := -1
+		if len(messages) > 0 {
+			sort.SliceStable(messages, func(a, b int) bool {
+				ba, bb := in.effBits[messages[a]], in.effBits[messages[b]]
+				if ba != bb {
+					return ba > bb
+				}
+				return messages[a] < messages[b]
+			})
+			m1 = messages[0]
+		}
+
+		groupTime := g1Cycles / n.Servers[s1].PowerHz
+		if m1 < 0 || groupTime > crossTransferTime(n, in.effBits[m1]) {
+			// No large message on top of the list: place the heaviest
+			// group on the most available server.
+			assignGroup(g1, s1)
+		} else {
+			from, to := w.Edges[m1].From, w.Edges[m1].To
+			srcAssigned := mp[from] != deploy.Unassigned
+			dstAssigned := mp[to] != deploy.Unassigned
+			switch {
+			case !srcAssigned && dstAssigned:
+				assignOp(from, mp[to])
+			case srcAssigned && !dstAssigned:
+				assignOp(to, mp[from])
+			default: // both unassigned: merge their groups
+				rf, rt := find(from), find(to)
+				cycles := groupCycles[rf] + groupCycles[rt]
+				union(from, to)
+				groupCycles[find(from)] = cycles
+			}
+		}
+
+		unassigned = 0
+		for _, s := range mp {
+			if s == deploy.Unassigned {
+				unassigned++
+			}
+		}
+	}
+	return validated(mp, w, n, a.Name())
+}

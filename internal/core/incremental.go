@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// GreedyPlace deploys one workflow onto a network whose servers already
+// carry existing work, expressed as CPU cycles per server. The per-server
+// ideal budgets span existing plus new cycles, so the new workflow fills
+// the valleys of the current load landscape: servers above their
+// proportional share receive less, starved servers more. Ties among
+// equally-starved servers break on the communication gain against the
+// partial mapping.
+//
+// This is the primitive behind both the §6 multi-workflow extension and
+// the online deployment manager: repeated GreedyPlace calls approximate
+// the joint FairLoad packing without disturbing anything already placed.
+func GreedyPlace(w *workflow.Workflow, n *network.Network, existingCycles []float64) (deploy.Mapping, error) {
+	if existingCycles != nil && len(existingCycles) != n.N() {
+		return nil, fmt.Errorf("core: GreedyPlace got %d existing loads for %d servers", len(existingCycles), n.N())
+	}
+	in, err := newInstance(w, n, true)
+	if err != nil {
+		return nil, err
+	}
+	// Recompute budgets over the combined cycle mass and charge the
+	// existing load upfront.
+	var newCycles, existingTotal float64
+	for _, c := range in.effCycles {
+		newCycles += c
+	}
+	for _, c := range existingCycles {
+		existingTotal += c
+	}
+	totalPower := n.TotalPower()
+	for s := range in.idealRemaining {
+		in.idealRemaining[s] = (newCycles+existingTotal)*n.Servers[s].PowerHz/totalPower - existingCyclesAt(existingCycles, s)
+	}
+
+	mp := deploy.NewUnassigned(w.M())
+	remaining := make([]int, w.M())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		remaining = in.opsByCycles(remaining)
+		servers := in.serversByRemaining()
+		bestIdx, bestS := 0, servers[0]
+		bestGain := -1.0
+		for i := 0; i < len(remaining) && in.effCycles[remaining[i]] == in.effCycles[remaining[0]]; i++ {
+			for _, s := range servers {
+				if in.idealRemaining[s] != in.idealRemaining[servers[0]] {
+					break
+				}
+				if g := in.gainAt(remaining[i], s, mp); g > bestGain {
+					bestGain, bestIdx, bestS = g, i, s
+				}
+			}
+		}
+		op := remaining[bestIdx]
+		in.assign(mp, op, bestS)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return validated(mp, w, n, "GreedyPlace")
+}
+
+func existingCyclesAt(existing []float64, s int) float64 {
+	if existing == nil {
+		return 0
+	}
+	return existing[s]
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wsdeploy/internal/cost"
+)
+
+func TestGreedyPlaceNoExistingLoadMatchesFairness(t *testing.T) {
+	w := lineWF(t, 12, 1)
+	n := bus(t, []float64{1e9, 2e9, 3e9}, 100*mbps)
+	mp, err := GreedyPlace(w, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Validate(w, n); err != nil {
+		t.Fatal(err)
+	}
+	model := cost.NewModel(w, n)
+	// Fresh placement must be roughly fair: penalty below 25% of mean load.
+	loads := model.Loads(mp)
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	if p := model.TimePenalty(mp); p > 0.25*sum/float64(n.N()) {
+		t.Fatalf("fresh GreedyPlace unfair: penalty %v, loads %v", p, loads)
+	}
+}
+
+func TestGreedyPlaceAvoidsLoadedServer(t *testing.T) {
+	w := lineWF(t, 9, 2)
+	n := bus(t, []float64{1e9, 1e9}, 100*mbps)
+	// Server 0 already carries as many cycles as the whole new workflow:
+	// the new operations must overwhelmingly land on server 1.
+	existing := []float64{w.TotalCycles(), 0}
+	mp, err := GreedyPlace(w, n, existing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onLoaded := 0
+	for _, s := range mp {
+		if s == 0 {
+			onLoaded++
+		}
+	}
+	if onLoaded > w.M()/3 {
+		t.Fatalf("%d of %d ops placed on the saturated server: %v", onLoaded, w.M(), mp)
+	}
+}
+
+func TestGreedyPlaceBalancesCombined(t *testing.T) {
+	// Place the same workflow twice; the combined cycles must be nearly
+	// proportional to power.
+	w := lineWF(t, 14, 3)
+	n := bus(t, []float64{1e9, 3e9}, 100*mbps)
+	model := cost.NewModel(w, n)
+	cyc := make([]float64, n.N())
+	for round := 0; round < 2; round++ {
+		mp, err := GreedyPlace(w, n, cyc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for op, s := range mp {
+			cyc[s] += model.NodeProb(op) * w.Nodes[op].Cycles
+		}
+	}
+	total := cyc[0] + cyc[1]
+	// Power split is 1:3 → cycles split should be near 25%/75%.
+	frac := cyc[0] / total
+	if math.Abs(frac-0.25) > 0.08 {
+		t.Fatalf("combined cycle split %v, want ≈0.25", frac)
+	}
+}
+
+func TestGreedyPlaceValidation(t *testing.T) {
+	w := lineWF(t, 5, 4)
+	n := bus(t, []float64{1e9, 1e9}, 100*mbps)
+	if _, err := GreedyPlace(w, n, []float64{1}); err == nil {
+		t.Fatal("wrong existing-load length accepted")
+	}
+}

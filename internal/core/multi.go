@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// MultiDeployment is the paper's first proposed future extension (§6):
+// deploying *multiple* workflows, instead of just one, over a shared
+// server network. The key coupling is fairness: each server's load is the
+// sum of its shares of every workflow, so the workflows cannot be placed
+// independently.
+//
+// MultiDeploy places the workflows sequentially (largest total cycles
+// first) with a FairLoad-style greedy whose per-server ideal budget spans
+// the *combined* cycles of all workflows, and resolves ties with the
+// communication gain within each workflow. The result is one mapping per
+// workflow plus the combined load metrics.
+type MultiDeployment struct {
+	Mappings    []deploy.Mapping // Mappings[i] maps workflows[i]
+	Loads       []float64        // combined per-server load, seconds
+	TimePenalty float64          // fairness penalty of the combined loads
+	ExecTimes   []float64        // per-workflow amortised execution time
+	TotalExec   float64          // Σ ExecTimes
+}
+
+// MultiDeploy deploys every workflow over the shared network. All
+// workflows must be non-empty; the network must have at least one server.
+func MultiDeploy(ws []*workflow.Workflow, n *network.Network) (*MultiDeployment, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("core: MultiDeploy with no workflows")
+	}
+	if n.N() == 0 {
+		return nil, fmt.Errorf("core: MultiDeploy on empty network")
+	}
+
+	// Build per-workflow instances; the shared ideal budget uses the
+	// combined expected cycles of every workflow.
+	instances := make([]*instance, len(ws))
+	var combinedCycles float64
+	for i, w := range ws {
+		in, err := newInstance(w, n, true)
+		if err != nil {
+			return nil, fmt.Errorf("core: MultiDeploy workflow %d: %w", i, err)
+		}
+		instances[i] = in
+		for _, c := range in.effCycles {
+			combinedCycles += c
+		}
+	}
+	idealRemaining := make([]float64, n.N())
+	totalPower := n.TotalPower()
+	for s := range idealRemaining {
+		idealRemaining[s] = combinedCycles * n.Servers[s].PowerHz / totalPower
+	}
+
+	// Deploy heaviest workflow first: large consumers constrain the
+	// packing the most.
+	order := make([]int, len(ws))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if ws[order[j]].ExpectedCycles() > ws[order[i]].ExpectedCycles() {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+
+	md := &MultiDeployment{
+		Mappings:  make([]deploy.Mapping, len(ws)),
+		Loads:     make([]float64, n.N()),
+		ExecTimes: make([]float64, len(ws)),
+	}
+	for _, wi := range order {
+		in := instances[wi]
+		// Share the global budget: the instance's own idealRemaining is
+		// replaced by the combined one.
+		in.idealRemaining = idealRemaining
+		mp := deploy.NewUnassigned(ws[wi].M())
+
+		remaining := make([]int, ws[wi].M())
+		for i := range remaining {
+			remaining[i] = i
+		}
+		for len(remaining) > 0 {
+			remaining = in.opsByCycles(remaining)
+			s1 := in.serversByRemaining()[0]
+			bestIdx, bestGain := 0, -1.0
+			for i := 0; i < len(remaining) && in.effCycles[remaining[i]] == in.effCycles[remaining[0]]; i++ {
+				g := 0.0
+				// Gain only counts already-placed neighbours: unlike the
+				// single-workflow FLTR there is no random initial mapping,
+				// so unplaced neighbours contribute nothing.
+				op := remaining[i]
+				for _, ei := range in.w.In(op) {
+					if from := in.w.Edges[ei].From; mp[from] == s1 {
+						g += in.effBits[ei]
+					}
+				}
+				for _, ei := range in.w.Out(op) {
+					if to := in.w.Edges[ei].To; mp[to] == s1 {
+						g += in.effBits[ei]
+					}
+				}
+				if g > bestGain {
+					bestGain, bestIdx = g, i
+				}
+			}
+			op := remaining[bestIdx]
+			in.assign(mp, op, s1)
+			remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		}
+		if err := mp.Validate(ws[wi], n); err != nil {
+			return nil, fmt.Errorf("core: MultiDeploy workflow %d: %w", wi, err)
+		}
+		md.Mappings[wi] = mp
+
+		model := cost.NewModel(ws[wi], n)
+		md.ExecTimes[wi] = model.ExecutionTime(mp)
+		md.TotalExec += md.ExecTimes[wi]
+		for s, l := range model.Loads(mp) {
+			md.Loads[s] += l
+		}
+	}
+	md.TimePenalty = cost.PenaltyOfLoads(md.Loads)
+	return md, nil
+}
+
+// MaxLoad returns the largest combined per-server load.
+func (md *MultiDeployment) MaxLoad() float64 {
+	max := math.Inf(-1)
+	for _, l := range md.Loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sort"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// Partition deploys by treating the problem as balanced graph
+// partitioning: operations are vertices weighted by (probability-
+// amortised) cycles, messages are edges weighted by bits, and the goal is
+// N parts with capacity-proportional weight and minimal cut. It greedily
+// grows parts from the heaviest-communication seeds and then refines with
+// one Kernighan–Lin-style boundary pass.
+//
+// This is the scheduler-literature counterpart to the paper's HOLM — the
+// same intuition (keep chatty operations together, keep parts
+// load-proportional) expressed as a partitioning objective — and serves
+// as an ablation baseline in the experiments.
+type Partition struct{}
+
+// Name implements Algorithm.
+func (Partition) Name() string { return "Partition" }
+
+// Deploy implements Algorithm.
+func (a Partition) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	in, err := newInstance(w, n, true)
+	if err != nil {
+		return nil, err
+	}
+	mp := deploy.NewUnassigned(w.M())
+	if n.N() == 1 {
+		for op := range mp {
+			mp[op] = 0
+		}
+		return validated(mp, w, n, a.Name())
+	}
+
+	// Budget per server: the ideal cycles with 20% slack (mirroring the
+	// Line–Line fill's overshoot allowance).
+	budget := make([]float64, n.N())
+	used := make([]float64, n.N())
+	for s := range budget {
+		budget[s] = in.idealRemaining[s] * 1.2
+	}
+
+	// Process operations from the heaviest communicator down: operations
+	// with the most incident message bits are the costliest to misplace.
+	volume := make([]float64, w.M())
+	for e, edge := range w.Edges {
+		volume[edge.From] += in.effBits[e]
+		volume[edge.To] += in.effBits[e]
+	}
+	order := make([]int, w.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if volume[order[i]] != volume[order[j]] {
+			return volume[order[i]] > volume[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	// Greedy placement: each operation goes to the server with the best
+	// (attraction − pressure) score, where attraction counts bits to
+	// already-placed neighbours (in seconds over the mean link) and
+	// pressure penalizes servers past their budget.
+	for _, op := range order {
+		bestS, bestScore := -1, 0.0
+		for s := 0; s < n.N(); s++ {
+			score := crossTransferTime(n, in.gainAt(op, s, mp))
+			if used[s]+in.effCycles[op] > budget[s] {
+				// Over budget: penalize by the time the overflow costs.
+				over := used[s] + in.effCycles[op] - budget[s]
+				score -= over / n.Servers[s].PowerHz
+			}
+			// Mild preference for the most-starved server keeps the
+			// initial growth balanced when no neighbours are placed yet.
+			score += (budget[s] - used[s]) * 1e-15
+			if bestS < 0 || score > bestScore {
+				bestS, bestScore = s, score
+			}
+		}
+		mp[op] = bestS
+		used[bestS] += in.effCycles[op]
+	}
+
+	// One KL-style refinement sweep: move boundary operations (those with
+	// a cut edge) to the neighbouring server if it reduces cut bits
+	// without blowing the budget.
+	for _, op := range order {
+		cur := mp[op]
+		curGain := in.gainAt(op, cur, mp)
+		for s := 0; s < n.N(); s++ {
+			if s == cur {
+				continue
+			}
+			if used[s]+in.effCycles[op] > budget[s] {
+				continue
+			}
+			if g := in.gainAt(op, s, mp); g > curGain {
+				used[cur] -= in.effCycles[op]
+				used[s] += in.effCycles[op]
+				mp[op] = s
+				cur, curGain = s, g
+			}
+		}
+	}
+	return validated(mp, w, n, a.Name())
+}

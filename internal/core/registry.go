@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NewByName constructs an algorithm from its registry key. Seeded
+// algorithms receive the given seed; unseeded ones ignore it. The known
+// keys are the lower-case short names used across the CLI tools and the
+// experiment harness:
+//
+//	exhaustive, sampling, lineline, lineline-nofix, lineline-rl,
+//	lineline-best, fairload, fltr, fltr2, flmme, holm,
+//	localsearch, anneal, partition
+func NewByName(name string, seed uint64) (Algorithm, error) {
+	switch name {
+	case "localsearch":
+		return LocalSearch{}, nil
+	case "anneal":
+		return Anneal{Seed: seed}, nil
+	case "partition":
+		return Partition{}, nil
+	case "exhaustive":
+		return Exhaustive{}, nil
+	case "sampling":
+		return Sampling{Seed: seed}, nil
+	case "lineline":
+		return LineLine{}, nil
+	case "lineline-nofix":
+		return LineLine{SkipFix: true}, nil
+	case "lineline-rl":
+		return LineLine{Reverse: true}, nil
+	case "lineline-best":
+		return LineLineBest{}, nil
+	case "fairload":
+		return FairLoad{}, nil
+	case "fltr":
+		return FLTR{Seed: seed}, nil
+	case "fltr2":
+		return FLTR2{Seed: seed}, nil
+	case "flmme":
+		return FLMME{Seed: seed}, nil
+	case "holm":
+		return HOLM{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q (known: %v)", name, KnownAlgorithms())
+	}
+}
+
+// KnownAlgorithms returns the sorted registry keys accepted by NewByName.
+func KnownAlgorithms() []string {
+	keys := []string{
+		"exhaustive", "sampling", "lineline", "lineline-nofix", "lineline-rl",
+		"lineline-best", "fairload", "fltr", "fltr2", "flmme", "holm",
+		"localsearch", "anneal", "partition",
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// BusSuite returns the paper's Line–Bus / Graph–Bus algorithm family in
+// the order the figures plot them: FairLoad, the two tie resolvers,
+// Merge Messages' Ends, and Heavy Operations – Large Messages.
+func BusSuite(seed uint64) []Algorithm {
+	return []Algorithm{
+		FairLoad{},
+		FLTR{Seed: seed},
+		FLTR2{Seed: seed},
+		FLMME{Seed: seed},
+		HOLM{},
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// DefaultSampleCount matches the paper's evaluation methodology: "each
+// sample involved 32,000 potential solutions" (§4.1).
+const DefaultSampleCount = 32_000
+
+// Sampling draws uniformly random mappings and keeps the best; it is the
+// baseline the paper uses to assess solution quality on search spaces too
+// large to enumerate.
+type Sampling struct {
+	// Samples is the number of random mappings drawn; zero means
+	// DefaultSampleCount.
+	Samples int
+	// Seed makes the draw deterministic.
+	Seed uint64
+}
+
+// Name implements Algorithm.
+func (a Sampling) Name() string { return fmt.Sprintf("Sampling(%d)", a.samples()) }
+
+func (a Sampling) samples() int {
+	if a.Samples <= 0 {
+		return DefaultSampleCount
+	}
+	return a.Samples
+}
+
+// Deploy implements Algorithm, returning the sampled mapping with the
+// lowest combined cost.
+func (a Sampling) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	best, _, err := a.Search(w, n)
+	return best, err
+}
+
+// Search draws the configured number of random mappings and reports the
+// per-metric minima alongside the combined-cost winner, mirroring
+// Exhaustive.Search for spaces that cannot be enumerated.
+func (a Sampling) Search(w *workflow.Workflow, n *network.Network) (deploy.Mapping, SearchStats, error) {
+	if w.M() == 0 || n.N() == 0 {
+		return nil, SearchStats{}, fmt.Errorf("core: Sampling on empty workflow or network")
+	}
+	model := cost.NewModel(w, n)
+	r := stats.NewRNG(a.Seed)
+	st := SearchStats{
+		BestCombined:  math.Inf(1),
+		BestExecTime:  math.Inf(1),
+		BestPenalty:   math.Inf(1),
+		WorstCombined: math.Inf(-1),
+	}
+	var best deploy.Mapping
+	for i := 0; i < a.samples(); i++ {
+		mp := deploy.Random(w, n, r)
+		res := model.Evaluate(mp)
+		st.Enumerated++
+		if res.Combined < st.BestCombined {
+			st.BestCombined = res.Combined
+			best = mp
+		}
+		if res.ExecTime < st.BestExecTime {
+			st.BestExecTime = res.ExecTime
+			st.BestExecMap = mp
+		}
+		if res.TimePenalty < st.BestPenalty {
+			st.BestPenalty = res.TimePenalty
+			st.BestPenaltyMap = mp
+		}
+		if res.Combined > st.WorstCombined {
+			st.WorstCombined = res.Combined
+		}
+	}
+	return best, st, nil
+}

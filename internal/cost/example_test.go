@@ -1,0 +1,68 @@
+package cost_test
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// ExampleModel evaluates the two antagonistic metrics of the paper for
+// one mapping.
+func ExampleModel() {
+	w := workflow.MustNewLine("job",
+		[]float64{40e6, 40e6}, // two 40 Mcycle operations
+		[]float64{8e6})        // one 8 Mbit message
+	n := network.MustNewBus("pair", []float64{1e9, 1e9}, 8e6, 0)
+	m := cost.NewModel(w, n)
+
+	// The single-server mapping is fast but unfair; the split is fair but
+	// pays one second of bus time — the paper's §2.2 antagonism.
+	colocated := deploy.Uniform(2, 0)
+	split := deploy.Mapping{0, 1}
+	for _, mp := range []deploy.Mapping{colocated, split} {
+		res := m.Evaluate(mp)
+		fmt.Printf("exec %.3fs penalty %.3fs\n", res.ExecTime, res.TimePenalty)
+	}
+
+	// Output:
+	// exec 0.080s penalty 0.040s
+	// exec 1.080s penalty 0.000s
+}
+
+// ExampleConstraints gates a deployment on a latency SLO.
+func ExampleConstraints() {
+	w := workflow.MustNewLine("job", []float64{100e6}, nil)
+	n := network.MustNewBus("solo", []float64{1e9}, 1e8, 0)
+	m := cost.NewModel(w, n)
+	slo := cost.Constraints{MaxExecTime: 0.05}
+	err := slo.Check(m, deploy.Uniform(1, 0)) // needs 0.1s > 0.05s budget
+	fmt.Println(err)
+	// Output:
+	// constraint MaxExecTime violated: 0.1 exceeds limit 0.05
+}
+
+// ExampleModel_MakespanEstimate shows the §6 response-time extension:
+// parallel AND branches overlap, so the makespan undercuts the serial
+// execution time.
+func ExampleModel_MakespanEstimate() {
+	b := workflow.NewBuilder("par")
+	and := b.Split(workflow.AndSplit, "fork", 0)
+	x := b.Op("x", 50e6)
+	y := b.Op("y", 50e6)
+	j := b.Join(workflow.AndSplit, "/fork", 0)
+	b.Link(and, x, 0)
+	b.Link(and, y, 0)
+	b.Link(x, j, 0)
+	b.Link(y, j, 0)
+	w := b.MustBuild()
+	n := network.MustNewBus("pair", []float64{1e9, 1e9}, 1e9, 0)
+	m := cost.NewModel(w, n)
+	mp := deploy.Mapping{0, 0, 1, 0} // branches on different servers
+
+	fmt.Printf("serial %.2fs, makespan %.2fs\n", m.ExecutionTime(mp), m.MakespanEstimate(mp))
+	// Output:
+	// serial 0.10s, makespan 0.05s
+}

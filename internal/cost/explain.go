@@ -1,0 +1,77 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wsdeploy/internal/deploy"
+)
+
+// Explain renders a human-readable cost breakdown of a mapping: per-server
+// load against its capacity-proportional ideal, and the most expensive
+// network crossings — the two levers every algorithm in the suite pulls.
+// topK bounds the number of crossings listed (0 means 5).
+func (m *Model) Explain(mp deploy.Mapping, topK int) string {
+	if topK <= 0 {
+		topK = 5
+	}
+	var b strings.Builder
+	res := m.Evaluate(mp)
+	fmt.Fprintf(&b, "execution time %.6fs = processing %.6fs + communication %.6fs\n",
+		res.ExecTime, res.ExecTime-res.CommTime, res.CommTime)
+	fmt.Fprintf(&b, "time penalty   %.6fs (combined %.6fs)\n", res.TimePenalty, res.Combined)
+
+	ideal := m.IdealCycles()
+	b.WriteString("\nserver loads (actual vs capacity-proportional ideal):\n")
+	for s, l := range res.Loads {
+		idealTime := ideal[s] / m.N.Servers[s].PowerHz
+		marker := ""
+		switch {
+		case idealTime > 0 && l > idealTime*1.25:
+			marker = "  ← overloaded"
+		case idealTime > 0 && l < idealTime*0.75:
+			marker = "  ← underused"
+		}
+		fmt.Fprintf(&b, "  %-6s %.6fs (ideal %.6fs)%s\n", m.N.Servers[s].Name, l, idealTime, marker)
+	}
+
+	// Rank the crossings by their amortised communication time.
+	type crossing struct {
+		e    int
+		time float64
+	}
+	var crossings []crossing
+	for e, edge := range m.W.Edges {
+		if mp[edge.From] == deploy.Unassigned || mp[edge.To] == deploy.Unassigned {
+			continue
+		}
+		if mp[edge.From] == mp[edge.To] {
+			continue
+		}
+		crossings = append(crossings, crossing{e: e, time: m.edgeProb[e] * m.Tcomm(e, mp)})
+	}
+	sort.SliceStable(crossings, func(i, j int) bool { return crossings[i].time > crossings[j].time })
+	if len(crossings) == 0 {
+		b.WriteString("\nno messages cross the network\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "\ntop network crossings (%d of %d):\n", min(topK, len(crossings)), len(crossings))
+	for i, c := range crossings {
+		if i == topK {
+			break
+		}
+		edge := m.W.Edges[c.e]
+		fmt.Fprintf(&b, "  %s → %s: %.0f bits, %.6fs amortised (S%d→S%d)\n",
+			m.W.Nodes[edge.From].Name, m.W.Nodes[edge.To].Name,
+			edge.SizeBits, c.time, mp[edge.From]+1, mp[edge.To]+1)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

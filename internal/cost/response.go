@@ -1,0 +1,93 @@
+package cost
+
+import (
+	"math"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/workflow"
+)
+
+// This file implements the cost-model extension the paper names in its
+// future work (§6): "apart from the overall execution time, the response
+// time of individual operations can also be considered as part of the
+// cost model."
+//
+// ResponseTimes computes the expected completion time of every operation
+// under a mapping, walking the DAG in topological order with unlimited
+// per-server parallelism:
+//
+//   - an operation starts when its inputs are ready and finishes Tproc
+//     later;
+//   - AND joins wait for all branches (max), OR joins for the first
+//     (min);
+//   - XOR joins merge mutually exclusive branches, so their expected
+//     completion is the probability-weighted mean of the branch
+//     completions.
+//
+// The discrete-event simulator (internal/sim, InfiniteServers mode)
+// measures the same quantity by Monte-Carlo; on deterministic workflows
+// the two agree exactly, which the test suite pins.
+
+// ResponseTimes returns the expected completion time of every operation
+// under mp (conditional on the operation executing). Unassigned
+// operations yield NaN.
+func (m *Model) ResponseTimes(mp deploy.Mapping) []float64 {
+	done := make([]float64, m.W.M())
+	for _, u := range m.W.TopoOrder() {
+		if mp[u] == deploy.Unassigned {
+			done[u] = math.NaN()
+			continue
+		}
+		var ready float64
+		switch m.W.Nodes[u].Kind {
+		case workflow.OrJoin:
+			ready = math.Inf(1)
+			for _, ei := range m.W.In(u) {
+				if t := m.arrival(ei, done, mp); t < ready {
+					ready = t
+				}
+			}
+			if math.IsInf(ready, 1) {
+				ready = 0
+			}
+		case workflow.XorJoin:
+			var wsum, tsum float64
+			for _, ei := range m.W.In(u) {
+				p := m.edgeProb[ei]
+				if p <= 0 {
+					continue
+				}
+				wsum += p
+				tsum += p * m.arrival(ei, done, mp)
+			}
+			if wsum > 0 {
+				ready = tsum / wsum
+			}
+		default:
+			// Operations, splits and AND joins wait for every incoming
+			// message (operations and splits have at most one).
+			for _, ei := range m.W.In(u) {
+				if t := m.arrival(ei, done, mp); t > ready {
+					ready = t
+				}
+			}
+		}
+		done[u] = ready + m.Tproc(u, mp[u])
+	}
+	return done
+}
+
+// arrival is the expected arrival time of edge ei's message: the
+// sender's completion plus the transfer time.
+func (m *Model) arrival(ei int, done []float64, mp deploy.Mapping) float64 {
+	e := m.W.Edges[ei]
+	return done[e.From] + m.N.TransferTime(mp[e.From], mp[e.To], e.SizeBits)
+}
+
+// MakespanEstimate returns the expected completion time of the workflow's
+// sink — the analytic counterpart of the simulator's makespan under
+// unlimited per-server parallelism, and a lower bound on the makespan
+// with FIFO queueing.
+func (m *Model) MakespanEstimate(mp deploy.Mapping) float64 {
+	return m.ResponseTimes(mp)[m.W.Sink()]
+}

@@ -1,0 +1,169 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+func TestResponseTimesLinearSingleServer(t *testing.T) {
+	w, _, m := linePair(t)
+	mp := deploy.Uniform(w.M(), 0)
+	rt := m.ResponseTimes(mp)
+	// Cumulative proc times: 0.01, 0.03, 0.06, 0.10.
+	want := []float64{0.01, 0.03, 0.06, 0.10}
+	for i, exp := range want {
+		if !almostEq(rt[i], exp) {
+			t.Fatalf("response[%d] = %v, want %v", i, rt[i], exp)
+		}
+	}
+	if !almostEq(m.MakespanEstimate(mp), 0.10) {
+		t.Fatalf("makespan = %v", m.MakespanEstimate(mp))
+	}
+}
+
+func TestResponseTimesCrossServerAddsTransfer(t *testing.T) {
+	w, _, m := linePair(t)
+	mp := deploy.Mapping{0, 1, 1, 1}
+	rt := m.ResponseTimes(mp)
+	// O1 done 0.01; +0.125 transfer; O2 done 0.155.
+	if !almostEq(rt[1], 0.155) {
+		t.Fatalf("response[1] = %v", rt[1])
+	}
+	_ = w
+}
+
+func TestResponseTimesAndJoinWaitsForSlowest(t *testing.T) {
+	b := workflow.NewBuilder("and")
+	and := b.Split(workflow.AndSplit, "and", 0)
+	slow := b.Op("slow", 100e6)
+	fast := b.Op("fast", 10e6)
+	j := b.Join(workflow.AndSplit, "/and", 0)
+	b.Link(and, slow, 0)
+	b.Link(and, fast, 0)
+	b.Link(slow, j, 0)
+	b.Link(fast, j, 0)
+	w := b.MustBuild()
+	n, err := network.NewBus("n", []float64{1e9, 1e9}, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(w, n)
+	mp := deploy.Mapping{0, 0, 1, 0}
+	if got := m.MakespanEstimate(mp); !almostEq(got, 0.1) {
+		t.Fatalf("AND makespan = %v, want 0.1", got)
+	}
+}
+
+func TestResponseTimesOrJoinTakesFastest(t *testing.T) {
+	b := workflow.NewBuilder("or")
+	or := b.Split(workflow.OrSplit, "or", 0)
+	slow := b.Op("slow", 100e6)
+	fast := b.Op("fast", 10e6)
+	j := b.Join(workflow.OrSplit, "/or", 0)
+	b.Link(or, slow, 0)
+	b.Link(or, fast, 0)
+	b.Link(slow, j, 0)
+	b.Link(fast, j, 0)
+	w := b.MustBuild()
+	n, err := network.NewBus("n", []float64{1e9, 1e9}, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(w, n)
+	mp := deploy.Mapping{0, 0, 1, 1}
+	if got := m.MakespanEstimate(mp); !almostEq(got, 0.01) {
+		t.Fatalf("OR makespan = %v, want 0.01", got)
+	}
+}
+
+func TestResponseTimesXorJoinIsExpectation(t *testing.T) {
+	// Branch a (p=0.75) takes 0.01, branch b (p=0.25) takes 0.02:
+	// expected join completion 0.75·0.01 + 0.25·0.02 = 0.0125.
+	b := workflow.NewBuilder("x")
+	x := b.Split(workflow.XorSplit, "x", 0)
+	a := b.Op("a", 10e6)
+	bb := b.Op("b", 20e6)
+	j := b.Join(workflow.XorSplit, "/x", 0)
+	b.LinkWeighted(x, a, 0, 3)
+	b.LinkWeighted(x, bb, 0, 1)
+	b.Link(a, j, 0)
+	b.Link(bb, j, 0)
+	w := b.MustBuild()
+	n, err := network.NewBus("n", []float64{1e9}, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(w, n)
+	mp := deploy.Uniform(w.M(), 0)
+	if got := m.MakespanEstimate(mp); !almostEq(got, 0.0125) {
+		t.Fatalf("XOR expected makespan = %v, want 0.0125", got)
+	}
+}
+
+func TestResponseTimesPartialMappingNaN(t *testing.T) {
+	w, _, m := linePair(t)
+	mp := deploy.NewUnassigned(w.M())
+	mp[0] = 0
+	rt := m.ResponseTimes(mp)
+	if math.IsNaN(rt[0]) {
+		t.Fatal("assigned op is NaN")
+	}
+	if !math.IsNaN(rt[1]) {
+		t.Fatal("unassigned op not NaN")
+	}
+}
+
+func TestMakespanConstraint(t *testing.T) {
+	w, _, m := linePair(t)
+	mp := deploy.Uniform(w.M(), 0) // makespan 0.1
+	c := Constraints{MaxMakespan: 0.05}
+	if err := c.Check(m, mp); err == nil {
+		t.Fatal("makespan bound not enforced")
+	}
+	c = Constraints{MaxMakespan: 0.5}
+	if err := c.Check(m, mp); err != nil {
+		t.Fatalf("satisfiable makespan rejected: %v", err)
+	}
+	if (Constraints{MaxMakespan: 1}).Unconstrained() {
+		t.Fatal("MaxMakespan ignored by Unconstrained")
+	}
+}
+
+func TestMakespanNeverBelowCriticalProcTime(t *testing.T) {
+	// The makespan estimate includes all processing along the longest
+	// chain, so it is at least the largest single Tproc.
+	w, n, m := linePair(t)
+	for seed := 0; seed < 5; seed++ {
+		mp := deploy.Uniform(w.M(), seed%n.N())
+		ms := m.MakespanEstimate(mp)
+		for op := range w.Nodes {
+			if ms < m.Tproc(op, mp[op])-1e-12 {
+				t.Fatalf("makespan %v below a single op's proc time", ms)
+			}
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	w, _, m := linePair(t)
+	mp := deploy.Mapping{0, 0, 1, 1}
+	out := m.Explain(mp, 3)
+	for _, want := range []string{"execution time", "server loads", "top network crossings", "O2 → O3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Co-located mapping: no crossings section content.
+	out = m.Explain(deploy.Uniform(w.M(), 0), 0)
+	if !strings.Contains(out, "no messages cross the network") {
+		t.Fatalf("co-located Explain wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "overloaded") {
+		t.Fatalf("single-server Explain lacks overload marker:\n%s", out)
+	}
+}

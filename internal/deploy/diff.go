@@ -1,0 +1,69 @@
+package deploy
+
+import (
+	"fmt"
+	"strings"
+
+	"wsdeploy/internal/workflow"
+)
+
+// Move is one step of a migration plan: relocate an operation between
+// servers. StateBits estimates the migration payload (the operation's
+// inbound message sizes — the state it would have to re-receive).
+type Move struct {
+	Op        int
+	From, To  int
+	StateBits float64
+}
+
+// Diff computes the migration plan that turns mapping old into mapping
+// new for workflow w: one Move per operation whose server changed, with
+// the per-move state estimate. Mappings must have w.M() entries.
+func Diff(w *workflow.Workflow, old, new Mapping) ([]Move, error) {
+	if len(old) != w.M() || len(new) != w.M() {
+		return nil, fmt.Errorf("deploy: Diff needs mappings of %d operations, got %d and %d",
+			w.M(), len(old), len(new))
+	}
+	var moves []Move
+	for op := range old {
+		if old[op] == new[op] {
+			continue
+		}
+		var state float64
+		for _, ei := range w.In(op) {
+			state += w.Edges[ei].SizeBits
+		}
+		moves = append(moves, Move{Op: op, From: old[op], To: new[op], StateBits: state})
+	}
+	return moves, nil
+}
+
+// TotalStateBits sums the migration payload of a plan.
+func TotalStateBits(moves []Move) float64 {
+	var sum float64
+	for _, m := range moves {
+		sum += m.StateBits
+	}
+	return sum
+}
+
+// FormatPlan renders a migration plan with operation names.
+func FormatPlan(w *workflow.Workflow, moves []Move) string {
+	if len(moves) == 0 {
+		return "no moves\n"
+	}
+	var b strings.Builder
+	for _, m := range moves {
+		from, to := "?", "?"
+		if m.From != Unassigned {
+			from = fmt.Sprintf("S%d", m.From+1)
+		}
+		if m.To != Unassigned {
+			to = fmt.Sprintf("S%d", m.To+1)
+		}
+		fmt.Fprintf(&b, "move %-24s %s -> %s (%.0f bits of state)\n",
+			w.Nodes[m.Op].Name, from, to, m.StateBits)
+	}
+	fmt.Fprintf(&b, "total: %d moves, %.0f bits\n", len(moves), TotalStateBits(moves))
+	return b.String()
+}

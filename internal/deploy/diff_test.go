@@ -1,0 +1,82 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/workflow"
+)
+
+func diffWF(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	w, err := workflow.NewLine("w", []float64{1, 2, 3}, []float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDiffEmpty(t *testing.T) {
+	w := diffWF(t)
+	mp := Mapping{0, 1, 0}
+	moves, err := Diff(w, mp, mp.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("identical mappings produced moves: %v", moves)
+	}
+	if FormatPlan(w, moves) != "no moves\n" {
+		t.Fatal("empty plan rendering wrong")
+	}
+}
+
+func TestDiffMovesAndState(t *testing.T) {
+	w := diffWF(t)
+	old := Mapping{0, 0, 0}
+	new := Mapping{0, 1, 0}
+	moves, err := Diff(w, old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 {
+		t.Fatalf("moves: %v", moves)
+	}
+	m := moves[0]
+	if m.Op != 1 || m.From != 0 || m.To != 1 {
+		t.Fatalf("move: %+v", m)
+	}
+	// O2's inbound message is the 100-bit O1->O2 edge.
+	if m.StateBits != 100 {
+		t.Fatalf("state bits: %v", m.StateBits)
+	}
+	if TotalStateBits(moves) != 100 {
+		t.Fatal("total state wrong")
+	}
+	out := FormatPlan(w, moves)
+	if !strings.Contains(out, "O2") || !strings.Contains(out, "S1 -> S2") {
+		t.Fatalf("plan rendering:\n%s", out)
+	}
+}
+
+func TestDiffValidation(t *testing.T) {
+	w := diffWF(t)
+	if _, err := Diff(w, Mapping{0}, Mapping{0, 1, 0}); err == nil {
+		t.Fatal("short old mapping accepted")
+	}
+	if _, err := Diff(w, Mapping{0, 1, 0}, Mapping{0}); err == nil {
+		t.Fatal("short new mapping accepted")
+	}
+}
+
+func TestDiffUnassignedRendering(t *testing.T) {
+	w := diffWF(t)
+	moves, err := Diff(w, Mapping{Unassigned, 0, 0}, Mapping{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatPlan(w, moves)
+	if !strings.Contains(out, "? -> S2") {
+		t.Fatalf("unassigned rendering:\n%s", out)
+	}
+}

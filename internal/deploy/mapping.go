@@ -1,0 +1,128 @@
+// Package deploy defines the deployment mapping — the paper's central
+// object: an assignment of every workflow operation to a server
+// (o → s for every o in O). Algorithms in internal/core produce mappings;
+// the cost model in internal/cost evaluates them.
+package deploy
+
+import (
+	"fmt"
+	"strings"
+
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// Mapping assigns each operation (by node index) to a server (by server
+// index): Mapping[op] == server. A value of -1 marks an unassigned
+// operation, which only occurs transiently inside algorithms; finished
+// mappings are total.
+type Mapping []int
+
+// Unassigned marks an operation that has not been placed yet.
+const Unassigned = -1
+
+// NewUnassigned returns a mapping of the given size with every operation
+// unassigned.
+func NewUnassigned(m int) Mapping {
+	mp := make(Mapping, m)
+	for i := range mp {
+		mp[i] = Unassigned
+	}
+	return mp
+}
+
+// Uniform returns a mapping that places all m operations on one server.
+func Uniform(m, server int) Mapping {
+	mp := make(Mapping, m)
+	for i := range mp {
+		mp[i] = server
+	}
+	return mp
+}
+
+// Random returns a uniformly random total mapping of w's operations onto
+// n's servers, the initialization several of the paper's algorithms
+// require ("initialize M to a random Mapping").
+func Random(w *workflow.Workflow, n *network.Network, r *stats.RNG) Mapping {
+	mp := make(Mapping, w.M())
+	for i := range mp {
+		mp[i] = r.Intn(n.N())
+	}
+	return mp
+}
+
+// Validate checks that the mapping is total over w's operations and that
+// every assignment targets an existing server of n.
+func (mp Mapping) Validate(w *workflow.Workflow, n *network.Network) error {
+	if len(mp) != w.M() {
+		return fmt.Errorf("deploy: mapping covers %d operations, workflow has %d", len(mp), w.M())
+	}
+	for op, s := range mp {
+		if s == Unassigned {
+			return fmt.Errorf("deploy: operation %d (%s) is unassigned", op, w.Nodes[op].Name)
+		}
+		if s < 0 || s >= n.N() {
+			return fmt.Errorf("deploy: operation %d assigned to non-existent server %d", op, s)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the mapping.
+func (mp Mapping) Clone() Mapping {
+	return append(Mapping(nil), mp...)
+}
+
+// Assigned reports whether operation op has been placed.
+func (mp Mapping) Assigned(op int) bool { return mp[op] != Unassigned }
+
+// AssignedCount returns how many operations have been placed.
+func (mp Mapping) AssignedCount() int {
+	c := 0
+	for _, s := range mp {
+		if s != Unassigned {
+			c++
+		}
+	}
+	return c
+}
+
+// OpsOn returns the operations deployed on each server, indexed by server.
+func (mp Mapping) OpsOn(n int) [][]int {
+	per := make([][]int, n)
+	for op, s := range mp {
+		if s != Unassigned {
+			per[s] = append(per[s], op)
+		}
+	}
+	return per
+}
+
+// ServersUsed returns the number of distinct servers hosting at least one
+// operation.
+func (mp Mapping) ServersUsed() int {
+	seen := map[int]bool{}
+	for _, s := range mp {
+		if s != Unassigned {
+			seen[s] = true
+		}
+	}
+	return len(seen)
+}
+
+// String renders the mapping as "O1→S2 O2→S1 ...".
+func (mp Mapping) String() string {
+	var b strings.Builder
+	for op, s := range mp {
+		if op > 0 {
+			b.WriteByte(' ')
+		}
+		if s == Unassigned {
+			fmt.Fprintf(&b, "O%d→?", op+1)
+		} else {
+			fmt.Fprintf(&b, "O%d→S%d", op+1, s+1)
+		}
+	}
+	return b.String()
+}

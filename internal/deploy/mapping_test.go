@@ -1,0 +1,116 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+func testPair(t *testing.T) (*workflow.Workflow, *network.Network) {
+	t.Helper()
+	w, err := workflow.NewLine("w", []float64{1, 2, 3, 4, 5}, []float64{10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.NewBus("n", []float64{1e9, 2e9, 3e9}, 1e8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, n
+}
+
+func TestNewUnassigned(t *testing.T) {
+	mp := NewUnassigned(4)
+	if len(mp) != 4 || mp.AssignedCount() != 0 {
+		t.Fatalf("NewUnassigned wrong: %v", mp)
+	}
+	for op := range mp {
+		if mp.Assigned(op) {
+			t.Fatalf("op %d claims assigned", op)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	mp := Uniform(5, 2)
+	for op, s := range mp {
+		if s != 2 {
+			t.Fatalf("op %d on server %d", op, s)
+		}
+	}
+	if mp.ServersUsed() != 1 {
+		t.Fatalf("ServersUsed = %d", mp.ServersUsed())
+	}
+}
+
+func TestRandomIsTotalAndValid(t *testing.T) {
+	w, n := testPair(t)
+	check := func(seed uint64) bool {
+		mp := Random(w, n, stats.NewRNG(seed))
+		return mp.Validate(w, n) == nil && mp.AssignedCount() == w.M()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	w, n := testPair(t)
+	if err := (Mapping{0, 1}).Validate(w, n); err == nil || !strings.Contains(err.Error(), "covers") {
+		t.Fatalf("short mapping accepted: %v", err)
+	}
+	mp := Uniform(w.M(), 0)
+	mp[2] = Unassigned
+	if err := mp.Validate(w, n); err == nil || !strings.Contains(err.Error(), "unassigned") {
+		t.Fatalf("partial mapping accepted: %v", err)
+	}
+	mp[2] = 99
+	if err := mp.Validate(w, n); err == nil || !strings.Contains(err.Error(), "non-existent") {
+		t.Fatalf("out-of-range mapping accepted: %v", err)
+	}
+	if err := Uniform(w.M(), 1).Validate(w, n); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	mp := Uniform(3, 1)
+	c := mp.Clone()
+	c[0] = 2
+	if mp[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestOpsOn(t *testing.T) {
+	mp := Mapping{0, 1, 0, Unassigned, 2}
+	per := mp.OpsOn(3)
+	if len(per[0]) != 2 || per[0][0] != 0 || per[0][1] != 2 {
+		t.Fatalf("server 0 ops = %v", per[0])
+	}
+	if len(per[1]) != 1 || len(per[2]) != 1 {
+		t.Fatalf("ops per server = %v", per)
+	}
+}
+
+func TestServersUsedAndAssignedCount(t *testing.T) {
+	mp := Mapping{0, 1, 0, Unassigned}
+	if mp.ServersUsed() != 2 {
+		t.Fatalf("ServersUsed = %d", mp.ServersUsed())
+	}
+	if mp.AssignedCount() != 3 {
+		t.Fatalf("AssignedCount = %d", mp.AssignedCount())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	mp := Mapping{0, Unassigned}
+	s := mp.String()
+	if !strings.Contains(s, "O1→S1") || !strings.Contains(s, "O2→?") {
+		t.Fatalf("String() = %q", s)
+	}
+}

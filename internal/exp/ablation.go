@@ -1,0 +1,323 @@
+package exp
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/sim"
+	"wsdeploy/internal/stats"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out: how
+// much the one-shot greedy algorithms leave on the table (refiners), how
+// sensitive FLMME is to its "large message" decile (the pseudocode's one
+// magic constant), how the winner changes with the objective weights, and
+// what the §2.1 failure scenario costs (load scale-up after losing a
+// server). None of these appear in the paper; all use its Class C
+// workloads.
+
+// RunRefiners compares the greedy suite against the search-based
+// refiners (LocalSearch over HOLM, simulated annealing, graph
+// partitioning) on Line–Bus instances.
+func RunRefiners(o Options) (Figure, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	fig := Figure{ID: "refiners", Title: "Greedy suite vs search-based refiners"}
+	N := o.Servers[len(o.Servers)-1]
+	for _, mbit := range o.BusSpeedsMbps {
+		acc := newMetricAcc()
+		for i := 0; i < o.Runs; i++ {
+			r := instanceRNG(o.Seed, "refiners", i*1000+int(mbit))
+			w, err := cfg.LinearWorkflow(r, o.Operations)
+			if err != nil {
+				return Figure{}, err
+			}
+			n, err := cfg.BusNetworkWithSpeed(r, N, mbit*gen.Mbps)
+			if err != nil {
+				return Figure{}, err
+			}
+			seed := r.Uint64()
+			algos := []core.Algorithm{
+				core.FairLoad{},
+				core.FLTR2{Seed: seed},
+				core.HOLM{},
+				core.Partition{},
+				core.LocalSearch{},
+				core.Anneal{Seed: seed, Steps: 200 * o.Operations},
+			}
+			if err := evalSuite(acc, algos, w, n); err != nil {
+				return Figure{}, err
+			}
+		}
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("bus=%gMbps N=%d", mbit, N),
+			Points: acc.points(),
+		})
+	}
+	return fig, nil
+}
+
+// RunFLMMEQuantile sweeps FL-MergeMessagesEnds' large-message decile —
+// the only free constant in the paper's §3.3 pseudocode (the threshold
+// index "(M-1)·0.1") — to show how the speed/fairness trade-off moves
+// with it.
+func RunFLMMEQuantile(o Options) (Figure, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	fig := Figure{ID: "flmme-quantile", Title: "FLMME large-message quantile sweep"}
+	N := o.Servers[len(o.Servers)-1]
+	for _, mbit := range o.BusSpeedsMbps {
+		acc := newMetricAcc()
+		for i := 0; i < o.Runs; i++ {
+			r := instanceRNG(o.Seed, "flmmeq", i*1000+int(mbit))
+			w, err := cfg.LinearWorkflow(r, o.Operations)
+			if err != nil {
+				return Figure{}, err
+			}
+			n, err := cfg.BusNetworkWithSpeed(r, N, mbit*gen.Mbps)
+			if err != nil {
+				return Figure{}, err
+			}
+			seed := r.Uint64()
+			model := cost.NewModel(w, n)
+			for _, q := range []float64{0.05, 0.10, 0.25, 0.50} {
+				a := core.FLMME{Seed: seed, LargeQuantile: q}
+				mp, err := a.Deploy(w, n)
+				if err != nil {
+					return Figure{}, err
+				}
+				acc.add(fmt.Sprintf("FLMME(q=%.2f)", q), model.Evaluate(mp))
+			}
+		}
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("bus=%gMbps N=%d", mbit, N),
+			Points: acc.points(),
+		})
+	}
+	return fig, nil
+}
+
+// WeightRow reports which algorithm wins the weighted objective as the
+// execution-time weight sweeps from fairness-only to time-only.
+type WeightRow struct {
+	TimeWeight float64
+	Winner     string
+	Combined   float64
+}
+
+// RunWeights sweeps the objective weights (the paper notes "assuming
+// different weights for the two measures, different distance measures
+// could also be considered") and reports the winning suite algorithm per
+// weight on 1 Mbps Line–Bus instances.
+func RunWeights(o Options) ([]WeightRow, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	N := o.Servers[len(o.Servers)-1]
+	weights := []float64{0, 0.25, 0.5, 0.75, 1}
+	sums := make(map[float64]map[string]float64)
+	for _, wt := range weights {
+		sums[wt] = map[string]float64{}
+	}
+	for i := 0; i < o.Runs; i++ {
+		r := instanceRNG(o.Seed, "weights", i)
+		w, err := cfg.LinearWorkflow(r, o.Operations)
+		if err != nil {
+			return nil, err
+		}
+		n, err := cfg.BusNetworkWithSpeed(r, N, 1*gen.Mbps)
+		if err != nil {
+			return nil, err
+		}
+		model := cost.NewModel(w, n)
+		for _, a := range core.BusSuite(r.Uint64()) {
+			mp, err := a.Deploy(w, n)
+			if err != nil {
+				return nil, err
+			}
+			res := model.Evaluate(mp)
+			for _, wt := range weights {
+				sums[wt][a.Name()] += wt*res.ExecTime + (1-wt)*res.TimePenalty
+			}
+		}
+	}
+	var rows []WeightRow
+	for _, wt := range weights {
+		best, bestV := "", 0.0
+		for name, v := range sums[wt] {
+			if best == "" || v < bestV {
+				best, bestV = name, v
+			}
+		}
+		rows = append(rows, WeightRow{TimeWeight: wt, Winner: best, Combined: bestV / float64(o.Runs)})
+	}
+	return rows, nil
+}
+
+// FailureRow summarizes the §2.1 failure scenario for one algorithm: the
+// mean load scale-up and post-failure cost after losing the busiest
+// server, under minimal repair vs full redeployment.
+type FailureRow struct {
+	Algorithm          string
+	MeanScaleUpRepair  float64
+	MeanScaleUpFull    float64
+	MeanCombinedRepair float64
+	MeanCombinedFull   float64
+	MeanMovedFull      float64 // surviving ops a full redeploy relocates
+}
+
+// RunFailure deploys Class-C instances with each suite algorithm, fails
+// the most-loaded server, and measures recovery both ways.
+func RunFailure(o Options) ([]FailureRow, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	N := o.Servers[len(o.Servers)-1]
+	type acc struct {
+		scaleR, scaleF, combR, combF, moved float64
+		n                                   int
+	}
+	accs := map[string]*acc{}
+	var order []string
+	for i := 0; i < o.Runs; i++ {
+		r := instanceRNG(o.Seed, "failure", i)
+		w, err := cfg.LinearWorkflow(r, o.Operations)
+		if err != nil {
+			return nil, err
+		}
+		n, err := cfg.BusNetworkWithSpeed(r, N, 100*gen.Mbps)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range core.BusSuite(r.Uint64()) {
+			mp, err := a.Deploy(w, n)
+			if err != nil {
+				return nil, err
+			}
+			model := cost.NewModel(w, n)
+			loads := model.Loads(mp)
+			busiest := 0
+			for s, l := range loads {
+				if l > loads[busiest] {
+					busiest = s
+				}
+			}
+			rep, err := core.Failover(w, n, mp, busiest, core.RepairOrphans, nil)
+			if err != nil {
+				return nil, err
+			}
+			full, err := core.Failover(w, n, mp, busiest, core.FullRedeploy, a)
+			if err != nil {
+				return nil, err
+			}
+			ac := accs[a.Name()]
+			if ac == nil {
+				ac = &acc{}
+				accs[a.Name()] = ac
+				order = append(order, a.Name())
+			}
+			ac.scaleR += rep.ScaleUp
+			ac.scaleF += full.ScaleUp
+			ac.combR += rep.After.Combined
+			ac.combF += full.After.Combined
+			ac.moved += float64(full.Moved)
+			ac.n++
+		}
+	}
+	var rows []FailureRow
+	for _, name := range order {
+		ac := accs[name]
+		k := float64(ac.n)
+		rows = append(rows, FailureRow{
+			Algorithm:          name,
+			MeanScaleUpRepair:  ac.scaleR / k,
+			MeanScaleUpFull:    ac.scaleF / k,
+			MeanCombinedRepair: ac.combR / k,
+			MeanCombinedFull:   ac.combF / k,
+			MeanMovedFull:      ac.moved / k,
+		})
+	}
+	return rows, nil
+}
+
+// MakespanRow compares the paper's serial execution-time metric with the
+// end-to-end makespan (analytic estimate and simulated with FIFO
+// queueing) for one algorithm.
+type MakespanRow struct {
+	Algorithm    string
+	SerialExec   float64 // the paper's Texecute (mean)
+	EstMakespan  float64 // analytic critical-path expectation (mean)
+	SimMakespan  float64 // simulated mean makespan with queueing
+	SimBusy      float64 // mean total busy time
+	MakespanGain float64 // SerialExec / SimMakespan
+}
+
+// RunMakespan quantifies how much the paper's serial metric overstates
+// real completion time on graph workflows (parallel branches overlap),
+// per algorithm, on Graph–Bus instances.
+func RunMakespan(o Options) ([]MakespanRow, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	N := o.Servers[len(o.Servers)-1]
+	type acc struct {
+		serial, est, simm, busy float64
+		n                       int
+	}
+	accs := map[string]*acc{}
+	var order []string
+	structures := gen.Structures()
+	for i := 0; i < o.Runs; i++ {
+		r := instanceRNG(o.Seed, "makespan", i)
+		w, err := cfg.GraphWorkflow(r, o.Operations, structures[i%len(structures)])
+		if err != nil {
+			return nil, err
+		}
+		n, err := cfg.BusNetworkWithSpeed(r, N, 100*gen.Mbps)
+		if err != nil {
+			return nil, err
+		}
+		// The suite plus the §6 makespan-objective refiner, which targets
+		// the quantity this experiment measures.
+		algos := append(core.BusSuite(r.Uint64()),
+			core.LocalSearch{Base: core.HOLM{}, Objective: core.MinimizeMakespan})
+		for _, a := range algos {
+			mp, err := a.Deploy(w, n)
+			if err != nil {
+				return nil, err
+			}
+			model := cost.NewModel(w, n)
+			sr, err := sim.Simulate(w, n, mp, sim.Config{Runs: 200, Seed: r.Uint64()})
+			if err != nil {
+				return nil, err
+			}
+			ac := accs[a.Name()]
+			if ac == nil {
+				ac = &acc{}
+				accs[a.Name()] = ac
+				order = append(order, a.Name())
+			}
+			ac.serial += model.ExecutionTime(mp)
+			ac.est += model.MakespanEstimate(mp)
+			ac.simm += sr.Makespan.Mean
+			ac.busy += stats.Sum(sr.MeanBusy)
+			ac.n++
+		}
+	}
+	var rows []MakespanRow
+	for _, name := range order {
+		ac := accs[name]
+		k := float64(ac.n)
+		row := MakespanRow{
+			Algorithm:   name,
+			SerialExec:  ac.serial / k,
+			EstMakespan: ac.est / k,
+			SimMakespan: ac.simm / k,
+			SimBusy:     ac.busy / k,
+		}
+		if row.SimMakespan > 0 {
+			row.MakespanGain = row.SerialExec / row.SimMakespan
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// RenderWeights renders the weight-sweep rows.
+func RenderWeights(rows []WeightRow) string {
+	var b strings.Builder
+	b.WriteString("== Objective-weight sweep (1 Mbps Line–Bus): who wins as w_time varies ==\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "w_time\tw_fairness\twinner\tmean weighted cost (s)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.2f\t%s\t%.6f\n", r.TimeWeight, 1-r.TimeWeight, r.Winner, r.Combined)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// RenderFailure renders the failure scale-up rows.
+func RenderFailure(rows []FailureRow) string {
+	var b strings.Builder
+	b.WriteString("== Failure of the busiest server (paper §2.1 scenario) ==\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "deployed with\tscale-up (repair)\tscale-up (redeploy)\tcombined after repair\tcombined after redeploy\tops moved by redeploy")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f×\t%.3f×\t%.6f\t%.6f\t%.1f\n",
+			r.Algorithm, r.MeanScaleUpRepair, r.MeanScaleUpFull,
+			r.MeanCombinedRepair, r.MeanCombinedFull, r.MeanMovedFull)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// RenderMakespan renders the serial-vs-makespan comparison rows.
+func RenderMakespan(rows []MakespanRow) string {
+	var b strings.Builder
+	b.WriteString("== Serial Texecute vs true makespan (Graph–Bus, 100 Mbps) ==\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tserial exec (s)\test. makespan (s)\tsim makespan (s)\tsim busy (s)\tserial/sim")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.6f\t%.6f\t%.6f\t%.6f\t%.2f×\n",
+			r.Algorithm, r.SerialExec, r.EstMakespan, r.SimMakespan, r.SimBusy, r.MakespanGain)
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,247 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRefiners(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 3
+	fig, err := RunRefiners(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 6 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.Points))
+		}
+		var anneal, fairload Point
+		for _, p := range s.Points {
+			switch p.Algorithm {
+			case "Anneal":
+				anneal = p
+			case "FairLoad":
+				fairload = p
+			}
+		}
+		if anneal.Algorithm == "" || fairload.Algorithm == "" {
+			t.Fatalf("missing refiner points in %q", s.Label)
+		}
+		// The annealer optimizes the combined objective directly and must
+		// not lose to the fairness-only greedy on it.
+		if anneal.Combined > fairload.Combined+1e-9 {
+			t.Fatalf("anneal (%v) worse than FairLoad (%v) on combined", anneal.Combined, fairload.Combined)
+		}
+	}
+}
+
+func TestRunFLMMEQuantile(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 3
+	fig, err := RunFLMMEQuantile(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("series %q has %d quantile points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if !strings.HasPrefix(p.Algorithm, "FLMME(q=") {
+				t.Fatalf("unexpected point %q", p.Algorithm)
+			}
+		}
+	}
+}
+
+func TestRunWeightsShape(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 5
+	rows, err := RunWeights(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Fairness-only must be won by a fairness-oriented algorithm (never
+	// FLMME); time-heavy weights on a 1 Mbps bus must crown HOLM.
+	if rows[0].TimeWeight != 0 || rows[0].Winner == "FL-MergeMsgEnds" {
+		t.Fatalf("fairness-only winner: %+v", rows[0])
+	}
+	last := rows[len(rows)-1]
+	if last.TimeWeight != 1 || last.Winner != "HeavyOps-LargeMsgs" {
+		t.Fatalf("time-only winner: %+v", last)
+	}
+	// Weighted cost grows with the time weight on a slow bus.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Combined < rows[i-1].Combined-1e-12 {
+			t.Fatalf("weighted cost not monotone: %+v", rows)
+		}
+	}
+	out := RenderWeights(rows)
+	if !strings.Contains(out, "winner") || !strings.Contains(out, "HeavyOps-LargeMsgs") {
+		t.Fatalf("weights table wrong:\n%s", out)
+	}
+}
+
+func TestRunFailureShape(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 3
+	rows, err := RunFailure(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Scale-up can dip below 1 for unfair deployments (failing the
+		// overloaded server and spreading its work lowers the max load),
+		// but must stay within sane bounds.
+		if r.MeanScaleUpRepair < 0.3 || r.MeanScaleUpRepair > 5 {
+			t.Fatalf("implausible repair scale-up: %+v", r)
+		}
+		if r.MeanScaleUpFull < 0.3 || r.MeanScaleUpFull > 5 {
+			t.Fatalf("implausible redeploy scale-up: %+v", r)
+		}
+		if r.MeanCombinedRepair <= 0 || r.MeanCombinedFull <= 0 {
+			t.Fatalf("non-positive costs: %+v", r)
+		}
+	}
+	out := RenderFailure(rows)
+	if !strings.Contains(out, "scale-up") {
+		t.Fatalf("failure table wrong:\n%s", out)
+	}
+}
+
+func TestRunMakespanShape(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 3
+	rows, err := RunMakespan(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // suite + the makespan-objective refiner
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Per run makespan ≤ serial time, so in expectation serial ≥
+		// makespan; with only 3 instances × 200 simulated runs allow a
+		// few percent of Monte-Carlo noise around the analytic values.
+		if r.SerialExec < r.SimMakespan*0.90 {
+			t.Fatalf("serial below makespan: %+v", r)
+		}
+		if r.EstMakespan > r.SimMakespan*1.15+1e-9 {
+			t.Fatalf("estimate far above queued sim: %+v", r)
+		}
+		if r.MakespanGain < 0.95 {
+			t.Fatalf("gain implausibly low: %+v", r)
+		}
+	}
+	out := RenderMakespan(rows)
+	if !strings.Contains(out, "serial/sim") {
+		t.Fatalf("makespan table wrong:\n%s", out)
+	}
+}
+
+func TestRunKSweep(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 3
+	fig, err := RunKSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 8 { // 2 bus speeds × 4 K values
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// The paper's stability claim: on the slow bus HOLM's execution time
+	// stays the best (or tied) at every K.
+	for _, s := range fig.Series {
+		if !strings.HasPrefix(s.Label, "bus=1Mbps") {
+			continue
+		}
+		var holm float64
+		for _, p := range s.Points {
+			if p.Algorithm == "HeavyOps-LargeMsgs" {
+				holm = p.ExecTime
+			}
+		}
+		for _, p := range s.Points {
+			if p.ExecTime < holm-1e-12 {
+				t.Fatalf("%s: %s exec %v beats HOLM %v on the slow bus",
+					s.Label, p.Algorithm, p.ExecTime, holm)
+			}
+		}
+	}
+}
+
+func TestRunTopologies(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 3
+	o.BusSpeedsMbps = []float64{10}
+	fig, err := RunTopologies(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 { // bus, line, star, ring, tree
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	var busExec, lineExec float64
+	for _, s := range fig.Series {
+		if len(s.Points) != 5 {
+			t.Fatalf("series %q points = %d", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Algorithm == "FairLoad" {
+				if strings.HasPrefix(s.Label, "bus") {
+					busExec = p.ExecTime
+				}
+				if strings.HasPrefix(s.Label, "line") {
+					lineExec = p.ExecTime
+				}
+			}
+		}
+	}
+	// Multi-hop line paths cannot be cheaper than single-hop bus paths for
+	// the placement-oblivious FairLoad.
+	if lineExec < busExec {
+		t.Fatalf("line exec %v below bus %v for FairLoad", lineExec, busExec)
+	}
+}
+
+func TestRunThroughput(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 5
+	rows, err := RunThroughput(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 { // 5 algorithms × 3 load fractions
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 0; i+1 < len(rows); i++ {
+		if rows[i].Algorithm != rows[i+1].Algorithm {
+			continue
+		}
+		// Within one algorithm, sojourn grows with the arrival rate.
+		if rows[i+1].MeanSojourn < rows[i].MeanSojourn*0.8 {
+			t.Fatalf("sojourn shrank under load: %+v then %+v", rows[i], rows[i+1])
+		}
+	}
+	for _, r := range rows {
+		if r.MaxUtil < 0 || r.MaxUtil > 1.01 {
+			t.Fatalf("utilization out of range: %+v", r)
+		}
+		if r.Throughput <= 0 || r.P95Sojourn < r.MeanSojourn*0.5 {
+			t.Fatalf("implausible row: %+v", r)
+		}
+	}
+	if out := RenderThroughput(rows); !strings.Contains(out, "throughput/s") {
+		t.Fatalf("render missing header:\n%s", out)
+	}
+}

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/stats"
+)
+
+// Class A and Class B experiments (§4.1): "In class A, we vary the link
+// capacity and the size of the messages exchanged. In class B, we vary the
+// CPU power of the servers and the workload of the workflow." The paper
+// only reports Class C for space; these runners complete the methodology.
+
+// classAMessageMixes names the message-size regimes swept by Class A.
+func classAMessageMixes() map[string]*stats.Discrete {
+	return map[string]*stats.Discrete{
+		"simple":  stats.MustDiscrete([]float64{gen.SimpleMsgBits}, []float64{1}),
+		"mixed":   gen.ClassC().MsgBits,
+		"complex": stats.MustDiscrete([]float64{gen.ComplexMsgBits}, []float64{1}),
+	}
+}
+
+// RunClassA sweeps the bus capacity and the message-size mix with the CPU
+// and workload parameters pinned at their Table-6 midpoints.
+func RunClassA(o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{ID: "classA", Title: "Class A: link capacity × message size"}
+	N := o.Servers[len(o.Servers)-1]
+	mixes := classAMessageMixes()
+	for _, mixName := range []string{"simple", "mixed", "complex"} {
+		for _, mbit := range []float64{1, 10, 100, 1000} {
+			cfg := gen.ClassC()
+			cfg.MsgBits = mixes[mixName]
+			cfg.Cycles = stats.MustDiscrete([]float64{20e6}, []float64{1})
+			cfg.PowerHz = stats.MustDiscrete([]float64{2e9}, []float64{1})
+			acc := newMetricAcc()
+			for i := 0; i < o.Runs; i++ {
+				r := instanceRNG(o.Seed, "classA-"+mixName, i*10000+int(mbit))
+				w, err := cfg.LinearWorkflow(r, o.Operations)
+				if err != nil {
+					return Figure{}, err
+				}
+				n, err := cfg.BusNetworkWithSpeed(r, N, mbit*gen.Mbps)
+				if err != nil {
+					return Figure{}, err
+				}
+				if err := evalSuite(acc, core.BusSuite(r.Uint64()), w, n); err != nil {
+					return Figure{}, err
+				}
+			}
+			fig.Series = append(fig.Series, Series{
+				Label:  fmt.Sprintf("msg=%s bus=%gMbps", mixName, mbit),
+				Points: acc.points(),
+			})
+		}
+	}
+	return fig, nil
+}
+
+// RunClassB sweeps the CPU power mix and the operation-cost mix with the
+// network parameters pinned (100 Mbps bus, Table-6 message mix).
+func RunClassB(o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig := Figure{ID: "classB", Title: "Class B: CPU power × workload"}
+	N := o.Servers[len(o.Servers)-1]
+	powerMixes := map[string]*stats.Discrete{
+		"uniform-1GHz": stats.MustDiscrete([]float64{1e9}, []float64{1}),
+		"mixed":        gen.ClassC().PowerHz,
+		"uniform-3GHz": stats.MustDiscrete([]float64{3e9}, []float64{1}),
+	}
+	cycleMixes := map[string]*stats.Discrete{
+		"light": stats.MustDiscrete([]float64{10e6}, []float64{1}),
+		"mixed": gen.ClassC().Cycles,
+		// The paper's §4.1 calibration of simple/medium/heavy operations.
+		"heavy-tail": stats.MustDiscrete(
+			[]float64{gen.SimpleOpCycles, gen.MediumOpCycles, gen.HeavyOpCycles},
+			[]float64{0.25, 0.50, 0.25}),
+	}
+	for _, pw := range []string{"uniform-1GHz", "mixed", "uniform-3GHz"} {
+		for _, cy := range []string{"light", "mixed", "heavy-tail"} {
+			cfg := gen.ClassC()
+			cfg.PowerHz = powerMixes[pw]
+			cfg.Cycles = cycleMixes[cy]
+			acc := newMetricAcc()
+			for i := 0; i < o.Runs; i++ {
+				r := instanceRNG(o.Seed, "classB-"+pw+cy, i)
+				w, err := cfg.LinearWorkflow(r, o.Operations)
+				if err != nil {
+					return Figure{}, err
+				}
+				n, err := cfg.BusNetworkWithSpeed(r, N, 100*gen.Mbps)
+				if err != nil {
+					return Figure{}, err
+				}
+				if err := evalSuite(acc, core.BusSuite(r.Uint64()), w, n); err != nil {
+					return Figure{}, err
+				}
+			}
+			fig.Series = append(fig.Series, Series{
+				Label:  fmt.Sprintf("power=%s cycles=%s", pw, cy),
+				Points: acc.points(),
+			})
+		}
+	}
+	return fig, nil
+}
+
+// Table6Report renders the Class C experimental configuration (the
+// paper's Table 6) together with empirical sampling frequencies, so the
+// generator can be audited against the paper.
+func Table6Report(seed uint64, samples int) string {
+	if samples <= 0 {
+		samples = 100000
+	}
+	cfg := gen.ClassC()
+	r := stats.NewRNG(seed)
+	report := "Table 6. Experimental configuration for Class C experiments\n"
+	rows := []struct {
+		name string
+		dist *stats.Discrete
+		unit string
+		div  float64
+	}{
+		{"MsgSize(Oi,Oi+1)", cfg.MsgBits, "Mbit", 1e6},
+		{"Line_Speed(Si,Sj)", cfg.LinkBps, "Mbps", 1e6},
+		{"C(Oi)", cfg.Cycles, "Mcycles", 1e6},
+		{"P(Si)", cfg.PowerHz, "GHz", 1e9},
+	}
+	for _, row := range rows {
+		report += fmt.Sprintf("  %-18s values: ", row.name)
+		counts := map[float64]int{}
+		for i := 0; i < samples; i++ {
+			counts[row.dist.Sample(r)]++
+		}
+		for i, v := range row.dist.Values() {
+			if i > 0 {
+				report += ", "
+			}
+			report += fmt.Sprintf("%g %s (target %.0f%%, sampled %.1f%%)",
+				v/row.div, row.unit,
+				row.dist.Probabilities()[i]*100,
+				float64(counts[v])/float64(samples)*100)
+		}
+		report += "\n"
+	}
+	return report
+}

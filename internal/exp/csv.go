@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports a figure's series as CSV rows (one row per algorithm
+// per series) so the paper's plots can be regenerated in any plotting
+// tool. Columns: figure, series, algorithm, exec time, exec stddev,
+// time penalty, penalty stddev, combined cost.
+func WriteCSV(out io.Writer, fig Figure) error {
+	cw := csv.NewWriter(out)
+	header := []string{"figure", "series", "algorithm", "exec_s", "exec_std", "penalty_s", "penalty_std", "combined_s"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("exp: writing CSV header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			row := []string{fig.ID, s.Label, p.Algorithm,
+				f(p.ExecTime), f(p.ExecStd), f(p.Penalty), f(p.PenaltyStd), f(p.Combined)}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("exp: writing CSV row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteQualityCSV exports quality rows as CSV with both references.
+func WriteQualityCSV(out io.Writer, rows []QualityResult) error {
+	cw := csv.NewWriter(out)
+	header := []string{"algorithm", "workload", "bus_mbps",
+		"worst_exec_dev", "worst_penalty_dev", "mean_exec_dev", "mean_penalty_dev",
+		"worst_exec_dev_min", "worst_penalty_dev_min", "mean_exec_dev_min", "mean_penalty_dev_min"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("exp: writing CSV header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, q := range rows {
+		row := []string{q.Algorithm, q.Workload, f(q.BusMbps),
+			f(q.WorstExecDev), f(q.WorstPenaltyDev), f(q.MeanExecDev), f(q.MeanPenaltyDev),
+			f(q.WorstExecDevMin), f(q.WorstPenaltyDevMin), f(q.MeanExecDevMin), f(q.MeanPenaltyDevMin)}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("exp: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

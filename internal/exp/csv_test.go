@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	fig := Figure{
+		ID: "fig6",
+		Series: []Series{{
+			Label: "bus=1Mbps N=5",
+			Points: []Point{
+				{Algorithm: "FairLoad", ExecTime: 1.5, ExecStd: 0.1, Penalty: 0.01, PenaltyStd: 0.001, Combined: 0.755},
+				{Algorithm: "HeavyOps-LargeMsgs", ExecTime: 0.25, Penalty: 0.03, Combined: 0.14},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[0][0] != "figure" || records[0][3] != "exec_s" {
+		t.Fatalf("header: %v", records[0])
+	}
+	if records[1][2] != "FairLoad" || records[1][3] != "1.5" {
+		t.Fatalf("row: %v", records[1])
+	}
+	if records[2][2] != "HeavyOps-LargeMsgs" {
+		t.Fatalf("row: %v", records[2])
+	}
+}
+
+func TestWriteCSVSeriesWithComma(t *testing.T) {
+	// Labels may contain commas; the encoder must quote them.
+	fig := Figure{ID: "x", Series: []Series{{
+		Label:  "bus=1, N=5",
+		Points: []Point{{Algorithm: "FairLoad"}},
+	}}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"bus=1, N=5"`) {
+		t.Fatalf("comma label not quoted:\n%s", buf.String())
+	}
+}
+
+func TestWriteQualityCSV(t *testing.T) {
+	rows := []QualityResult{{
+		Algorithm: "HeavyOps-LargeMsgs", Workload: "line", BusMbps: 1,
+		WorstExecDev: 0.029, WorstPenaltyDev: 0.12,
+		WorstExecDevMin: 0.05, WorstPenaltyDevMin: 0.7,
+	}}
+	var buf bytes.Buffer
+	if err := WriteQualityCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || len(records[0]) != 11 {
+		t.Fatalf("shape: %v", records)
+	}
+	if records[1][3] != "0.029" {
+		t.Fatalf("dev column: %v", records[1])
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	o := smallOpts()
+	o.Runs = 2
+	fig, err := RunFig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []QualityResult{{Algorithm: "HeavyOps-LargeMsgs", Workload: "line", BusMbps: 1, WorstExecDev: 0.029, WorstPenaltyDev: 0.12}}
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, "Reproduction report", []Figure{fig}, q); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "execution time (s)", "HeavyOps-LargeMsgs", "fig6", "2.9%", "</html>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("HTML missing %q", want)
+		}
+	}
+	// Every series gets one SVG.
+	if got := strings.Count(out, "<svg"); got != len(fig.Series) {
+		t.Fatalf("svg count %d, want %d", got, len(fig.Series))
+	}
+}
+
+func TestScatterSVGDegenerate(t *testing.T) {
+	svg := scatterSVG(Series{Label: "zero", Points: []Point{{Algorithm: "FairLoad"}}})
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("degenerate series has no point")
+	}
+}

@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/gen"
+)
+
+// RunFig6 reproduces Fig. 6: "Line–Bus algorithms with 19 operations in
+// the workflow". For each pinned bus speed and each server count N (the
+// paper's K = M/N sweep), it draws Runs Class-C instances, runs the bus
+// suite, and reports each algorithm's mean (execution time, time penalty)
+// point.
+func RunFig6(o Options) (Figure, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	fig := Figure{ID: "fig6", Title: fmt.Sprintf("Line–Bus algorithms with %d operations", o.Operations)}
+	for _, mbit := range o.BusSpeedsMbps {
+		for _, N := range o.Servers {
+			acc := newMetricAcc()
+			for i := 0; i < o.Runs; i++ {
+				r := instanceRNG(o.Seed, "fig6", i*1000+N*10+int(mbit))
+				w, err := cfg.LinearWorkflow(r, o.Operations)
+				if err != nil {
+					return Figure{}, err
+				}
+				n, err := cfg.BusNetworkWithSpeed(r, N, mbit*gen.Mbps)
+				if err != nil {
+					return Figure{}, err
+				}
+				if err := evalSuite(acc, core.BusSuite(r.Uint64()), w, n); err != nil {
+					return Figure{}, err
+				}
+			}
+			fig.Series = append(fig.Series, Series{
+				Label:  fmt.Sprintf("bus=%gMbps N=%d K=%.1f", mbit, N, float64(o.Operations)/float64(N)),
+				Points: acc.points(),
+			})
+		}
+	}
+	return fig, nil
+}
+
+// RunFig7 reproduces Fig. 7: "Random Graph–Bus algorithms". Instances mix
+// the three graph structures evenly (the figure reports overall
+// performance; Fig. 8 splits by structure).
+func RunFig7(o Options) (Figure, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	fig := Figure{ID: "fig7", Title: "Random Graph–Bus algorithms (overall)"}
+	structures := gen.Structures()
+	for _, mbit := range o.BusSpeedsMbps {
+		for _, N := range o.Servers {
+			acc := newMetricAcc()
+			for i := 0; i < o.Runs; i++ {
+				r := instanceRNG(o.Seed, "fig7", i*1000+N*10+int(mbit))
+				s := structures[i%len(structures)]
+				w, err := cfg.GraphWorkflow(r, o.Operations, s)
+				if err != nil {
+					return Figure{}, err
+				}
+				n, err := cfg.BusNetworkWithSpeed(r, N, mbit*gen.Mbps)
+				if err != nil {
+					return Figure{}, err
+				}
+				if err := evalSuite(acc, core.BusSuite(r.Uint64()), w, n); err != nil {
+					return Figure{}, err
+				}
+			}
+			fig.Series = append(fig.Series, Series{
+				Label:  fmt.Sprintf("bus=%gMbps N=%d", mbit, N),
+				Points: acc.points(),
+			})
+		}
+	}
+	return fig, nil
+}
+
+// RunFig8 reproduces Fig. 8: "Graph–Bus algorithms organized per graph
+// structure" — one series per (structure, bus speed).
+func RunFig8(o Options) (Figure, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	fig := Figure{ID: "fig8", Title: "Graph–Bus algorithms per graph structure"}
+	N := o.Servers[len(o.Servers)-1] // the paper's full configuration (5 servers)
+	for _, s := range gen.Structures() {
+		for _, mbit := range o.BusSpeedsMbps {
+			acc := newMetricAcc()
+			for i := 0; i < o.Runs; i++ {
+				r := instanceRNG(o.Seed, "fig8-"+s.String(), i*1000+int(mbit))
+				w, err := cfg.GraphWorkflow(r, o.Operations, s)
+				if err != nil {
+					return Figure{}, err
+				}
+				n, err := cfg.BusNetworkWithSpeed(r, N, mbit*gen.Mbps)
+				if err != nil {
+					return Figure{}, err
+				}
+				if err := evalSuite(acc, core.BusSuite(r.Uint64()), w, n); err != nil {
+					return Figure{}, err
+				}
+			}
+			fig.Series = append(fig.Series, Series{
+				Label:  fmt.Sprintf("%s bus=%gMbps N=%d", s, mbit, N),
+				Points: acc.points(),
+			})
+		}
+	}
+	return fig, nil
+}
+
+// RunLineLine exercises the §3.2 Line–Line configuration: the four
+// Line–Line variants plus LineLine-Best over random line networks, so the
+// bridge-fix and direction variants can be compared.
+func RunLineLine(o Options) (Figure, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	fig := Figure{ID: "lineline", Title: "Line–Line variants"}
+	algos := []core.Algorithm{
+		core.LineLine{},
+		core.LineLine{SkipFix: true},
+		core.LineLine{Reverse: true},
+		core.LineLine{Reverse: true, SkipFix: true},
+		core.LineLineBest{},
+		core.FairLoad{},
+	}
+	for _, N := range o.Servers {
+		acc := newMetricAcc()
+		for i := 0; i < o.Runs; i++ {
+			r := instanceRNG(o.Seed, "lineline", i*100+N)
+			w, err := cfg.LinearWorkflow(r, o.Operations)
+			if err != nil {
+				return Figure{}, err
+			}
+			n, err := cfg.LineNetwork(r, N)
+			if err != nil {
+				return Figure{}, err
+			}
+			if err := evalSuite(acc, algos, w, n); err != nil {
+				return Figure{}, err
+			}
+		}
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("line network N=%d", N),
+			Points: acc.points(),
+		})
+	}
+	return fig, nil
+}

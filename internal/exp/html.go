@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteHTML renders experiment figures as a self-contained HTML report
+// with inline SVG scatter plots in the paper's (execution time, time
+// penalty) plane — the visual form of Figs. 6–8. No external assets;
+// stdlib only.
+func WriteHTML(out io.Writer, title string, figs []Figure, quality []QualityResult) error {
+	data := htmlData{Title: title}
+	for _, f := range figs {
+		hf := htmlFigure{ID: f.ID, Title: f.Title}
+		for _, s := range f.Series {
+			hf.Series = append(hf.Series, htmlSeries{
+				Label: s.Label,
+				SVG:   template.HTML(scatterSVG(s)),
+				Table: s.Points,
+			})
+		}
+		data.Figures = append(data.Figures, hf)
+	}
+	data.Quality = quality
+	return reportTemplate.Execute(out, data)
+}
+
+type htmlData struct {
+	Title   string
+	Figures []htmlFigure
+	Quality []QualityResult
+}
+
+type htmlFigure struct {
+	ID     string
+	Title  string
+	Series []htmlSeries
+}
+
+type htmlSeries struct {
+	Label string
+	SVG   template.HTML
+	Table []Point
+}
+
+// algorithmColor assigns each suite algorithm a stable color.
+func algorithmColor(name string) string {
+	switch {
+	case name == "FairLoad":
+		return "#1f77b4"
+	case name == "FL-TieResolver":
+		return "#2ca02c"
+	case name == "FL-TieResolver2":
+		return "#17becf"
+	case name == "FL-MergeMsgEnds":
+		return "#ff7f0e"
+	case name == "HeavyOps-LargeMsgs":
+		return "#d62728"
+	case strings.HasPrefix(name, "LineLine"):
+		return "#9467bd"
+	case strings.HasPrefix(name, "LocalSearch"):
+		return "#8c564b"
+	case name == "Anneal":
+		return "#e377c2"
+	case name == "Partition":
+		return "#7f7f7f"
+	default:
+		return "#bcbd22"
+	}
+}
+
+// scatterSVG renders one series as an SVG scatter plot with axes, ticks
+// and error bars (±1 std).
+func scatterSVG(s Series) string {
+	const (
+		width   = 420
+		height  = 300
+		marginL = 64
+		marginB = 44
+		marginT = 14
+		marginR = 14
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	var maxX, maxY float64
+	for _, p := range s.Points {
+		maxX = math.Max(maxX, p.ExecTime+p.ExecStd)
+		maxY = math.Max(maxY, p.Penalty+p.PenaltyStd)
+	}
+	if maxX <= 0 {
+		maxX = 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxX *= 1.08
+	maxY *= 1.15
+	X := func(v float64) float64 { return marginL + v/maxX*plotW }
+	Y := func(v float64) float64 { return marginT + plotH - v/maxY*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" xmlns="http://www.w3.org/2000/svg" font-family="sans-serif" font-size="10">`,
+		width, height, width, height)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`,
+		marginL, marginT+plotH, width-marginR, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="#333"/>`,
+		marginL, marginT, marginL, marginT+plotH)
+	// Ticks: 4 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := maxX * float64(i) / 4
+		yv := maxY * float64(i) / 4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`,
+			X(xv), marginT+plotH, X(xv), marginT+plotH+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%.3g</text>`,
+			X(xv), marginT+plotH+16, xv)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`,
+			float64(marginL)-4, Y(yv), float64(marginL), Y(yv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%.3g</text>`,
+			float64(marginL)-6, Y(yv)+3, yv)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">execution time (s)</text>`,
+		float64(marginL)+plotW/2, height-6)
+	fmt.Fprintf(&b, `<text x="12" y="%.1f" text-anchor="middle" transform="rotate(-90 12 %.1f)">time penalty (s)</text>`,
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2)
+
+	// Points with ±1σ error bars.
+	for _, p := range s.Points {
+		color := algorithmColor(p.Algorithm)
+		cx, cy := X(p.ExecTime), Y(p.Penalty)
+		if p.ExecStd > 0 {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-opacity="0.4"/>`,
+				X(math.Max(0, p.ExecTime-p.ExecStd)), cy, X(p.ExecTime+p.ExecStd), cy, color)
+		}
+		if p.PenaltyStd > 0 {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-opacity="0.4"/>`,
+				cx, Y(math.Max(0, p.Penalty-p.PenaltyStd)), cx, Y(p.Penalty+p.PenaltyStd), color)
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4.5" fill="%s"><title>%s: exec %.6fs, penalty %.6fs</title></circle>`,
+			cx, cy, color, template.HTMLEscapeString(p.Algorithm), p.ExecTime, p.Penalty)
+	}
+	// Legend.
+	ly := marginT + 4
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%d" r="4" fill="%s"/>`,
+			float64(width-marginR)-130, ly+4, algorithmColor(p.Algorithm))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d">%s</text>`,
+			float64(width-marginR)-122, ly+8, template.HTMLEscapeString(p.Algorithm))
+		ly += 14
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+var reportTemplate = template.Must(template.New("report").Funcs(template.FuncMap{
+	"pct": func(v float64) float64 { return v * 100 },
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 24px; color: #222; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 32px; }
+.series { display: inline-block; vertical-align: top; margin: 8px 16px 8px 0; }
+.series h3 { font-size: 12px; margin: 4px 0; }
+table { border-collapse: collapse; font-size: 11px; margin-top: 4px; }
+td, th { border: 1px solid #ccc; padding: 2px 6px; text-align: right; }
+th { background: #f3f3f3; } td:first-child, th:first-child { text-align: left; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+{{range .Figures}}
+<h2>{{.ID}}: {{.Title}}</h2>
+{{range .Series}}
+<div class="series">
+<h3>{{.Label}}</h3>
+{{.SVG}}
+<table><tr><th>algorithm</th><th>exec (s)</th><th>penalty (s)</th><th>combined (s)</th></tr>
+{{range .Table}}<tr><td>{{.Algorithm}}</td><td>{{printf "%.6f" .ExecTime}}</td><td>{{printf "%.6f" .Penalty}}</td><td>{{printf "%.6f" .Combined}}</td></tr>
+{{end}}</table>
+</div>
+{{end}}
+{{end}}
+{{if .Quality}}
+<h2>Solution quality vs sampled search space</h2>
+<table><tr><th>algorithm</th><th>workload</th><th>bus (Mbps)</th><th>worst (exec, pen) vs best-combined</th><th>mean (exec, pen)</th></tr>
+{{range .Quality}}<tr><td>{{.Algorithm}}</td><td>{{.Workload}}</td><td>{{.BusMbps}}</td><td>({{printf "%.1f%%" (pct .WorstExecDev)}}, {{printf "%.1f%%" (pct .WorstPenaltyDev)}})</td><td>({{printf "%.1f%%" (pct .MeanExecDev)}}, {{printf "%.1f%%" (pct .MeanPenaltyDev)}})</td></tr>
+{{end}}</table>
+{{end}}
+</body></html>
+`))

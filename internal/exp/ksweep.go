@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/gen"
+)
+
+// RunKSweep isolates the paper's K = M/N observation ("the behaviour of
+// the HeavyOps-LargeMsgs algorithm remains quite stable even when the
+// fraction of operations to servers (denoted as K) increases"): with the
+// server count pinned at the largest configured N, the workflow grows
+// from N to several multiples of it, and every suite algorithm's mean
+// metrics are reported per K.
+func RunKSweep(o Options) (Figure, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	N := o.Servers[len(o.Servers)-1]
+	fig := Figure{ID: "ksweep", Title: fmt.Sprintf("K = M/N sweep at N=%d", N)}
+	for _, mbit := range o.BusSpeedsMbps {
+		for _, k := range []int{1, 2, 4, 8} {
+			M := N * k
+			acc := newMetricAcc()
+			for i := 0; i < o.Runs; i++ {
+				r := instanceRNG(o.Seed, "ksweep", i*10000+k*100+int(mbit))
+				w, err := cfg.LinearWorkflow(r, M)
+				if err != nil {
+					return Figure{}, err
+				}
+				n, err := cfg.BusNetworkWithSpeed(r, N, mbit*gen.Mbps)
+				if err != nil {
+					return Figure{}, err
+				}
+				if err := evalSuite(acc, core.BusSuite(r.Uint64()), w, n); err != nil {
+					return Figure{}, err
+				}
+			}
+			fig.Series = append(fig.Series, Series{
+				Label:  fmt.Sprintf("bus=%gMbps K=%d (M=%d)", mbit, k, M),
+				Points: acc.points(),
+			})
+		}
+	}
+	return fig, nil
+}

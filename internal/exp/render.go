@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// RenderTable renders a figure's series as aligned text tables, one per
+// series, in the paper's (execution time, time penalty) framing.
+func RenderTable(fig Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", fig.ID, fig.Title)
+	for _, s := range fig.Series {
+		fmt.Fprintf(&b, "\n-- %s --\n", s.Label)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "algorithm\texec time (s)\t± std\ttime penalty (s)\t± std\tcombined (s)")
+		for _, p := range s.Points {
+			fmt.Fprintf(tw, "%s\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n",
+				p.Algorithm, p.ExecTime, p.ExecStd, p.Penalty, p.PenaltyStd, p.Combined)
+		}
+		tw.Flush()
+		best := bestByCombined(s.Points)
+		fmt.Fprintf(&b, "best combined: %s (%.6f s)\n", best.Algorithm, best.Combined)
+	}
+	return b.String()
+}
+
+// RenderScatter renders one series as an ASCII scatter plot in the
+// (execution time, time penalty) plane, the visual form of the paper's
+// Fig. 6–8: "the closer a solution is to point (0,0), the better it is."
+// Each algorithm is plotted as the first letter of its display name (F =
+// FairLoad, T = FL-TieResolver, 2 = FL-TieResolver2, M = FL-MergeMsgEnds,
+// H = HeavyOps-LargeMsgs).
+func RenderScatter(s Series) string {
+	const width, height = 64, 18
+	var maxX, maxY float64
+	for _, p := range s.Points {
+		maxX = math.Max(maxX, p.ExecTime)
+		maxY = math.Max(maxY, p.Penalty)
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxX *= 1.05
+	maxY *= 1.05
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range s.Points {
+		x := int(p.ExecTime / maxX * float64(width-1))
+		y := int(p.Penalty / maxY * float64(height-1))
+		row := height - 1 - y // origin bottom-left
+		mark := marker(p.Algorithm)
+		if grid[row][x] != ' ' && grid[row][x] != mark {
+			grid[row][x] = '*' // overlapping algorithms
+		} else {
+			grid[row][x] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (x: exec time 0..%.4fs, y: time penalty 0..%.4fs)\n", s.Label, maxX, maxY)
+	for y, row := range grid {
+		edge := "|"
+		if y == height-1 {
+			edge = "+"
+		}
+		fmt.Fprintf(&b, "  %s%s\n", edge, string(row))
+	}
+	fmt.Fprintf(&b, "   %s\n", strings.Repeat("-", width))
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "   %c = %-20s (%.4f, %.4f)\n", marker(p.Algorithm), p.Algorithm, p.ExecTime, p.Penalty)
+	}
+	return b.String()
+}
+
+// marker picks a distinct plot character per suite algorithm.
+func marker(algorithm string) byte {
+	switch algorithm {
+	case "FairLoad":
+		return 'F'
+	case "FL-TieResolver":
+		return 'T'
+	case "FL-TieResolver2":
+		return '2'
+	case "FL-MergeMsgEnds":
+		return 'M'
+	case "HeavyOps-LargeMsgs":
+		return 'H'
+	default:
+		if algorithm == "" {
+			return '?'
+		}
+		return algorithm[0]
+	}
+}
+
+// RenderQuality renders quality results as a table echoing the paper's
+// §4.2 deviation numbers.
+func RenderQuality(results []QualityResult) string {
+	var b strings.Builder
+	b.WriteString("== Solution quality vs sampled search space ==\n")
+	b.WriteString("reference A: coordinates of the best-combined sampled solution (the paper's reading)\n")
+	b.WriteString("reference B: per-metric minima over the whole sample\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tworkload\tbus\tA worst (exec, pen)\tA mean (exec, pen)\tB worst (exec, pen)\tB mean (exec, pen)")
+	for _, q := range results {
+		fmt.Fprintf(tw, "%s\t%s\t%gMbps\t(%.1f%%, %.1f%%)\t(%.1f%%, %.1f%%)\t(%.1f%%, %.1f%%)\t(%.1f%%, %.1f%%)\n",
+			q.Algorithm, q.Workload, q.BusMbps,
+			q.WorstExecDev*100, q.WorstPenaltyDev*100,
+			q.MeanExecDev*100, q.MeanPenaltyDev*100,
+			q.WorstExecDevMin*100, q.WorstPenaltyDevMin*100,
+			q.MeanExecDevMin*100, q.MeanPenaltyDevMin*100)
+	}
+	tw.Flush()
+	return b.String()
+}

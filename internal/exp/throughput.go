@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/sim"
+)
+
+// ThroughputRow reports one (algorithm, arrival rate) cell of the
+// continuous-execution study: mean sojourn time, achieved throughput and
+// peak server utilization over a Poisson stream of workflow instances.
+type ThroughputRow struct {
+	Algorithm   string
+	ArrivalRate float64
+	MeanSojourn float64
+	P95Sojourn  float64
+	Throughput  float64
+	MaxUtil     float64
+}
+
+// RunThroughput extends the paper's single-execution evaluation to
+// continuous operation (the related-work [SWMM05] setting): instances of
+// one Class-C workflow arrive as a Poisson stream over each algorithm's
+// deployment, and queueing turns placement quality into latency and
+// saturation differences.
+func RunThroughput(o Options) ([]ThroughputRow, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	N := o.Servers[len(o.Servers)-1]
+	r := instanceRNG(o.Seed, "throughput", 0)
+	w, err := cfg.LinearWorkflow(r, o.Operations)
+	if err != nil {
+		return nil, err
+	}
+	n, err := cfg.BusNetworkWithSpeed(r, N, 100*gen.Mbps)
+	if err != nil {
+		return nil, err
+	}
+	// The fleet's aggregate service capacity bounds the sustainable rate.
+	capacity := n.TotalPower() / w.ExpectedCycles()
+	var rows []ThroughputRow
+	for _, a := range core.BusSuite(r.Uint64()) {
+		mp, err := a.Deploy(w, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, frac := range []float64{0.3, 0.7, 1.2} {
+			rate := capacity * frac
+			res, err := sim.SimulateStream(w, n, mp, sim.StreamConfig{
+				ArrivalRate: rate,
+				Instances:   o.Runs * 20,
+				Seed:        o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			maxU := 0.0
+			for _, u := range res.Utilization {
+				if u > maxU {
+					maxU = u
+				}
+			}
+			rows = append(rows, ThroughputRow{
+				Algorithm:   a.Name(),
+				ArrivalRate: rate,
+				MeanSojourn: res.Sojourn.Mean,
+				P95Sojourn:  res.Sojourn.P95,
+				Throughput:  res.Throughput,
+				MaxUtil:     maxU,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderThroughput renders throughput rows as a table.
+func RenderThroughput(rows []ThroughputRow) string {
+	var b strings.Builder
+	b.WriteString("== Continuous execution: Poisson instance stream over each deployment ==\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tarrivals/s\tmean sojourn (s)\tp95 sojourn (s)\tthroughput/s\tmax server util")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.4f\t%.4f\t%.2f\t%.0f%%\n",
+			r.Algorithm, r.ArrivalRate, r.MeanSojourn, r.P95Sojourn, r.Throughput, r.MaxUtil*100)
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+)
+
+// RunTopologies extends the paper's line/bus study to the richer server
+// topologies providers actually run — star, ring and tree — holding the
+// workload fixed (Class C linear workflows, Class C powers, a uniform
+// link speed) and comparing the suite per topology. The paper names
+// general topologies as future work; this experiment quantifies how much
+// multi-hop paths change the placement problem.
+func RunTopologies(o Options) (Figure, error) {
+	o = o.withDefaults()
+	cfg := gen.ClassC()
+	N := o.Servers[len(o.Servers)-1]
+	fig := Figure{ID: "topologies", Title: fmt.Sprintf("Server topology comparison at N=%d", N)}
+	build := func(kind string, powers []float64, speed float64) (*network.Network, error) {
+		switch kind {
+		case "bus":
+			return network.NewBus("bus", powers, speed, 0.0001)
+		case "line":
+			speeds := make([]float64, len(powers)-1)
+			props := make([]float64, len(powers)-1)
+			for i := range speeds {
+				speeds[i] = speed
+				props[i] = 0.0001
+			}
+			return network.NewLine("line", powers, speeds, props)
+		case "star":
+			return network.NewStar("star", powers, speed, 0.0001)
+		case "ring":
+			return network.NewRing("ring", powers, speed, 0.0001)
+		case "tree":
+			return network.NewTree("tree", powers, 2, speed, 0.0001)
+		default:
+			return nil, fmt.Errorf("exp: unknown topology %q", kind)
+		}
+	}
+	for _, mbit := range o.BusSpeedsMbps {
+		for _, kind := range []string{"bus", "line", "star", "ring", "tree"} {
+			acc := newMetricAcc()
+			for i := 0; i < o.Runs; i++ {
+				r := instanceRNG(o.Seed, "topologies-"+kind, i*1000+int(mbit))
+				w, err := cfg.LinearWorkflow(r, o.Operations)
+				if err != nil {
+					return Figure{}, err
+				}
+				powers := make([]float64, N)
+				for p := range powers {
+					powers[p] = cfg.PowerHz.Sample(r)
+				}
+				n, err := build(kind, powers, mbit*gen.Mbps)
+				if err != nil {
+					return Figure{}, err
+				}
+				if err := evalSuite(acc, core.BusSuite(r.Uint64()), w, n); err != nil {
+					return Figure{}, err
+				}
+			}
+			fig.Series = append(fig.Series, Series{
+				Label:  fmt.Sprintf("%s links=%gMbps N=%d", kind, mbit, N),
+				Points: acc.points(),
+			})
+		}
+	}
+	return fig, nil
+}

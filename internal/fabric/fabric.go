@@ -1,0 +1,323 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// Config tunes the fabric.
+type Config struct {
+	// TimeScale converts virtual seconds (the cost model's unit) to real
+	// wall-clock sleep: realDuration = virtualSeconds × TimeScale.
+	// Zero means 1ms of real time per virtual second — fast tests, still
+	// measurable.
+	TimeScale time.Duration
+	// Seed drives XOR branch choices.
+	Seed uint64
+}
+
+func (c Config) timeScale() time.Duration {
+	if c.TimeScale <= 0 {
+		return time.Millisecond
+	}
+	return c.TimeScale
+}
+
+// Fabric is a deployed workflow: per-server HTTP hosts with the mapped
+// operations registered on them. Create with Deploy, run instances with
+// Run, and always Close it.
+type Fabric struct {
+	w   *workflow.Workflow
+	n   *network.Network
+	mp  deploy.Mapping
+	cfg Config
+
+	hosts []*host
+	urls  []string // urls[op] = endpoint of the operation's host
+
+	mu        sync.Mutex
+	rng       *stats.RNG
+	instances map[int]*instance
+	nextID    int
+
+	// Stats accumulated across instances (guarded by mu).
+	messagesSent int
+	bytesOnWire  int64
+}
+
+// host is one emulated server: an HTTP listener plus a FIFO execution
+// slot modelling a single CPU.
+type host struct {
+	server  int
+	power   float64
+	slot    chan struct{} // capacity 1: one operation at a time
+	httpSrv *httptest.Server
+}
+
+// instance tracks one running workflow execution.
+type instance struct {
+	id      int
+	rng     *stats.RNG
+	mu      sync.Mutex
+	arrived map[int]int  // node -> executed-in-edge arrivals so far
+	started map[int]bool // node -> processing already triggered
+	done    chan struct{}
+	start   time.Time
+	elapsed time.Duration
+	execOps int
+}
+
+// Deploy builds hosts for every network server and registers the mapped
+// operations. The mapping must be total.
+func Deploy(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg Config) (*Fabric, error) {
+	if err := mp.Validate(w, n); err != nil {
+		return nil, fmt.Errorf("fabric: %w", err)
+	}
+	f := &Fabric{
+		w: w, n: n, mp: mp.Clone(), cfg: cfg,
+		urls:      make([]string, w.M()),
+		rng:       stats.NewRNG(cfg.Seed),
+		instances: map[int]*instance{},
+	}
+	for s := range n.Servers {
+		h := &host{server: s, power: n.Servers[s].PowerHz, slot: make(chan struct{}, 1)}
+		mux := http.NewServeMux()
+		srv := s
+		mux.HandleFunc("POST /op/", func(rw http.ResponseWriter, r *http.Request) {
+			f.handleMessage(rw, r, srv)
+		})
+		h.httpSrv = httptest.NewServer(mux)
+		f.hosts = append(f.hosts, h)
+	}
+	for op, s := range f.mp {
+		f.urls[op] = fmt.Sprintf("%s/op/%d", f.hosts[s].httpSrv.URL, op)
+	}
+	return f, nil
+}
+
+// Close shuts down every host.
+func (f *Fabric) Close() {
+	for _, h := range f.hosts {
+		h.httpSrv.Close()
+	}
+}
+
+// RunResult reports one executed instance.
+type RunResult struct {
+	Makespan     time.Duration // wall-clock from injection to sink completion
+	ExecutedOps  int
+	MessagesSent int   // HTTP messages between distinct hosts (cumulative delta)
+	BytesOnWire  int64 // XML bytes between distinct hosts (cumulative delta)
+}
+
+// Run executes one workflow instance end to end and blocks until the
+// sink completes.
+func (f *Fabric) Run() (RunResult, error) {
+	f.mu.Lock()
+	id := f.nextID
+	f.nextID++
+	inst := &instance{
+		id:      id,
+		rng:     f.rng.Split(),
+		arrived: map[int]int{},
+		started: map[int]bool{},
+		done:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	f.instances[id] = inst
+	msgs0, bytes0 := f.messagesSent, f.bytesOnWire
+	f.mu.Unlock()
+
+	// Inject the source: it has no inbound message, so trigger directly.
+	f.startOperation(inst, f.w.Source())
+
+	select {
+	case <-inst.done:
+	case <-time.After(60 * time.Second):
+		return RunResult{}, fmt.Errorf("fabric: instance %d timed out", id)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	res := RunResult{
+		Makespan:     inst.elapsed,
+		ExecutedOps:  inst.execOps,
+		MessagesSent: f.messagesSent - msgs0,
+		BytesOnWire:  f.bytesOnWire - bytes0,
+	}
+	delete(f.instances, id)
+	return res, nil
+}
+
+// handleMessage receives an XML envelope addressed to an operation
+// hosted on server s and advances the instance's state machine.
+func (f *Fabric) handleMessage(rw http.ResponseWriter, r *http.Request, s int) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	env, err := DecodeEnvelope(body)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	inst, ok := f.instances[env.InstanceID]
+	f.mu.Unlock()
+	if !ok {
+		http.Error(rw, "unknown instance", http.StatusNotFound)
+		return
+	}
+	if env.EdgeID < 0 || env.EdgeID >= len(f.w.Edges) {
+		http.Error(rw, "unknown edge", http.StatusBadRequest)
+		return
+	}
+	node := f.w.Edges[env.EdgeID].To
+	if f.mp[node] != s {
+		http.Error(rw, "operation not deployed here", http.StatusMisdirectedRequest)
+		return
+	}
+	rw.WriteHeader(http.StatusAccepted)
+	f.deliver(inst, node)
+}
+
+// deliver counts an arrival at node and starts it once its join
+// condition holds.
+func (f *Fabric) deliver(inst *instance, node int) {
+	inst.mu.Lock()
+	if inst.started[node] {
+		inst.mu.Unlock()
+		return // OR join already fired
+	}
+	inst.arrived[node]++
+	ready := false
+	switch f.w.Nodes[node].Kind {
+	case workflow.OrJoin:
+		ready = true
+	case workflow.AndJoin, workflow.XorJoin:
+		// AND joins need every executed inbound branch. The fabric does
+		// not know which branches execute ahead of time, so AND joins
+		// conservatively wait for all inbound edges whose source can
+		// execute this instance; for AND blocks all branches always run,
+		// so the static in-degree is exact. XOR joins receive exactly one
+		// message.
+		need := len(f.w.In(node))
+		if f.w.Nodes[node].Kind == workflow.XorJoin {
+			need = 1
+		}
+		ready = inst.arrived[node] >= need
+	default:
+		ready = true // single inbound edge
+	}
+	if ready {
+		inst.started[node] = true
+	}
+	inst.mu.Unlock()
+	if ready {
+		go f.startOperation(inst, node)
+	}
+}
+
+// startOperation occupies the host's FIFO slot, burns the scaled CPU
+// time, then fans out the outgoing messages.
+func (f *Fabric) startOperation(inst *instance, node int) {
+	h := f.hosts[f.mp[node]]
+	h.slot <- struct{}{} // acquire the CPU
+	proc := f.w.Nodes[node].Cycles / h.power
+	sleepVirtual(proc, f.cfg.timeScale())
+	<-h.slot // release
+
+	inst.mu.Lock()
+	inst.execOps++
+	inst.mu.Unlock()
+
+	if node == f.w.Sink() {
+		inst.elapsed = time.Since(inst.start)
+		close(inst.done)
+		return
+	}
+
+	outs := f.w.Out(node)
+	if f.w.Nodes[node].Kind == workflow.XorSplit {
+		inst.mu.Lock()
+		ei := f.pickBranch(inst, node)
+		inst.mu.Unlock()
+		f.send(inst, ei)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, ei := range outs {
+		wg.Add(1)
+		go func(ei int) {
+			defer wg.Done()
+			f.send(inst, ei)
+		}(ei)
+	}
+	wg.Wait()
+}
+
+// pickBranch resolves an XOR split with the instance's RNG (callers hold
+// inst.mu).
+func (f *Fabric) pickBranch(inst *instance, node int) int {
+	outs := f.w.Out(node)
+	var total float64
+	for _, ei := range outs {
+		total += f.w.Edges[ei].Weight
+	}
+	x := inst.rng.Float64() * total
+	for _, ei := range outs {
+		x -= f.w.Edges[ei].Weight
+		if x < 0 {
+			return ei
+		}
+	}
+	return outs[len(outs)-1]
+}
+
+// send transfers one message: co-located deliveries are immediate; cross-
+// host messages sleep the scaled transfer time and then POST real XML.
+func (f *Fabric) send(inst *instance, ei int) {
+	edge := f.w.Edges[ei]
+	from, to := f.mp[edge.From], f.mp[edge.To]
+	if from == to {
+		f.deliver(inst, edge.To)
+		return
+	}
+	transfer := f.n.TransferTime(from, to, edge.SizeBits)
+	sleepVirtual(transfer, f.cfg.timeScale())
+	env := NewEnvelope(f.w.Name, inst.id, ei, edge.SizeBits)
+	data, err := env.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("fabric: encoding envelope: %v", err))
+	}
+	resp, err := http.Post(f.urls[edge.To], "application/xml", bytes.NewReader(data))
+	if err != nil {
+		// The fabric is in-process; a failed POST means the fabric was
+		// closed mid-run. Drop the message silently.
+		return
+	}
+	resp.Body.Close()
+	f.mu.Lock()
+	f.messagesSent++
+	f.bytesOnWire += int64(len(data))
+	f.mu.Unlock()
+}
+
+// sleepVirtual sleeps virtualSeconds scaled by the configured time scale.
+func sleepVirtual(virtualSeconds float64, scale time.Duration) {
+	if virtualSeconds <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(virtualSeconds * float64(scale)))
+}

@@ -1,0 +1,246 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/sim"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+func busNet(t testing.TB, powers []float64, speedBps float64) *network.Network {
+	t.Helper()
+	n, err := network.NewBus("fabric-bus", powers, speedBps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := NewEnvelope("wf", 7, 3, 8000)
+	data, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1000 {
+		t.Fatalf("encoded size = %d bytes, want 1000", len(data))
+	}
+	got, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InstanceID != 7 || got.EdgeID != 3 || got.Workflow != "wf" {
+		t.Fatalf("round trip changed header: %+v", got)
+	}
+	if _, err := DecodeEnvelope([]byte("not xml")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestEnvelopeTinyMessageKeepsOverhead(t *testing.T) {
+	env := NewEnvelope("wf", 1, 0, 8) // 1 byte requested, overhead dominates
+	data, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < envelopeOverheadBytes {
+		t.Fatalf("encoded %d bytes below overhead %d", len(data), envelopeOverheadBytes)
+	}
+}
+
+func TestDeployValidatesMapping(t *testing.T) {
+	w, err := workflow.NewLine("w", []float64{1e6, 1e6}, []float64{800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9}, 1e8)
+	if _, err := Deploy(w, n, deploy.Mapping{0}, Config{}); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+}
+
+func TestLinearColocatedNoTraffic(t *testing.T) {
+	w, err := workflow.NewLine("w",
+		[]float64{5e6, 5e6, 5e6},
+		[]float64{8000, 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9}, 1e8)
+	f, err := Deploy(w, n, deploy.Uniform(3, 0), Config{TimeScale: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesSent != 0 || res.BytesOnWire != 0 {
+		t.Fatalf("co-located run produced traffic: %+v", res)
+	}
+	if res.ExecutedOps != 3 {
+		t.Fatalf("executed %d ops", res.ExecutedOps)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestCrossHostTrafficAccounting(t *testing.T) {
+	// O1|O2 on different hosts with a 1000-byte message: exactly one HTTP
+	// message of exactly 1000 XML bytes.
+	w, err := workflow.NewLine("w", []float64{1e6, 1e6}, []float64{8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 1e9}, 1e8)
+	f, err := Deploy(w, n, deploy.Mapping{0, 1}, Config{TimeScale: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesSent != 1 {
+		t.Fatalf("messages = %d", res.MessagesSent)
+	}
+	if res.BytesOnWire != 1000 {
+		t.Fatalf("bytes = %d, want 1000", res.BytesOnWire)
+	}
+}
+
+func TestXorExecutesExactlyOneBranch(t *testing.T) {
+	b := workflow.NewBuilder("x")
+	src := b.Op("src", 1e6)
+	x := b.Split(workflow.XorSplit, "x", 0)
+	a := b.Op("a", 1e6)
+	bb := b.Op("b", 1e6)
+	j := b.Join(workflow.XorSplit, "/x", 0)
+	snk := b.Op("snk", 1e6)
+	b.Link(src, x, 800)
+	b.LinkWeighted(x, a, 800, 1)
+	b.LinkWeighted(x, bb, 800, 1)
+	b.Link(a, j, 800)
+	b.Link(bb, j, 800)
+	b.Link(j, snk, 800)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9}, 1e8)
+	f, err := Deploy(w, n, deploy.Uniform(w.M(), 0), Config{TimeScale: time.Millisecond, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sawCounts := map[int]bool{}
+	for i := 0; i < 12; i++ {
+		res, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// src, x, one branch, join, snk = 5 operations every time.
+		if res.ExecutedOps != 5 {
+			t.Fatalf("run %d executed %d ops, want 5", i, res.ExecutedOps)
+		}
+		sawCounts[res.ExecutedOps] = true
+	}
+}
+
+func TestAndJoinWaitsForBothBranches(t *testing.T) {
+	// slow (40ms scaled) and fast (4ms) branches on different hosts: the
+	// makespan must include the slow branch.
+	b := workflow.NewBuilder("and")
+	and := b.Split(workflow.AndSplit, "and", 0)
+	slow := b.Op("slow", 100e6)
+	fast := b.Op("fast", 10e6)
+	j := b.Join(workflow.AndSplit, "/and", 0)
+	b.Link(and, slow, 0)
+	b.Link(and, fast, 0)
+	b.Link(slow, j, 0)
+	b.Link(fast, j, 0)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9, 1e9}, 1e9)
+	f, err := Deploy(w, n, deploy.Mapping{0, 0, 1, 0}, Config{TimeScale: 400 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Virtual critical path: 0.1 vs × 400ms = 40ms.
+	if res.Makespan < 38*time.Millisecond {
+		t.Fatalf("AND rendezvous finished too early: %v", res.Makespan)
+	}
+	if res.ExecutedOps != 4 {
+		t.Fatalf("executed %d", res.ExecutedOps)
+	}
+}
+
+func TestMakespanTracksSimulator(t *testing.T) {
+	// The fabric's wall-clock makespan must approximate the discrete-event
+	// simulator's (scaled), on a deterministic linear workflow.
+	w, err := workflow.NewLine("w",
+		[]float64{50e6, 100e6, 50e6},
+		[]float64{80000, 80000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 2e9}, 1e7)
+	mp := deploy.Mapping{0, 1, 0}
+	rr := sim.RunOnce(w, n, mp, stats.NewRNG(1), sim.Config{})
+	scale := 200 * time.Millisecond
+	f, err := Deploy(w, n, mp, Config{TimeScale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sleeps guarantee the scheduled virtual time as a lower bound; CPU
+	// contention (e.g. the rest of the test suite running in parallel)
+	// can only inflate the wall clock, so the upper bound stays loose.
+	want := time.Duration(rr.Makespan * float64(scale))
+	ratio := float64(res.Makespan) / float64(want)
+	if ratio < 0.90 {
+		t.Fatalf("fabric makespan %v below the simulator's schedule %v (ratio %.2f)", res.Makespan, want, ratio)
+	}
+	if ratio > 4 {
+		t.Fatalf("fabric makespan %v wildly above simulator %v (ratio %.2f)", res.Makespan, want, ratio)
+	}
+	// Byte accounting matches the workflow exactly: two 10 000-byte
+	// messages cross hosts.
+	if res.MessagesSent != 2 || res.BytesOnWire != 20000 {
+		t.Fatalf("traffic: %+v", res)
+	}
+}
+
+func TestSequentialInstancesIndependent(t *testing.T) {
+	w, err := workflow.NewLine("w", []float64{1e6, 1e6}, []float64{800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 1e9}, 1e8)
+	f, err := Deploy(w, n, deploy.Mapping{0, 1}, Config{TimeScale: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		res, err := f.Run()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.ExecutedOps != 2 || res.MessagesSent != 1 {
+			t.Fatalf("run %d: %+v", i, res)
+		}
+	}
+}

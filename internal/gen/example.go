@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"wsdeploy/internal/workflow"
+)
+
+// MotivatingExample builds the paper's Fig. 1 workflow: an electronic
+// system of the ministry of health that arranges doctor rendezvous for
+// patients, registers prescribed medicines after the visit, and notifies
+// the social security agencies. It has 15 operations (as in the paper's
+// example, where 5 servers can host any of the 15 operations), including
+// XOR decisions for doctor availability and an AND fork that registers
+// medicines and notifies social security in parallel.
+//
+// Message sizes and cycle costs use the paper's calibration: simple
+// request/reply messages, medium records, complex case files; lookups are
+// simple operations, bookkeeping is medium, case closure is heavy.
+func MotivatingExample() *workflow.Workflow {
+	b := workflow.NewBuilder("patient-rendezvous")
+
+	receive := b.Op("ReceiveRequest", SimpleOpCycles)
+	identify := b.Op("IdentifyPatient", MediumOpCycles)
+	findDoctor := b.Op("FindDoctor", MediumOpCycles)
+
+	avail := b.Split(workflow.XorSplit, "DoctorAvailable?", SimpleOpCycles)
+	book := b.Op("BookRendezvous", MediumOpCycles)
+	waitlist := b.Op("EnterWaitingList", SimpleOpCycles)
+	availJ := b.Join(workflow.XorSplit, "/DoctorAvailable?", SimpleOpCycles)
+
+	consult := b.Op("ConductMeeting", HeavyOpCycles)
+
+	prescribed := b.Split(workflow.XorSplit, "MedicinesPrescribed?", SimpleOpCycles)
+	fork := b.Split(workflow.AndSplit, "RegisterAndNotify", SimpleOpCycles)
+	registerMed := b.Op("RegisterMedicines", MediumOpCycles)
+	notifySSA := b.Op("NotifySocialSecurity", MediumOpCycles)
+	forkJ := b.Join(workflow.AndSplit, "/RegisterAndNotify", SimpleOpCycles)
+	prescribedJ := b.Join(workflow.XorSplit, "/MedicinesPrescribed?", SimpleOpCycles)
+
+	closeCase := b.Op("CloseCase", MediumOpCycles)
+
+	b.Link(receive, identify, SimpleMsgBits)
+	b.Link(identify, findDoctor, MediumMsgBits)
+	b.Link(findDoctor, avail, SimpleMsgBits)
+	// 70% of doctors are available immediately.
+	b.LinkWeighted(avail, book, MediumMsgBits, 7)
+	b.LinkWeighted(avail, waitlist, SimpleMsgBits, 3)
+	b.Link(book, availJ, MediumMsgBits)
+	b.Link(waitlist, availJ, SimpleMsgBits)
+	b.Link(availJ, consult, ComplexMsgBits)
+	b.Link(consult, prescribed, SimpleMsgBits)
+	// 60% of visits end with a prescription.
+	b.LinkWeighted(prescribed, fork, ComplexMsgBits, 6)
+	b.LinkWeighted(prescribed, prescribedJ, SimpleMsgBits, 4)
+	b.Link(fork, registerMed, MediumMsgBits)
+	b.Link(fork, notifySSA, MediumMsgBits)
+	b.Link(registerMed, forkJ, MediumMsgBits)
+	b.Link(notifySSA, forkJ, MediumMsgBits)
+	b.Link(forkJ, prescribedJ, SimpleMsgBits)
+	b.Link(prescribedJ, closeCase, ComplexMsgBits)
+
+	return b.MustBuild()
+}

@@ -1,0 +1,137 @@
+// Package gen generates the experimental workloads of the paper's
+// evaluation (§4.1): linear and random well-formed graph workflows with
+// SOAP-calibrated message sizes, and line/bus server networks with the
+// parameter distributions of Table 6.
+//
+// Message sizes come from the paper's quoted measurements of [NgCG04]:
+// simple messages of 873 bytes, medium messages of 7 581 bytes and complex
+// messages of 21 392 bytes. Operation costs use the paper's calibration of
+// 5, 50 and 500 Mcycles for simple, medium and heavy operations, and the
+// Class C experiments draw operation costs from {10, 20, 30} Mcycles,
+// server powers from {1, 2, 3} GHz and link speeds from {10, 100, 1000}
+// Mbps, each at 25/50/25 percent.
+package gen
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// SOAP message sizes quoted by the paper from [NgCG04], in bits.
+const (
+	SimpleMsgBits  = 873 * 8   // 0.00666 Mbit (the paper's Table 6 prints 0.06666, a typo for §4.1's 0.00666)
+	MediumMsgBits  = 7581 * 8  // 0.057838 Mbit (paper rounds to 0.057838)
+	ComplexMsgBits = 21392 * 8 // 0.163208 Mbit (paper rounds to 0.163208)
+)
+
+// Operation cost calibration of §4.1, in CPU cycles.
+const (
+	SimpleOpCycles = 5e6
+	MediumOpCycles = 50e6
+	HeavyOpCycles  = 500e6
+)
+
+// Mbps is one megabit per second in bits per second.
+const Mbps = 1e6
+
+// Config bundles the random distributions a workload is drawn from.
+type Config struct {
+	// MsgBits draws message sizes in bits.
+	MsgBits *stats.Discrete
+	// Cycles draws operation costs in CPU cycles.
+	Cycles *stats.Discrete
+	// PowerHz draws server computational power in Hz.
+	PowerHz *stats.Discrete
+	// LinkBps draws link speeds in bits per second.
+	LinkBps *stats.Discrete
+	// PropDelay is the propagation delay applied to every link, seconds.
+	PropDelay float64
+	// XorMaxWeight bounds the random integer branch weights of XOR splits
+	// (weights are drawn from [1, XorMaxWeight]); zero means 4.
+	XorMaxWeight int
+}
+
+// ClassC returns the paper's Table 6 configuration: every parameter drawn
+// from its three-point distribution at 25/50/25 percent.
+func ClassC() Config {
+	return Config{
+		MsgBits: stats.MustDiscrete(
+			[]float64{SimpleMsgBits, MediumMsgBits, ComplexMsgBits},
+			[]float64{0.25, 0.50, 0.25}),
+		Cycles: stats.MustDiscrete(
+			[]float64{10e6, 20e6, 30e6},
+			[]float64{0.25, 0.50, 0.25}),
+		PowerHz: stats.MustDiscrete(
+			[]float64{1e9, 2e9, 3e9},
+			[]float64{0.25, 0.50, 0.25}),
+		LinkBps: stats.MustDiscrete(
+			[]float64{10 * Mbps, 100 * Mbps, 1000 * Mbps},
+			[]float64{0.25, 0.50, 0.25}),
+	}
+}
+
+// xorMaxWeight returns the effective XOR weight bound.
+func (c Config) xorMaxWeight() int {
+	if c.XorMaxWeight <= 0 {
+		return 4
+	}
+	return c.XorMaxWeight
+}
+
+// LinearWorkflow draws a linear workflow of m operations, the Line–Line
+// and Line–Bus workload.
+func (c Config) LinearWorkflow(r *stats.RNG, m int) (*workflow.Workflow, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("gen: linear workflow needs at least 1 operation, got %d", m)
+	}
+	cycles := make([]float64, m)
+	for i := range cycles {
+		cycles[i] = c.Cycles.Sample(r)
+	}
+	msgs := make([]float64, m-1)
+	for i := range msgs {
+		msgs[i] = c.MsgBits.Sample(r)
+	}
+	return workflow.NewLine(fmt.Sprintf("linear-%d", m), cycles, msgs)
+}
+
+// BusNetwork draws n server powers and one shared bus speed from the
+// configured distributions.
+func (c Config) BusNetwork(r *stats.RNG, n int) (*network.Network, error) {
+	return c.BusNetworkWithSpeed(r, n, c.LinkBps.Sample(r))
+}
+
+// BusNetworkWithSpeed draws n server powers but pins the bus speed, the
+// knob the paper's Fig. 6 sweeps (1 Mbps vs 100 Mbps buses).
+func (c Config) BusNetworkWithSpeed(r *stats.RNG, n int, speedBps float64) (*network.Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: bus network needs at least 1 server, got %d", n)
+	}
+	powers := make([]float64, n)
+	for i := range powers {
+		powers[i] = c.PowerHz.Sample(r)
+	}
+	return network.NewBus(fmt.Sprintf("bus-%d", n), powers, speedBps, c.PropDelay)
+}
+
+// LineNetwork draws n server powers and n-1 link speeds, the Line–Line
+// substrate.
+func (c Config) LineNetwork(r *stats.RNG, n int) (*network.Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: line network needs at least 1 server, got %d", n)
+	}
+	powers := make([]float64, n)
+	for i := range powers {
+		powers[i] = c.PowerHz.Sample(r)
+	}
+	speeds := make([]float64, n-1)
+	props := make([]float64, n-1)
+	for i := range speeds {
+		speeds[i] = c.LinkBps.Sample(r)
+		props[i] = c.PropDelay
+	}
+	return network.NewLine(fmt.Sprintf("line-%d", n), powers, speeds, props)
+}

@@ -1,0 +1,236 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+func TestClassCDistributions(t *testing.T) {
+	c := ClassC()
+	r := stats.NewRNG(1)
+	// Means match the 25/50/25 mixes.
+	if got, want := c.Cycles.Mean(), 20e6; math.Abs(got-want) > 1 {
+		t.Fatalf("Cycles mean = %v", got)
+	}
+	if got, want := c.PowerHz.Mean(), 2e9; math.Abs(got-want) > 1 {
+		t.Fatalf("Power mean = %v", got)
+	}
+	// Sampled values stay in the support.
+	valid := map[float64]bool{10 * Mbps: true, 100 * Mbps: true, 1000 * Mbps: true}
+	for i := 0; i < 1000; i++ {
+		if !valid[c.LinkBps.Sample(r)] {
+			t.Fatal("link speed outside Table 6 support")
+		}
+	}
+}
+
+func TestSOAPMessageConstants(t *testing.T) {
+	// The paper quotes 0.00666, 0.057838 and 0.163208 Mbits.
+	if math.Abs(SimpleMsgBits/1e6-0.006984) > 1e-9 {
+		// 873 B = 6 984 bits = 0.006984 Mbit; the paper rounds to 0.00666
+		// via a 0.95 factor it does not explain — we keep the exact bytes.
+		t.Fatalf("SimpleMsgBits = %v", SimpleMsgBits)
+	}
+	if MediumMsgBits != 7581*8 || ComplexMsgBits != 21392*8 {
+		t.Fatal("message constants drifted")
+	}
+}
+
+func TestLinearWorkflowShape(t *testing.T) {
+	c := ClassC()
+	w, err := c.LinearWorkflow(stats.NewRNG(2), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.M() != 19 || !w.IsLinear() {
+		t.Fatalf("not a 19-op line: %s", w)
+	}
+	if _, err := c.LinearWorkflow(stats.NewRNG(2), 0); err == nil {
+		t.Fatal("empty line accepted")
+	}
+}
+
+func TestBusNetworkShape(t *testing.T) {
+	c := ClassC()
+	n, err := c.BusNetworkWithSpeed(stats.NewRNG(3), 5, 100*Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.N() != 5 || n.Topology() != network.Bus {
+		t.Fatalf("bad bus: %s", n)
+	}
+	if got := n.TransferTime(0, 1, 100*Mbps); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("pinned speed not honoured: %v", got)
+	}
+	if _, err := c.BusNetwork(stats.NewRNG(3), 4); err != nil {
+		t.Fatalf("sampled bus: %v", err)
+	}
+	if _, err := c.BusNetwork(stats.NewRNG(3), 0); err == nil {
+		t.Fatal("empty bus accepted")
+	}
+}
+
+func TestLineNetworkShape(t *testing.T) {
+	c := ClassC()
+	n, err := c.LineNetwork(stats.NewRNG(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.N() != 4 || n.Topology() != network.Line {
+		t.Fatalf("bad line: %s", n)
+	}
+	if _, err := c.LineNetwork(stats.NewRNG(4), -1); err == nil {
+		t.Fatal("negative line accepted")
+	}
+}
+
+func TestStructureRatios(t *testing.T) {
+	if Bushy.DecisionRatio() != 0.50 || Lengthy.DecisionRatio() != 0.16 || Hybrid.DecisionRatio() != 0.35 {
+		t.Fatal("paper ratios drifted")
+	}
+	if Bushy.String() != "bushy" || Lengthy.String() != "lengthy" || Hybrid.String() != "hybrid" {
+		t.Fatal("structure names wrong")
+	}
+	if len(Structures()) != 3 {
+		t.Fatal("Structures() incomplete")
+	}
+}
+
+func TestGraphWorkflowAlwaysWellFormed(t *testing.T) {
+	// Property: every generated graph builds (New validates
+	// well-formedness), has the requested size, one source, one sink.
+	c := ClassC()
+	check := func(seed uint64, mRaw uint8, sRaw uint8) bool {
+		m := 5 + int(mRaw%40)
+		s := Structures()[int(sRaw)%3]
+		w, err := c.GraphWorkflow(stats.NewRNG(seed), m, s)
+		if err != nil {
+			return false
+		}
+		return w.M() == m
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphWorkflowDecisionRatioApproximatesTarget(t *testing.T) {
+	c := ClassC()
+	for _, s := range Structures() {
+		var total float64
+		const runs = 50
+		for seed := uint64(0); seed < runs; seed++ {
+			w, err := c.GraphWorkflow(stats.NewRNG(seed), 30, s)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", s, seed, err)
+			}
+			total += w.DecisionRatio()
+		}
+		mean := total / runs
+		if math.Abs(mean-s.DecisionRatio()) > 0.07 {
+			t.Fatalf("%s: mean decision ratio %v, target %v", s, mean, s.DecisionRatio())
+		}
+	}
+}
+
+func TestGraphWorkflowBushyShorterThanLengthy(t *testing.T) {
+	// Bushy graphs must have (on average) more parallel branches and
+	// shorter critical node chains than lengthy ones. Use the number of
+	// edges as a proxy: more branching ⇒ more edges per node.
+	c := ClassC()
+	edgeRatio := func(s Structure) float64 {
+		var tot float64
+		for seed := uint64(0); seed < 30; seed++ {
+			w, err := c.GraphWorkflow(stats.NewRNG(seed), 24, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tot += float64(len(w.Edges)) / float64(w.M())
+		}
+		return tot / 30
+	}
+	if edgeRatio(Bushy) <= edgeRatio(Lengthy) {
+		t.Fatalf("bushy edge ratio %v not above lengthy %v", edgeRatio(Bushy), edgeRatio(Lengthy))
+	}
+}
+
+func TestGraphWorkflowDeterministicPerSeed(t *testing.T) {
+	c := ClassC()
+	w1, err := c.GraphWorkflow(stats.NewRNG(9), 20, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := c.GraphWorkflow(stats.NewRNG(9), 20, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Edges) != len(w2.Edges) || w1.TotalCycles() != w2.TotalCycles() {
+		t.Fatal("generator not deterministic for fixed seed")
+	}
+}
+
+func TestGraphWorkflowRejectsBadSizes(t *testing.T) {
+	c := ClassC()
+	if _, err := c.GraphWorkflow(stats.NewRNG(1), 0, Bushy); err == nil {
+		t.Fatal("zero-node graph accepted")
+	}
+}
+
+func TestGraphWorkflowTinySizes(t *testing.T) {
+	// Sizes too small for any decision pair must degrade to a line.
+	c := ClassC()
+	for m := 1; m <= 4; m++ {
+		w, err := c.GraphWorkflow(stats.NewRNG(5), m, Bushy)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if w.M() != m {
+			t.Fatalf("m=%d: got %d nodes", m, w.M())
+		}
+	}
+}
+
+func TestMotivatingExample(t *testing.T) {
+	w := MotivatingExample()
+	if w.M() != 15 {
+		t.Fatalf("Fig. 1 workflow has %d operations, want 15", w.M())
+	}
+	if w.IsLinear() {
+		t.Fatal("Fig. 1 workflow must not be linear")
+	}
+	// The paper's example: decision nodes present, probabilities conserved.
+	np, _ := w.Probabilities()
+	if math.Abs(np[w.Sink()]-1) > 1e-12 {
+		t.Fatalf("sink probability %v", np[w.Sink()])
+	}
+	// BookRendezvous runs at probability 0.7.
+	for u, nd := range w.Nodes {
+		if nd.Name == "BookRendezvous" && math.Abs(np[u]-0.7) > 1e-12 {
+			t.Fatalf("BookRendezvous probability %v, want 0.7", np[u])
+		}
+		if nd.Name == "RegisterMedicines" && math.Abs(np[u]-0.6) > 1e-12 {
+			t.Fatalf("RegisterMedicines probability %v, want 0.6", np[u])
+		}
+	}
+}
+
+func TestXorWeightBound(t *testing.T) {
+	c := ClassC()
+	c.XorMaxWeight = 2
+	w, err := c.GraphWorkflow(stats.NewRNG(11), 30, Bushy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range w.Edges {
+		if w.Nodes[e.From].Kind == workflow.XorSplit {
+			if e.Weight < 1 || e.Weight > 2 {
+				t.Fatalf("XOR weight %v outside [1,2]", e.Weight)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package gen
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// Structure classifies the random-graph workloads of §4.2: the balance
+// between decision and operational nodes.
+type Structure int
+
+// The paper's three graph structures.
+const (
+	// Bushy graphs have a 50%-50% decision/operational balance: short but
+	// with high fan-out.
+	Bushy Structure = iota
+	// Lengthy graphs have a 16%-84% balance: long paths, few decisions.
+	Lengthy
+	// Hybrid graphs sit in the middle with a 35%-65% balance.
+	Hybrid
+)
+
+// DecisionRatio returns the target fraction of decision nodes.
+func (s Structure) DecisionRatio() float64 {
+	switch s {
+	case Bushy:
+		return 0.50
+	case Lengthy:
+		return 0.16
+	case Hybrid:
+		return 0.35
+	default:
+		return 0.35
+	}
+}
+
+// String names the structure as the paper does.
+func (s Structure) String() string {
+	switch s {
+	case Bushy:
+		return "bushy"
+	case Lengthy:
+		return "lengthy"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Structure(%d)", int(s))
+	}
+}
+
+// Structures lists all graph structures in presentation order.
+func Structures() []Structure { return []Structure{Bushy, Lengthy, Hybrid} }
+
+// component is a node of the block-structured workflow plan: either a
+// single operation or a decision block with branches, each branch being a
+// sequence of components.
+type component struct {
+	isOp     bool
+	kind     workflow.Kind // split kind when !isOp
+	branches [][]component
+}
+
+// GraphWorkflow draws a random well-formed workflow with m total nodes
+// whose decision-node fraction approximates the structure's target ratio.
+// Decision nodes come in split/join pairs, so the generated ratio is the
+// target rounded to the nearest pair; m must allow at least one
+// operational node per branch (ratio ≤ 50%, the paper's maximum).
+func (c Config) GraphWorkflow(r *stats.RNG, m int, s Structure) (*workflow.Workflow, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("gen: graph workflow needs at least 1 node, got %d", m)
+	}
+	pairs := int(s.DecisionRatio()*float64(m)/2 + 0.5)
+	ops := m - 2*pairs
+	// Feasibility: every decision pair needs two branches with one
+	// operation each.
+	for pairs > 0 && ops < 2*pairs {
+		pairs--
+		ops = m - 2*pairs
+	}
+	if ops <= 0 {
+		return nil, fmt.Errorf("gen: graph workflow of %d nodes has no room for operations", m)
+	}
+	seq := c.planSeq(r, ops, pairs)
+
+	b := workflow.NewBuilder(fmt.Sprintf("%s-%d", s, m))
+	opCounter := 0
+	c.emitSeq(r, b, workflow.NodeID(-1), seq, &opCounter)
+	return b.Build()
+}
+
+// planSeq builds a random component sequence consuming exactly ops
+// operations and pairs decision pairs. Precondition: ops >= 2*pairs and
+// ops+pairs >= 1.
+func (c Config) planSeq(r *stats.RNG, ops, pairs int) []component {
+	if pairs == 0 {
+		seq := make([]component, ops)
+		for i := range seq {
+			seq[i] = component{isOp: true}
+		}
+		return seq
+	}
+	// Carve out the first decision block: it takes bPairs of the pairs
+	// (including itself) and bOps operations, leaving the remainder
+	// feasible (each remaining pair keeps 2 operations in reserve).
+	bPairs := 1 + r.Intn(pairs)
+	minB := 2 * bPairs
+	maxB := ops - 2*(pairs-bPairs)
+	bOps := minB + r.Intn(maxB-minB+1)
+	blk := c.planBlock(r, bOps, bPairs)
+	restOps, restPairs := ops-bOps, pairs-bPairs
+	var rest []component
+	if restOps+restPairs > 0 {
+		rest = c.planSeq(r, restOps, restPairs)
+	}
+	// Insert the block at a random position of the remaining sequence.
+	pos := 0
+	if len(rest) > 0 {
+		pos = r.Intn(len(rest) + 1)
+	}
+	seq := make([]component, 0, len(rest)+1)
+	seq = append(seq, rest[:pos]...)
+	seq = append(seq, blk)
+	seq = append(seq, rest[pos:]...)
+	return seq
+}
+
+// planBlock builds one decision block consuming exactly ops operations and
+// pairs decision pairs (one of which is the block itself). Precondition:
+// ops >= 2*pairs.
+func (c Config) planBlock(r *stats.RNG, ops, pairs int) component {
+	pairs-- // this block's own split/join
+	k := 2
+	if ops >= 3+2*pairs && r.Bool(0.35) {
+		k = 3
+	}
+	// Distribute the nested pairs over the k branches, then give every
+	// branch at least max(1, 2·itsPairs) operations and spread the
+	// surplus randomly.
+	branchPairs := make([]int, k)
+	for i := 0; i < pairs; i++ {
+		branchPairs[r.Intn(k)]++
+	}
+	branchOps := make([]int, k)
+	used := 0
+	for i := range branchOps {
+		branchOps[i] = 2 * branchPairs[i]
+		if branchOps[i] < 1 {
+			branchOps[i] = 1
+		}
+		used += branchOps[i]
+	}
+	for surplus := ops - used; surplus > 0; surplus-- {
+		branchOps[r.Intn(k)]++
+	}
+
+	kind := pickKind(r)
+	blk := component{kind: kind, branches: make([][]component, k)}
+	for i := 0; i < k; i++ {
+		blk.branches[i] = c.planSeq(r, branchOps[i], branchPairs[i])
+	}
+	return blk
+}
+
+// pickKind draws a decision kind: XOR half the time (they drive the
+// probabilistic cost model), AND 30%, OR 20%.
+func pickKind(r *stats.RNG) workflow.Kind {
+	switch x := r.Float64(); {
+	case x < 0.5:
+		return workflow.XorSplit
+	case x < 0.8:
+		return workflow.AndSplit
+	default:
+		return workflow.OrSplit
+	}
+}
+
+// emitSeq materializes a component sequence into the builder, chaining it
+// after the prev node (or starting fresh when prev is -1), and returns the
+// last node of the sequence.
+func (c Config) emitSeq(r *stats.RNG, b *workflow.Builder, prev workflow.NodeID, seq []component, opCounter *int) workflow.NodeID {
+	for _, comp := range seq {
+		var entry, exit workflow.NodeID
+		if comp.isOp {
+			*opCounter++
+			entry = b.Op(fmt.Sprintf("op%d", *opCounter), c.Cycles.Sample(r))
+			exit = entry
+		} else {
+			entry, exit = c.emitBlock(r, b, comp, opCounter)
+		}
+		if prev >= 0 {
+			b.Link(prev, entry, c.MsgBits.Sample(r))
+		}
+		prev = exit
+	}
+	return prev
+}
+
+// emitBlock materializes a decision block and returns its split and join
+// nodes.
+func (c Config) emitBlock(r *stats.RNG, b *workflow.Builder, blk component, opCounter *int) (split, join workflow.NodeID) {
+	*opCounter++
+	id := *opCounter
+	split = b.Split(blk.kind, fmt.Sprintf("%s%d", blk.kind, id), c.Cycles.Sample(r))
+	join = b.Join(blk.kind, fmt.Sprintf("/%s%d", blk.kind, id), c.Cycles.Sample(r))
+	for _, branch := range blk.branches {
+		// Every planned branch has at least one component; emit it and
+		// hook both ends.
+		first := branch[0]
+		var entry, exit workflow.NodeID
+		if first.isOp {
+			*opCounter++
+			entry = b.Op(fmt.Sprintf("op%d", *opCounter), c.Cycles.Sample(r))
+			exit = entry
+		} else {
+			entry, exit = c.emitBlock(r, b, first, opCounter)
+		}
+		if blk.kind == workflow.XorSplit {
+			weight := float64(1 + r.Intn(c.xorMaxWeight()))
+			b.LinkWeighted(split, entry, c.MsgBits.Sample(r), weight)
+		} else {
+			b.Link(split, entry, c.MsgBits.Sample(r))
+		}
+		exit = c.emitSeq(r, b, exit, branch[1:], opCounter)
+		b.Link(exit, join, c.MsgBits.Sample(r))
+	}
+	return split, join
+}

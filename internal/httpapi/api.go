@@ -1,0 +1,342 @@
+// Package httpapi exposes the deployment planner as a JSON-over-HTTP
+// service: clients POST a workflow and a network (the wfio JSON schema)
+// and receive a mapping with its cost metrics. The service is stateless;
+// every request is planned from scratch, so it scales horizontally and
+// needs no coordination.
+//
+// Endpoints:
+//
+//	GET  /healthz        — liveness
+//	GET  /v1/algorithms  — registry keys accepted by deploy requests
+//	POST /v1/deploy      — plan one deployment (workflow JSON or WDL)
+//	POST /v1/compare     — run every applicable algorithm
+//	POST /v1/simulate    — Monte-Carlo simulate a given mapping
+//	POST /v1/failover    — recover a mapping from a server failure
+//	POST /v1/convert     — translate a workflow between JSON, WDL and DOT
+//
+// plus the stateful fleet-manager endpoints under /v1/fleet (see
+// fleet.go): create/status, workflow arrival/departure, server
+// join/failure, rebalance, and snapshot/restore.
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/sim"
+	"wsdeploy/internal/wfio"
+	"wsdeploy/internal/workflow"
+)
+
+// MaxRequestBytes bounds request bodies; workflows and networks are
+// small, so anything bigger is a client error (or abuse).
+const MaxRequestBytes = 4 << 20
+
+// Handler serves the planning API. Construct with NewHandler.
+type Handler struct {
+	mux *http.ServeMux
+}
+
+// NewHandler builds the API handler.
+func NewHandler() *Handler {
+	h := &Handler{mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	h.mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"algorithms": core.KnownAlgorithms()})
+	})
+	h.mux.HandleFunc("POST /v1/deploy", h.deploy)
+	h.mux.HandleFunc("POST /v1/compare", h.compare)
+	h.mux.HandleFunc("POST /v1/simulate", h.simulate)
+	h.mux.HandleFunc("POST /v1/failover", h.failover)
+	h.registerFleet()
+	h.registerConvert()
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// apiError is the uniform error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding to a live ResponseWriter can only fail on connection
+	// errors, which the client observes anyway.
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// decodeBody decodes a bounded JSON body into v, rejecting unknown
+// fields.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// pair decodes the workflow and network specs shared by every request.
+type pairSpec struct {
+	Workflow json.RawMessage `json:"workflow"`
+	Network  json.RawMessage `json:"network"`
+}
+
+func (p pairSpec) build() (*workflow.Workflow, *network.Network, error) {
+	if len(p.Workflow) == 0 || len(p.Network) == 0 {
+		return nil, nil, fmt.Errorf("request needs both workflow and network")
+	}
+	w, err := wfio.DecodeWorkflow(bytes.NewReader(p.Workflow))
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := wfio.DecodeNetwork(bytes.NewReader(p.Network))
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, n, nil
+}
+
+// Metrics is the cost report attached to planned mappings.
+type Metrics struct {
+	ExecTime    float64   `json:"execTime"`
+	TimePenalty float64   `json:"timePenalty"`
+	Combined    float64   `json:"combined"`
+	Makespan    float64   `json:"makespanEstimate"`
+	Loads       []float64 `json:"loads"`
+}
+
+func metricsOf(model *cost.Model, mp deploy.Mapping) Metrics {
+	res := model.Evaluate(mp)
+	return Metrics{
+		ExecTime:    res.ExecTime,
+		TimePenalty: res.TimePenalty,
+		Combined:    res.Combined,
+		Makespan:    model.MakespanEstimate(mp),
+		Loads:       res.Loads,
+	}
+}
+
+// deployRequest plans one deployment. The workflow arrives either as the
+// wfio JSON spec (workflow) or as workflow definition language source
+// (workflowWdl).
+type deployRequest struct {
+	pairSpec
+	WorkflowWDL string  `json:"workflowWdl,omitempty"`
+	Algorithm   string  `json:"algorithm"`
+	Seed        uint64  `json:"seed"`
+	MaxExecTime float64 `json:"maxExecTime,omitempty"`
+	MaxPenalty  float64 `json:"maxTimePenalty,omitempty"`
+	MaxLoad     float64 `json:"maxServerLoad,omitempty"`
+	MaxMakespan float64 `json:"maxMakespan,omitempty"`
+}
+
+// deployResponse is the planning result.
+type deployResponse struct {
+	Algorithm string  `json:"algorithm"`
+	Mapping   []int   `json:"mapping"`
+	Metrics   Metrics `json:"metrics"`
+}
+
+func (h *Handler) deploy(w http.ResponseWriter, r *http.Request) {
+	var req deployRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wf, err := decodeWorkflowField(req.Workflow, req.WorkflowWDL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Network) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("request needs a network"))
+		return
+	}
+	n, err := wfio.DecodeNetwork(bytes.NewReader(req.Network))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := req.Algorithm
+	if name == "" {
+		name = "holm"
+	}
+	algo, err := core.NewByName(name, req.Seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	mp, err := algo.Deploy(wf, n)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	model := cost.NewModel(wf, n)
+	cons := cost.Constraints{
+		MaxExecTime:    req.MaxExecTime,
+		MaxTimePenalty: req.MaxPenalty,
+		MaxServerLoad:  req.MaxLoad,
+		MaxMakespan:    req.MaxMakespan,
+	}
+	if err := cons.Check(model, mp); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, deployResponse{
+		Algorithm: algo.Name(),
+		Mapping:   mp,
+		Metrics:   metricsOf(model, mp),
+	})
+}
+
+// compareRequest runs the whole registry.
+type compareRequest struct {
+	pairSpec
+	Seed uint64 `json:"seed"`
+}
+
+// compareRow is one algorithm's outcome; Error is set when the algorithm
+// does not apply to the configuration.
+type compareRow struct {
+	Algorithm string   `json:"algorithm"`
+	Mapping   []int    `json:"mapping,omitempty"`
+	Metrics   *Metrics `json:"metrics,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+func (h *Handler) compare(w http.ResponseWriter, r *http.Request) {
+	var req compareRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wf, n, err := req.build()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	model := cost.NewModel(wf, n)
+	var rows []compareRow
+	for _, name := range core.KnownAlgorithms() {
+		algo, err := core.NewByName(name, req.Seed)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		mp, err := algo.Deploy(wf, n)
+		if err != nil {
+			rows = append(rows, compareRow{Algorithm: algo.Name(), Error: err.Error()})
+			continue
+		}
+		m := metricsOf(model, mp)
+		rows = append(rows, compareRow{Algorithm: algo.Name(), Mapping: mp, Metrics: &m})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": rows})
+}
+
+// simulateRequest Monte-Carlo simulates a mapping.
+type simulateRequest struct {
+	pairSpec
+	Mapping       []int  `json:"mapping"`
+	Runs          int    `json:"runs"`
+	Seed          uint64 `json:"seed"`
+	BusContention bool   `json:"busContention"`
+}
+
+func (h *Handler) simulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wf, n, err := req.build()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := sim.Simulate(wf, n, deploy.Mapping(req.Mapping), sim.Config{
+		Runs:          req.Runs,
+		Seed:          req.Seed,
+		BusContention: req.BusContention,
+	})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"runs":           res.Runs,
+		"makespanMean":   res.Makespan.Mean,
+		"makespanP95":    res.Makespan.P95,
+		"serialTimeMean": res.SerialTime.Mean,
+		"meanBusy":       res.MeanBusy,
+		"meanBitsSent":   res.MeanBits,
+		"meanMessages":   res.MeanMessages,
+	})
+}
+
+// failoverRequest recovers from a server failure.
+type failoverRequest struct {
+	pairSpec
+	Mapping []int  `json:"mapping"`
+	Failed  int    `json:"failed"`
+	Mode    string `json:"mode"` // "repair" (default) or "redeploy"
+	Seed    uint64 `json:"seed"`
+}
+
+func (h *Handler) failover(w http.ResponseWriter, r *http.Request) {
+	var req failoverRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wf, n, err := req.build()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	mode := core.RepairOrphans
+	switch req.Mode {
+	case "", "repair":
+	case "redeploy":
+		mode = core.FullRedeploy
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (repair|redeploy)", req.Mode))
+		return
+	}
+	res, err := core.Failover(wf, n, deploy.Mapping(req.Mapping), req.Failed, mode, core.HOLM{})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":      mode.String(),
+		"mapping":   res.Mapping,
+		"orphans":   res.Orphans,
+		"moved":     res.Moved,
+		"scaleUp":   res.ScaleUp,
+		"survivors": res.Network.N(),
+		"before":    Metrics{ExecTime: res.Before.ExecTime, TimePenalty: res.Before.TimePenalty, Combined: res.Before.Combined, Loads: res.Before.Loads},
+		"after":     Metrics{ExecTime: res.After.ExecTime, TimePenalty: res.After.TimePenalty, Combined: res.After.Combined, Loads: res.After.Loads},
+	})
+}

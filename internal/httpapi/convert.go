@@ -1,0 +1,62 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"wsdeploy/internal/wdl"
+	"wsdeploy/internal/wfio"
+)
+
+// Conversion endpoint: translate a workflow between its three
+// representations — wfio JSON, workflow definition language, and
+// Graphviz DOT — in any direction:
+//
+//	POST /v1/convert {"workflow": {...} | "workflowWdl": "...", "to": "json"|"wdl"|"dot"}
+//
+// The response carries the requested representation under the matching
+// key ("workflow", "workflowWdl" or "dot").
+func (h *Handler) registerConvert() {
+	h.mux.HandleFunc("POST /v1/convert", h.convert)
+}
+
+type convertRequest struct {
+	Workflow    json.RawMessage `json:"workflow"`
+	WorkflowWDL string          `json:"workflowWdl"`
+	To          string          `json:"to"`
+}
+
+func (h *Handler) convert(w http.ResponseWriter, r *http.Request) {
+	var req convertRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wf, err := decodeWorkflowField(req.Workflow, req.WorkflowWDL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	switch req.To {
+	case "json", "":
+		var buf bytes.Buffer
+		if err := wfio.EncodeWorkflow(&buf, wf); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"workflow": json.RawMessage(buf.Bytes())})
+	case "wdl":
+		src, err := wdl.Format(wf)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"workflowWdl": src})
+	case "dot":
+		writeJSON(w, http.StatusOK, map[string]any{"dot": wfio.WorkflowDOT(wf, nil)})
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown target %q (json|wdl|dot)", req.To))
+	}
+}

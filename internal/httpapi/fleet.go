@@ -1,0 +1,256 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"wsdeploy/internal/manager"
+	"wsdeploy/internal/wdl"
+	"wsdeploy/internal/wfio"
+	"wsdeploy/internal/workflow"
+)
+
+// Fleet endpoints expose the online deployment manager as a stateful
+// service (one fleet per handler):
+//
+//	PUT    /v1/fleet                    — (re)create the fleet from a network spec
+//	GET    /v1/fleet/status             — combined loads, penalty, per-workflow exec
+//	POST   /v1/fleet/workflows          — deploy a workflow {id, workflow|workflowWdl}
+//	DELETE /v1/fleet/workflows/{id}     — retire a workflow
+//	POST   /v1/fleet/servers            — join a server {name, powerHz}
+//	DELETE /v1/fleet/servers/{index}    — fail a server (repairs orphans)
+//	POST   /v1/fleet/rebalance          — globally rebalance the portfolio
+//
+// All fleet state lives behind one mutex; operations are fast, pure
+// computations.
+
+// fleetState guards the single managed fleet.
+type fleetState struct {
+	mu sync.Mutex
+	m  *manager.Manager
+}
+
+// registerFleet wires the fleet endpoints onto the handler's mux.
+func (h *Handler) registerFleet() {
+	fs := &fleetState{}
+	h.mux.HandleFunc("PUT /v1/fleet", fs.create)
+	h.mux.HandleFunc("GET /v1/fleet/status", fs.status)
+	h.mux.HandleFunc("POST /v1/fleet/workflows", fs.deployWorkflow)
+	h.mux.HandleFunc("DELETE /v1/fleet/workflows/{id}", fs.removeWorkflow)
+	h.mux.HandleFunc("POST /v1/fleet/servers", fs.serverUp)
+	h.mux.HandleFunc("DELETE /v1/fleet/servers/{index}", fs.serverDown)
+	h.mux.HandleFunc("POST /v1/fleet/rebalance", fs.rebalance)
+	h.mux.HandleFunc("GET /v1/fleet/snapshot", fs.snapshot)
+	h.mux.HandleFunc("PUT /v1/fleet/snapshot", fs.restore)
+}
+
+// requireFleet returns the manager or writes a 409.
+func (fs *fleetState) requireFleet(w http.ResponseWriter) *manager.Manager {
+	if fs.m == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no fleet created yet; PUT /v1/fleet first"))
+		return nil
+	}
+	return fs.m
+}
+
+func (fs *fleetState) create(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Network json.RawMessage `json:"network"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Network) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("fleet creation needs a network"))
+		return
+	}
+	n, err := wfio.DecodeNetwork(bytes.NewReader(req.Network))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.m = manager.New(n)
+	writeJSON(w, http.StatusOK, map[string]any{"servers": n.N()})
+}
+
+func (fs *fleetState) status(w http.ResponseWriter, _ *http.Request) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m := fs.requireFleet(w)
+	if m == nil {
+		return
+	}
+	st := m.Status()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"servers":     st.Servers,
+		"workflows":   st.Workflows,
+		"loads":       st.Loads,
+		"timePenalty": st.TimePenalty,
+		"totalExec":   st.TotalExec,
+		"perWorkflow": st.PerWorkflow,
+	})
+}
+
+// decodeWorkflowField accepts either a JSON workflow spec or WDL source.
+func decodeWorkflowField(spec json.RawMessage, wdlSrc string) (*workflow.Workflow, error) {
+	switch {
+	case len(spec) > 0 && wdlSrc != "":
+		return nil, fmt.Errorf("pass either workflow (JSON) or workflowWdl, not both")
+	case len(spec) > 0:
+		return wfio.DecodeWorkflow(bytes.NewReader(spec))
+	case wdlSrc != "":
+		return wdl.Parse(wdlSrc)
+	default:
+		return nil, fmt.Errorf("request needs workflow (JSON) or workflowWdl")
+	}
+}
+
+func (fs *fleetState) deployWorkflow(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID          string          `json:"id"`
+		Workflow    json.RawMessage `json:"workflow"`
+		WorkflowWDL string          `json:"workflowWdl"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("workflow deployment needs an id"))
+		return
+	}
+	wf, err := decodeWorkflowField(req.Workflow, req.WorkflowWDL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m := fs.requireFleet(w)
+	if m == nil {
+		return
+	}
+	if err := m.Deploy(req.ID, wf); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	mp, _ := m.Mapping(req.ID)
+	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "mapping": mp})
+}
+
+func (fs *fleetState) removeWorkflow(w http.ResponseWriter, r *http.Request) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m := fs.requireFleet(w)
+	if m == nil {
+		return
+	}
+	if err := m.Remove(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": r.PathValue("id")})
+}
+
+func (fs *fleetState) serverUp(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name    string  `json:"name"`
+		PowerHz float64 `json:"powerHz"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m := fs.requireFleet(w)
+	if m == nil {
+		return
+	}
+	idx, err := m.ServerUp(req.Name, req.PowerHz)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"index": idx, "servers": m.Network().N()})
+}
+
+func (fs *fleetState) serverDown(w http.ResponseWriter, r *http.Request) {
+	idx, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad server index %q", r.PathValue("index")))
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m := fs.requireFleet(w)
+	if m == nil {
+		return
+	}
+	moved, err := m.ServerDown(idx)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"moved": moved, "servers": m.Network().N()})
+}
+
+// snapshot serializes the whole fleet state for backup or replication.
+func (fs *fleetState) snapshot(w http.ResponseWriter, _ *http.Request) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m := fs.requireFleet(w)
+	if m == nil {
+		return
+	}
+	data, err := m.Snapshot()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// restore replaces the fleet with a previously captured snapshot.
+func (fs *fleetState) restore(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := manager.Restore(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.m = m
+	st := m.Status()
+	writeJSON(w, http.StatusOK, map[string]any{"servers": st.Servers, "workflows": st.Workflows})
+}
+
+func (fs *fleetState) rebalance(w http.ResponseWriter, _ *http.Request) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m := fs.requireFleet(w)
+	if m == nil {
+		return
+	}
+	moved, err := m.Rebalance()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"moved": moved})
+}

@@ -1,0 +1,274 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/wfio"
+)
+
+// fleetServer spins up a handler and creates a fleet of 3 servers.
+func fleetServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler())
+	t.Cleanup(srv.Close)
+	n, err := network.NewBus("fleet", []float64{1e9, 2e9, 3e9}, 1e8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nbuf bytes.Buffer
+	if err := wfio.EncodeNetwork(&nbuf, n); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/fleet",
+		strings.NewReader(fmt.Sprintf(`{"network": %s}`, nbuf.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet creation status %d", resp.StatusCode)
+	}
+	return srv
+}
+
+func do(t *testing.T, method, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestFleetLifecycle(t *testing.T) {
+	srv := fleetServer(t)
+
+	// Deploy a workflow from WDL source.
+	wdlSrc := `workflow billing op A 20M msg 7581B op B 30M msg 873B op C 10M`
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/fleet/workflows",
+		fmt.Sprintf(`{"id": "billing", "workflowWdl": %q}`, wdlSrc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status %d: %v", resp.StatusCode, out)
+	}
+	if len(out["mapping"].([]any)) != 3 {
+		t.Fatalf("mapping: %v", out["mapping"])
+	}
+
+	// Status reflects it.
+	resp, out = do(t, http.MethodGet, srv.URL+"/v1/fleet/status", "")
+	if resp.StatusCode != http.StatusOK || out["workflows"].(float64) != 1 {
+		t.Fatalf("status: %d %v", resp.StatusCode, out)
+	}
+
+	// Duplicate id conflicts.
+	resp, _ = do(t, http.MethodPost, srv.URL+"/v1/fleet/workflows",
+		fmt.Sprintf(`{"id": "billing", "workflowWdl": %q}`, wdlSrc))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate status %d", resp.StatusCode)
+	}
+
+	// Grow the fleet and rebalance.
+	resp, out = do(t, http.MethodPost, srv.URL+"/v1/fleet/servers", `{"name": "S4", "powerHz": 3e9}`)
+	if resp.StatusCode != http.StatusOK || out["index"].(float64) != 3 {
+		t.Fatalf("server up: %d %v", resp.StatusCode, out)
+	}
+	resp, _ = do(t, http.MethodPost, srv.URL+"/v1/fleet/rebalance", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance status %d", resp.StatusCode)
+	}
+
+	// Fail a server.
+	resp, out = do(t, http.MethodDelete, srv.URL+"/v1/fleet/servers/0", "")
+	if resp.StatusCode != http.StatusOK || out["servers"].(float64) != 3 {
+		t.Fatalf("server down: %d %v", resp.StatusCode, out)
+	}
+
+	// Retire the workflow.
+	resp, _ = do(t, http.MethodDelete, srv.URL+"/v1/fleet/workflows/billing", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove status %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodDelete, srv.URL+"/v1/fleet/workflows/billing", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double remove status %d", resp.StatusCode)
+	}
+}
+
+func TestFleetRequiresCreation(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	resp, _ := do(t, http.MethodGet, srv.URL+"/v1/fleet/status", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status without fleet = %d", resp.StatusCode)
+	}
+}
+
+func TestFleetDeployValidation(t *testing.T) {
+	srv := fleetServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{"workflowWdl": "workflow x op A 1"}`, http.StatusBadRequest},                                       // no id
+		{`{"id": "x"}`, http.StatusBadRequest},                                                                // no workflow
+		{`{"id": "x", "workflowWdl": "zap"}`, http.StatusBadRequest},                                          // bad wdl
+		{`{"id": "x", "workflow": {"name": "w"}, "workflowWdl": "workflow y op A 1"}`, http.StatusBadRequest}, // both
+	}
+	for i, tc := range cases {
+		resp, _ := do(t, http.MethodPost, srv.URL+"/v1/fleet/workflows", tc.body)
+		if resp.StatusCode != tc.code {
+			t.Fatalf("case %d: status %d, want %d", i, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+func TestFleetServerDownValidation(t *testing.T) {
+	srv := fleetServer(t)
+	resp, _ := do(t, http.MethodDelete, srv.URL+"/v1/fleet/servers/zap", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad index status %d", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodDelete, srv.URL+"/v1/fleet/servers/99", "")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-range index status %d", resp.StatusCode)
+	}
+}
+
+func TestDeployAcceptsWDL(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	n, err := network.NewBus("b", []float64{1e9, 2e9}, 1e8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nbuf bytes.Buffer
+	if err := wfio.EncodeNetwork(&nbuf, n); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"workflowWdl": "workflow w op A 20M msg 7581B op B 30M", "network": %s, "algorithm": "fairload"}`, nbuf.String())
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/deploy", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if len(out["mapping"].([]any)) != 2 {
+		t.Fatalf("mapping: %v", out["mapping"])
+	}
+}
+
+func TestConvertEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	src := "workflow w op A 20M msg 7581B op B 30M"
+
+	// WDL -> JSON.
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/convert",
+		fmt.Sprintf(`{"workflowWdl": %q, "to": "json"}`, src))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wdl->json status %d: %v", resp.StatusCode, out)
+	}
+	wfJSON, err := json.Marshal(out["workflow"])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON -> WDL round trip.
+	resp, out = do(t, http.MethodPost, srv.URL+"/v1/convert",
+		fmt.Sprintf(`{"workflow": %s, "to": "wdl"}`, wfJSON))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json->wdl status %d: %v", resp.StatusCode, out)
+	}
+	if !strings.Contains(out["workflowWdl"].(string), "op A 20M") {
+		t.Fatalf("wdl output: %v", out["workflowWdl"])
+	}
+
+	// WDL -> DOT.
+	resp, out = do(t, http.MethodPost, srv.URL+"/v1/convert",
+		fmt.Sprintf(`{"workflowWdl": %q, "to": "dot"}`, src))
+	if resp.StatusCode != http.StatusOK || !strings.Contains(out["dot"].(string), "digraph") {
+		t.Fatalf("wdl->dot: %d %v", resp.StatusCode, out)
+	}
+
+	// Unknown target.
+	resp, _ = do(t, http.MethodPost, srv.URL+"/v1/convert",
+		fmt.Sprintf(`{"workflowWdl": %q, "to": "yaml"}`, src))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown target status %d", resp.StatusCode)
+	}
+}
+
+func TestFleetSnapshotRestore(t *testing.T) {
+	srv := fleetServer(t)
+	// Deploy something, snapshot, wipe by restoring into a fresh server.
+	_, _ = do(t, http.MethodPost, srv.URL+"/v1/fleet/workflows",
+		`{"id": "w", "workflowWdl": "workflow w op A 20M msg 7581B op B 30M"}`)
+	resp, err := http.Get(srv.URL + "/v1/fleet/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+
+	srv2 := httptest.NewServer(NewHandler())
+	defer srv2.Close()
+	req, err := http.NewRequest(http.MethodPut, srv2.URL+"/v1/fleet/snapshot", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	_ = json.NewDecoder(resp2.Body).Decode(&out)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("restore status %d: %v", resp2.StatusCode, out)
+	}
+	if out["workflows"].(float64) != 1 || out["servers"].(float64) != 3 {
+		t.Fatalf("restored fleet: %v", out)
+	}
+	// The restored fleet serves status.
+	resp3, out3 := do(t, http.MethodGet, srv2.URL+"/v1/fleet/status", "")
+	if resp3.StatusCode != http.StatusOK || out3["workflows"].(float64) != 1 {
+		t.Fatalf("restored status: %d %v", resp3.StatusCode, out3)
+	}
+
+	// Corrupt restores are rejected.
+	req, _ = http.NewRequest(http.MethodPut, srv2.URL+"/v1/fleet/snapshot", strings.NewReader("zap"))
+	resp4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt restore status %d", resp4.StatusCode)
+	}
+}

@@ -1,0 +1,46 @@
+package manager_test
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/manager"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// ExampleManager walks a workflow arrival, a server failure and a
+// rebalance through the online deployment controller.
+func ExampleManager() {
+	n := network.MustNewBus("fleet", []float64{1e9, 1e9, 2e9}, 1e8, 0)
+	m := manager.New(n)
+
+	w := workflow.MustNewLine("billing",
+		[]float64{20e6, 20e6, 20e6, 20e6},
+		[]float64{8000, 8000, 8000})
+	if err := m.Deploy("billing", w); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("deployed over", m.Status().Servers, "servers")
+
+	moved, err := m.ServerDown(0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("after failure:", m.Status().Servers, "servers,", moved, "ops moved")
+
+	if _, err := m.ServerUp("fresh", 2e9); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := m.Rebalance(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("after growth:", m.Status().Servers, "servers")
+	// Output:
+	// deployed over 3 servers
+	// after failure: 2 servers, 1 ops moved
+	// after growth: 3 servers
+}

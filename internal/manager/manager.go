@@ -1,0 +1,298 @@
+// Package manager is an online deployment controller built on the
+// paper's algorithms: it maintains the live placements of many workflows
+// over a mutable server fleet. Workflows arrive and depart, servers fail
+// and join, and the manager keeps the combined load fair and the
+// messages off the network — incrementally where possible (GreedyPlace
+// fills the valleys of the current load landscape; failures repair only
+// the orphaned operations) and with a global rebalance on demand.
+//
+// The paper plans one static workflow; the manager is the system a
+// provider would actually run, stitched from the paper's own primitives:
+// FairLoad-style packing (§3.3), probability-amortised costs (§3.4),
+// multi-workflow budgets (§6) and the §2.1 failure scenario.
+package manager
+
+import (
+	"fmt"
+	"sort"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// Manager holds the live state. It is not safe for concurrent use; wrap
+// it in your own synchronization if needed (every method is a fast pure
+// computation, so a single mutex suffices).
+type Manager struct {
+	net       *network.Network
+	workflows map[string]*workflow.Workflow
+	mappings  map[string]deploy.Mapping
+	order     []string // insertion order, for deterministic iteration
+}
+
+// New builds a manager over an initial network.
+func New(net *network.Network) *Manager {
+	return &Manager{
+		net:       net,
+		workflows: map[string]*workflow.Workflow{},
+		mappings:  map[string]deploy.Mapping{},
+	}
+}
+
+// Network returns the current fleet.
+func (m *Manager) Network() *network.Network { return m.net }
+
+// Workflows returns the deployed workflow ids in arrival order.
+func (m *Manager) Workflows() []string {
+	return append([]string(nil), m.order...)
+}
+
+// Mapping returns the live mapping of a workflow id.
+func (m *Manager) Mapping(id string) (deploy.Mapping, bool) {
+	mp, ok := m.mappings[id]
+	if !ok {
+		return nil, false
+	}
+	return mp.Clone(), true
+}
+
+// combinedCycles returns the probability-amortised cycles each server
+// currently hosts across all workflows.
+func (m *Manager) combinedCycles() []float64 {
+	cycles := make([]float64, m.net.N())
+	for _, id := range m.order {
+		w := m.workflows[id]
+		model := cost.NewModel(w, m.net)
+		for op, s := range m.mappings[id] {
+			if s != deploy.Unassigned {
+				cycles[s] += model.NodeProb(op) * w.Nodes[op].Cycles
+			}
+		}
+	}
+	return cycles
+}
+
+// Deploy places a new workflow into the valleys of the current combined
+// load. The id must be unused.
+func (m *Manager) Deploy(id string, w *workflow.Workflow) error {
+	if _, dup := m.workflows[id]; dup {
+		return fmt.Errorf("manager: workflow %q already deployed", id)
+	}
+	mp, err := core.GreedyPlace(w, m.net, m.combinedCycles())
+	if err != nil {
+		return err
+	}
+	m.workflows[id] = w
+	m.mappings[id] = mp
+	m.order = append(m.order, id)
+	return nil
+}
+
+// Remove withdraws a workflow; its capacity is freed for future arrivals.
+func (m *Manager) Remove(id string) error {
+	if _, ok := m.workflows[id]; !ok {
+		return fmt.Errorf("manager: unknown workflow %q", id)
+	}
+	delete(m.workflows, id)
+	delete(m.mappings, id)
+	for i, v := range m.order {
+		if v == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// ServerDown removes a failed server and repairs every workflow's
+// mapping, moving only the orphaned operations (core.RepairOrphans
+// semantics across the whole portfolio). It returns the number of
+// operations that had to move.
+func (m *Manager) ServerDown(s int) (moved int, err error) {
+	degraded, remap, err := m.net.RemoveServer(s)
+	if err != nil {
+		return 0, err
+	}
+	// Remap survivors first so that the per-workflow repairs see the
+	// combined surviving load.
+	newMappings := map[string]deploy.Mapping{}
+	var orphaned []struct {
+		id string
+		op int
+	}
+	for _, id := range m.order {
+		old := m.mappings[id]
+		mp := deploy.NewUnassigned(len(old))
+		for op, srv := range old {
+			ns := -1
+			if srv >= 0 {
+				ns = remap[srv]
+			}
+			if ns < 0 {
+				orphaned = append(orphaned, struct {
+					id string
+					op int
+				}{id, op})
+				continue
+			}
+			mp[op] = ns
+		}
+		newMappings[id] = mp
+	}
+	m.net = degraded
+	m.mappings = newMappings
+
+	// Re-place orphans workflow by workflow against the evolving combined
+	// load: heaviest orphan first within each workflow.
+	for _, id := range m.order {
+		w := m.workflows[id]
+		mp := m.mappings[id]
+		var orphans []int
+		for _, o := range orphaned {
+			if o.id == id {
+				orphans = append(orphans, o.op)
+			}
+		}
+		if len(orphans) == 0 {
+			continue
+		}
+		moved += len(orphans)
+		if err := m.placeOrphans(w, mp, orphans); err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// placeOrphans assigns the given unplaced operations of one workflow,
+// worst-fit against the combined ideal budget with gain tie-breaks.
+func (m *Manager) placeOrphans(w *workflow.Workflow, mp deploy.Mapping, orphans []int) error {
+	model := cost.NewModel(w, m.net)
+	combined := m.combinedCycles()
+	var total float64
+	for _, c := range combined {
+		total += c
+	}
+	for _, op := range orphans {
+		total += model.NodeProb(op) * w.Nodes[op].Cycles
+	}
+	budget := make([]float64, m.net.N())
+	power := m.net.TotalPower()
+	for s := range budget {
+		budget[s] = total*m.net.Servers[s].PowerHz/power - combined[s]
+	}
+	// Heaviest orphan first.
+	sort.SliceStable(orphans, func(a, b int) bool {
+		ca := model.NodeProb(orphans[a]) * w.Nodes[orphans[a]].Cycles
+		cb := model.NodeProb(orphans[b]) * w.Nodes[orphans[b]].Cycles
+		if ca != cb {
+			return ca > cb
+		}
+		return orphans[a] < orphans[b]
+	})
+	for _, op := range orphans {
+		bestS, bestKey, bestGain := -1, 0.0, -1.0
+		for s := 0; s < m.net.N(); s++ {
+			gain := 0.0
+			for _, ei := range w.In(op) {
+				if mp[w.Edges[ei].From] == s {
+					gain += model.EdgeProb(ei) * w.Edges[ei].SizeBits
+				}
+			}
+			for _, ei := range w.Out(op) {
+				if mp[w.Edges[ei].To] == s {
+					gain += model.EdgeProb(ei) * w.Edges[ei].SizeBits
+				}
+			}
+			if bestS < 0 || budget[s] > bestKey || (budget[s] == bestKey && gain > bestGain) {
+				bestS, bestKey, bestGain = s, budget[s], gain
+			}
+		}
+		mp[op] = bestS
+		budget[bestS] -= model.NodeProb(op) * w.Nodes[op].Cycles
+	}
+	return nil
+}
+
+// ServerUp joins a fresh server to a bus fleet and returns its index.
+// Existing placements stay put; subsequent arrivals and rebalances use
+// the capacity.
+func (m *Manager) ServerUp(name string, powerHz float64) (int, error) {
+	grown, err := m.net.AddBusServer(name, powerHz)
+	if err != nil {
+		return -1, err
+	}
+	m.net = grown
+	return grown.N() - 1, nil
+}
+
+// Rebalance redeploys the whole portfolio from scratch (heaviest
+// workflow first) and returns the number of operations that changed
+// servers. Use after fleet growth or workflow churn has skewed the
+// placement.
+func (m *Manager) Rebalance() (moved int, err error) {
+	ids := append([]string(nil), m.order...)
+	sort.SliceStable(ids, func(a, b int) bool {
+		return m.workflows[ids[a]].ExpectedCycles() > m.workflows[ids[b]].ExpectedCycles()
+	})
+	cycles := make([]float64, m.net.N())
+	newMappings := map[string]deploy.Mapping{}
+	for _, id := range ids {
+		w := m.workflows[id]
+		mp, err := core.GreedyPlace(w, m.net, cycles)
+		if err != nil {
+			return 0, err
+		}
+		newMappings[id] = mp
+		model := cost.NewModel(w, m.net)
+		for op, s := range mp {
+			cycles[s] += model.NodeProb(op) * w.Nodes[op].Cycles
+		}
+	}
+	for _, id := range ids {
+		old := m.mappings[id]
+		for op, s := range newMappings[id] {
+			if old[op] != s {
+				moved++
+			}
+		}
+	}
+	m.mappings = newMappings
+	return moved, nil
+}
+
+// Status reports the portfolio's health.
+type Status struct {
+	Servers     int
+	Workflows   int
+	Loads       []float64 // combined per-server load, seconds
+	TimePenalty float64
+	TotalExec   float64            // Σ per-workflow amortised exec time
+	PerWorkflow map[string]float64 // per-workflow exec time
+}
+
+// Status computes the combined metrics.
+func (m *Manager) Status() Status {
+	st := Status{
+		Servers:     m.net.N(),
+		Workflows:   len(m.order),
+		Loads:       make([]float64, m.net.N()),
+		PerWorkflow: map[string]float64{},
+	}
+	for _, id := range m.order {
+		w := m.workflows[id]
+		model := cost.NewModel(w, m.net)
+		mp := m.mappings[id]
+		exec := model.ExecutionTime(mp)
+		st.PerWorkflow[id] = exec
+		st.TotalExec += exec
+		for s, l := range model.Loads(mp) {
+			st.Loads[s] += l
+		}
+	}
+	st.TimePenalty = cost.PenaltyOfLoads(st.Loads)
+	return st
+}

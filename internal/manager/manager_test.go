@@ -1,0 +1,324 @@
+package manager
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+func freshManager(t *testing.T) *Manager {
+	t.Helper()
+	n, err := network.NewBus("fleet", []float64{1e9, 2e9, 2e9, 3e9}, 100e6, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(n)
+}
+
+func wf(t *testing.T, seed uint64, m int) *workflow.Workflow {
+	t.Helper()
+	w, err := gen.ClassC().LinearWorkflow(stats.NewRNG(seed), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDeployAndStatus(t *testing.T) {
+	m := freshManager(t)
+	if err := m.Deploy("billing", wf(t, 1, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("reporting", wf(t, 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	if st.Workflows != 2 || st.Servers != 4 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.TotalExec <= 0 || st.TimePenalty < 0 {
+		t.Fatalf("metrics: %+v", st)
+	}
+	if len(st.PerWorkflow) != 2 {
+		t.Fatalf("per-workflow: %v", st.PerWorkflow)
+	}
+	if got := m.Workflows(); len(got) != 2 || got[0] != "billing" {
+		t.Fatalf("Workflows() = %v", got)
+	}
+	mp, ok := m.Mapping("billing")
+	if !ok || len(mp) != 12 {
+		t.Fatalf("Mapping: %v %v", mp, ok)
+	}
+}
+
+func TestDeployDuplicateID(t *testing.T) {
+	m := freshManager(t)
+	if err := m.Deploy("x", wf(t, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("x", wf(t, 2, 5)); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestSecondWorkflowFillsValleys(t *testing.T) {
+	// After deploying two equal workflows the combined penalty must be
+	// small — the second placement must account for the first.
+	m := freshManager(t)
+	if err := m.Deploy("a", wf(t, 3, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("b", wf(t, 3, 15)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	meanLoad := stats.Mean(st.Loads)
+	if st.TimePenalty > meanLoad*0.5 {
+		t.Fatalf("combined penalty %v too high vs mean load %v", st.TimePenalty, meanLoad)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := freshManager(t)
+	if err := m.Deploy("a", wf(t, 1, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("a"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if st := m.Status(); st.Workflows != 0 || st.TotalExec != 0 {
+		t.Fatalf("status after remove: %+v", st)
+	}
+	if _, ok := m.Mapping("a"); ok {
+		t.Fatal("mapping survived removal")
+	}
+}
+
+func TestServerDownRepairsAllWorkflows(t *testing.T) {
+	m := freshManager(t)
+	if err := m.Deploy("a", wf(t, 4, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("b", wf(t, 5, 9)); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Status()
+	moved, err := m.ServerDown(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Network().N() != 3 {
+		t.Fatalf("fleet size = %d", m.Network().N())
+	}
+	st := m.Status()
+	if st.Servers != 3 {
+		t.Fatalf("status servers = %d", st.Servers)
+	}
+	// All operations must still be placed on valid servers.
+	for _, id := range m.Workflows() {
+		mp, _ := m.Mapping(id)
+		for op, s := range mp {
+			if s < 0 || s >= 3 {
+				t.Fatalf("workflow %s op %d on server %d", id, op, s)
+			}
+		}
+	}
+	// Total load is conserved up to power differences (ops moved to
+	// differently-powered servers change seconds, not cycles).
+	if moved == 0 {
+		t.Fatal("failure of a loaded server moved nothing")
+	}
+	if st.TotalExec <= 0 || before.TotalExec <= 0 {
+		t.Fatal("exec times vanished")
+	}
+}
+
+func TestServerDownInvalid(t *testing.T) {
+	m := freshManager(t)
+	if _, err := m.ServerDown(99); err == nil {
+		t.Fatal("bad server index accepted")
+	}
+}
+
+func TestServerUpAndRebalance(t *testing.T) {
+	m := freshManager(t)
+	if err := m.Deploy("a", wf(t, 6, 16)); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := m.ServerUp("S5", 3e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 4 || m.Network().N() != 5 {
+		t.Fatalf("grow failed: idx=%d N=%d", idx, m.Network().N())
+	}
+	// Existing placement untouched: the new server is empty.
+	st := m.Status()
+	if st.Loads[idx] != 0 {
+		t.Fatalf("new server has load %v", st.Loads[idx])
+	}
+	moved, err := m.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("rebalance onto a new 3 GHz server moved nothing")
+	}
+	st2 := m.Status()
+	if st2.Loads[idx] <= 0 {
+		t.Fatal("rebalance left the new server empty")
+	}
+	if st2.TimePenalty > st.TimePenalty+1e-12 {
+		t.Fatalf("rebalance worsened fairness: %v -> %v", st.TimePenalty, st2.TimePenalty)
+	}
+}
+
+func TestServerUpNonBusFails(t *testing.T) {
+	n, err := network.NewLine("l", []float64{1e9, 1e9, 1e9}, []float64{1e7, 1e7}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(n)
+	if _, err := m.ServerUp("x", 1e9); err == nil {
+		t.Fatal("grew a line network as a bus")
+	}
+}
+
+func TestLifecycleEndToEnd(t *testing.T) {
+	// Arrival, failure, growth, departure — the full churn loop.
+	m := freshManager(t)
+	for i, id := range []string{"w1", "w2", "w3"} {
+		if err := m.Deploy(id, wf(t, uint64(10+i), 10+i*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.ServerDown(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ServerUp("fresh", 2e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("w2"); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	if st.Workflows != 2 || st.Servers != 4 {
+		t.Fatalf("final status: %+v", st)
+	}
+	// Every mapping valid against the final network.
+	for _, id := range m.Workflows() {
+		mp, _ := m.Mapping(id)
+		for _, s := range mp {
+			if s < 0 || s >= st.Servers {
+				t.Fatalf("dangling placement %d", s)
+			}
+		}
+	}
+	// Combined loads must sum to the per-workflow sums.
+	var loadSum float64
+	for _, l := range st.Loads {
+		loadSum += l
+	}
+	var perSum float64
+	for _, id := range m.Workflows() {
+		w := m.workflows[id]
+		model := cost.NewModel(w, m.Network())
+		mp, _ := m.Mapping(id)
+		for _, l := range model.Loads(mp) {
+			perSum += l
+		}
+	}
+	if math.Abs(loadSum-perSum) > 1e-9 {
+		t.Fatalf("load accounting broken: %v vs %v", loadSum, perSum)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := freshManager(t)
+	if err := m.Deploy("a", wf(t, 31, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("b", wf(t, 32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical fleet, workflows and mappings.
+	if restored.Network().N() != m.Network().N() {
+		t.Fatal("fleet size changed")
+	}
+	if got := restored.Workflows(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("workflow order: %v", got)
+	}
+	for _, id := range m.Workflows() {
+		want, _ := m.Mapping(id)
+		got, ok := restored.Mapping(id)
+		if !ok || len(got) != len(want) {
+			t.Fatalf("mapping %q lost", id)
+		}
+		for op := range want {
+			if got[op] != want[op] {
+				t.Fatalf("mapping %q changed at op %d", id, op)
+			}
+		}
+		w, ok := restored.Workflow(id)
+		if !ok || w.M() != len(want) {
+			t.Fatalf("workflow %q lost", id)
+		}
+	}
+	// Status metrics identical.
+	a, b := m.Status(), restored.Status()
+	if math.Abs(a.TimePenalty-b.TimePenalty) > 1e-12 || math.Abs(a.TotalExec-b.TotalExec) > 1e-12 {
+		t.Fatalf("status drifted: %+v vs %+v", a, b)
+	}
+	// The restored controller keeps working.
+	if _, err := restored.ServerDown(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	if _, err := Restore([]byte("zap")); err == nil {
+		t.Fatal("garbage restored")
+	}
+	m := freshManager(t)
+	if err := m.Deploy("a", wf(t, 33, 6)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the mapping: point an operation at a non-existent server.
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	wfs := snap["workflows"].([]any)
+	wfs[0].(map[string]any)["mapping"] = []int{99, 0, 0, 0, 0, 0}
+	bad, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("corrupt mapping restored")
+	}
+}

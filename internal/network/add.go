@@ -1,0 +1,30 @@
+package network
+
+import "fmt"
+
+// AddBusServer returns a copy of a bus network with one more server of
+// the given power attached to the shared medium (same speed and delay as
+// the existing bus). It models the capacity scale-up side of the paper's
+// motivating scenario, the inverse of RemoveServer.
+func (n *Network) AddBusServer(name string, powerHz float64) (*Network, error) {
+	if n.topology != Bus {
+		return nil, fmt.Errorf("network: AddBusServer on %s topology", n.topology)
+	}
+	if powerHz <= 0 {
+		return nil, fmt.Errorf("network: invalid power %v", powerHz)
+	}
+	servers := append(append([]Server(nil), n.Servers...), Server{Name: name, PowerHz: powerHz})
+	var speed, prop float64
+	if len(n.Links) > 0 {
+		speed, prop = n.Links[0].SpeedBps, n.Links[0].PropDelay
+	} else {
+		// Single-server degenerate bus: default to a fast LAN.
+		speed, prop = 100e6, 0
+	}
+	links := append([]Link(nil), n.Links...)
+	newIdx := len(servers) - 1
+	for i := 0; i < newIdx; i++ {
+		links = append(links, Link{A: i, B: newIdx, SpeedBps: speed, PropDelay: prop})
+	}
+	return New(n.Name, servers, links)
+}

@@ -1,0 +1,71 @@
+package network
+
+import "fmt"
+
+// RemoveServer returns a copy of the network without server s, together
+// with the index remapping from old server indices to new ones (-1 for
+// the removed server). It models the paper's motivating failure scenario
+// (§2.1: "whenever ... a server fails, a reasonable load scale-up is
+// still possible").
+//
+// Links incident to the removed server disappear. On a line topology the
+// two neighbours of an interior server are bridged with a link that
+// inherits the slower of the two removed link speeds and the sum of
+// their propagation delays (the physical cable is re-patched around the
+// dead machine). If the removal would disconnect any other topology, an
+// error is returned.
+func (n *Network) RemoveServer(s int) (*Network, []int, error) {
+	if s < 0 || s >= len(n.Servers) {
+		return nil, nil, fmt.Errorf("network: RemoveServer(%d) out of range", s)
+	}
+	if len(n.Servers) == 1 {
+		return nil, nil, fmt.Errorf("network: cannot remove the only server")
+	}
+	remap := make([]int, len(n.Servers))
+	servers := make([]Server, 0, len(n.Servers)-1)
+	for i, srv := range n.Servers {
+		if i == s {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(servers)
+		servers = append(servers, srv)
+	}
+
+	var links []Link
+	var removed []Link
+	for _, l := range n.Links {
+		if l.A == s || l.B == s {
+			removed = append(removed, l)
+			continue
+		}
+		links = append(links, Link{A: remap[l.A], B: remap[l.B], SpeedBps: l.SpeedBps, PropDelay: l.PropDelay})
+	}
+	// Re-patch a line around an interior failure.
+	if n.topology == Line && len(removed) == 2 {
+		a, b := otherEnd(removed[0], s), otherEnd(removed[1], s)
+		speed := removed[0].SpeedBps
+		if removed[1].SpeedBps < speed {
+			speed = removed[1].SpeedBps
+		}
+		links = append(links, Link{
+			A:         remap[a],
+			B:         remap[b],
+			SpeedBps:  speed,
+			PropDelay: removed[0].PropDelay + removed[1].PropDelay,
+		})
+	}
+
+	nn, err := New(n.Name+"-degraded", servers, links)
+	if err != nil {
+		return nil, nil, fmt.Errorf("network: removing server %d: %w", s, err)
+	}
+	return nn, remap, nil
+}
+
+func otherEnd(l Link, s int) int {
+	if l.A == s {
+		return l.B
+	}
+	return l.A
+}

@@ -1,0 +1,38 @@
+package network
+
+import "fmt"
+
+// RemoveLink returns a copy of the network without the given link —
+// modelling a cable or switch-port failure rather than a whole-server
+// one. Messages re-route over the surviving paths (the Dijkstra tables
+// are rebuilt); if the removal disconnects the network, an error names
+// the partition so the operator knows a topology-level repair is needed.
+func (n *Network) RemoveLink(li int) (*Network, error) {
+	if li < 0 || li >= len(n.Links) {
+		return nil, fmt.Errorf("network: RemoveLink(%d) out of range", li)
+	}
+	links := make([]Link, 0, len(n.Links)-1)
+	links = append(links, n.Links[:li]...)
+	links = append(links, n.Links[li+1:]...)
+	nn, err := New(n.Name+"-linkdown", n.Servers, links)
+	if err != nil {
+		return nil, fmt.Errorf("network: removing link %d (%d-%d): %w",
+			li, n.Links[li].A, n.Links[li].B, err)
+	}
+	return nn, nil
+}
+
+// DegradeLink returns a copy with the given link's speed multiplied by
+// factor (0 < factor ≤ 1): a congested or renegotiated-down line. Routing
+// is recomputed, so traffic may shift to healthier paths.
+func (n *Network) DegradeLink(li int, factor float64) (*Network, error) {
+	if li < 0 || li >= len(n.Links) {
+		return nil, fmt.Errorf("network: DegradeLink(%d) out of range", li)
+	}
+	if factor <= 0 || factor > 1 {
+		return nil, fmt.Errorf("network: degrade factor %v outside (0, 1]", factor)
+	}
+	links := append([]Link(nil), n.Links...)
+	links[li].SpeedBps *= factor
+	return New(n.Name+"-degraded", n.Servers, links)
+}

@@ -1,0 +1,65 @@
+package network
+
+import "fmt"
+
+// Additional server topologies beyond the paper's line and bus. The paper
+// confines its evaluation to those two; real provider installations also
+// use stars (one aggregation switch or head node), rings (redundant
+// chains) and trees (racks under aggregation layers). All of these route
+// through the general Dijkstra machinery.
+
+// NewStar builds a star: server 0 is the hub and every other server
+// connects to it with the given uniform link speed and delay. Messages
+// between two leaves cross two links.
+func NewStar(name string, powers []float64, speedBps, prop float64) (*Network, error) {
+	if len(powers) < 2 {
+		return nil, fmt.Errorf("network %q: a star needs at least 2 servers", name)
+	}
+	servers := make([]Server, len(powers))
+	for i, p := range powers {
+		servers[i] = Server{Name: fmt.Sprintf("S%d", i+1), PowerHz: p}
+	}
+	links := make([]Link, 0, len(powers)-1)
+	for i := 1; i < len(powers); i++ {
+		links = append(links, Link{A: 0, B: i, SpeedBps: speedBps, PropDelay: prop})
+	}
+	return New(name, servers, links)
+}
+
+// NewRing builds a ring: server i connects to server (i+1) mod N.
+// Routing picks the shorter arc.
+func NewRing(name string, powers []float64, speedBps, prop float64) (*Network, error) {
+	if len(powers) < 3 {
+		return nil, fmt.Errorf("network %q: a ring needs at least 3 servers", name)
+	}
+	servers := make([]Server, len(powers))
+	for i, p := range powers {
+		servers[i] = Server{Name: fmt.Sprintf("S%d", i+1), PowerHz: p}
+	}
+	links := make([]Link, 0, len(powers))
+	for i := range powers {
+		links = append(links, Link{A: i, B: (i + 1) % len(powers), SpeedBps: speedBps, PropDelay: prop})
+	}
+	return New(name, servers, links)
+}
+
+// NewTree builds a complete k-ary tree in breadth-first order: server i
+// (for i > 0) connects to its parent (i-1)/k. Leaves are the workers,
+// inner nodes double as servers and aggregation points.
+func NewTree(name string, powers []float64, k int, speedBps, prop float64) (*Network, error) {
+	if len(powers) == 0 {
+		return nil, fmt.Errorf("network %q: no servers", name)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("network %q: tree fan-out must be at least 2, got %d", name, k)
+	}
+	servers := make([]Server, len(powers))
+	for i, p := range powers {
+		servers[i] = Server{Name: fmt.Sprintf("S%d", i+1), PowerHz: p}
+	}
+	links := make([]Link, 0, len(powers)-1)
+	for i := 1; i < len(powers); i++ {
+		links = append(links, Link{A: (i - 1) / k, B: i, SpeedBps: speedBps, PropDelay: prop})
+	}
+	return New(name, servers, links)
+}

@@ -1,0 +1,180 @@
+package network
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewStar(t *testing.T) {
+	n, err := NewStar("s", []float64{2e9, 1e9, 1e9, 1e9}, 100*mbps, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.N() != 4 || len(n.Links) != 3 {
+		t.Fatalf("star shape: %s", n)
+	}
+	// Hub to leaf: 1 hop; leaf to leaf: 2 hops through the hub.
+	if n.Hops(0, 2) != 1 {
+		t.Fatalf("hub-leaf hops = %d", n.Hops(0, 2))
+	}
+	if n.Hops(1, 3) != 2 {
+		t.Fatalf("leaf-leaf hops = %d", n.Hops(1, 3))
+	}
+	bits := 1e6
+	want := 2 * (bits/(100*mbps) + 0.001)
+	if got := n.TransferTime(1, 3, bits); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("leaf-leaf transfer = %v, want %v", got, want)
+	}
+	if _, err := NewStar("s", []float64{1e9}, 1, 0); err == nil {
+		t.Fatal("1-server star accepted")
+	}
+}
+
+func TestNewRing(t *testing.T) {
+	n, err := NewRing("r", []float64{1e9, 1e9, 1e9, 1e9, 1e9}, 100*mbps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Links) != 5 {
+		t.Fatalf("ring links = %d", len(n.Links))
+	}
+	// Shorter arc: 0 to 4 is adjacent (wrap-around), 0 to 2 is two hops.
+	if n.Hops(0, 4) != 1 {
+		t.Fatalf("wrap hops = %d", n.Hops(0, 4))
+	}
+	if n.Hops(0, 2) != 2 {
+		t.Fatalf("arc hops = %d", n.Hops(0, 2))
+	}
+	if _, err := NewRing("r", []float64{1e9, 1e9}, 1, 0); err == nil {
+		t.Fatal("2-server ring accepted")
+	}
+}
+
+func TestNewTree(t *testing.T) {
+	// Binary tree of 7: 0 -> (1,2), 1 -> (3,4), 2 -> (5,6).
+	powers := []float64{1e9, 1e9, 1e9, 1e9, 1e9, 1e9, 1e9}
+	n, err := NewTree("t", powers, 2, 100*mbps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Links) != 6 {
+		t.Fatalf("tree links = %d", len(n.Links))
+	}
+	if n.Hops(3, 4) != 2 { // siblings via parent 1
+		t.Fatalf("sibling hops = %d", n.Hops(3, 4))
+	}
+	if n.Hops(3, 6) != 4 { // across the root
+		t.Fatalf("cross-tree hops = %d", n.Hops(3, 6))
+	}
+	if _, err := NewTree("t", powers, 1, 1, 0); err == nil {
+		t.Fatal("fan-out 1 accepted")
+	}
+	if _, err := NewTree("t", nil, 2, 1, 0); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestRemoveServerBus(t *testing.T) {
+	n, err := NewBus("b", []float64{1e9, 2e9, 3e9, 4e9}, 100*mbps, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, remap, err := n.RemoveServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.N() != 3 || nn.Topology() != Bus {
+		t.Fatalf("degraded bus wrong: %s", nn)
+	}
+	want := []int{0, -1, 1, 2}
+	for i, r := range remap {
+		if r != want[i] {
+			t.Fatalf("remap = %v", remap)
+		}
+	}
+	if nn.Servers[1].PowerHz != 3e9 {
+		t.Fatalf("server order changed: %+v", nn.Servers)
+	}
+	// Transfer cost unchanged for survivors.
+	if nn.TransferTime(0, 2, 1e6) != n.TransferTime(0, 3, 1e6) {
+		t.Fatal("bus cost changed after removal")
+	}
+}
+
+func TestRemoveServerLineInterior(t *testing.T) {
+	n, err := NewLine("l", []float64{1e9, 2e9, 3e9},
+		[]float64{10 * mbps, 100 * mbps}, []float64{0.001, 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, remap, err := n.RemoveServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.N() != 2 || len(nn.Links) != 1 {
+		t.Fatalf("re-patched line wrong: %s", nn)
+	}
+	// The bridging link inherits the slower speed and summed delay.
+	l := nn.Links[0]
+	if l.SpeedBps != 10*mbps || math.Abs(l.PropDelay-0.003) > 1e-12 {
+		t.Fatalf("bridge link = %+v", l)
+	}
+	if remap[0] != 0 || remap[1] != -1 || remap[2] != 1 {
+		t.Fatalf("remap = %v", remap)
+	}
+}
+
+func TestRemoveServerLineEnd(t *testing.T) {
+	n, err := NewLine("l", []float64{1e9, 2e9, 3e9},
+		[]float64{10 * mbps, 100 * mbps}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, _, err := n.RemoveServer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.N() != 2 || len(nn.Links) != 1 {
+		t.Fatalf("end removal wrong: %s", nn)
+	}
+	if nn.Links[0].SpeedBps != 100*mbps {
+		t.Fatal("wrong link survived")
+	}
+}
+
+func TestRemoveServerErrors(t *testing.T) {
+	n, err := NewBus("b", []float64{1e9, 1e9}, 1e8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.RemoveServer(5); err == nil {
+		t.Fatal("out-of-range removal accepted")
+	}
+	solo, err := New("solo", []Server{{PowerHz: 1e9}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := solo.RemoveServer(0); err == nil {
+		t.Fatal("removing the only server accepted")
+	}
+}
+
+func TestRemoveServerStarHubDisconnects(t *testing.T) {
+	// A 3-server star is topologically a line, so use 4 servers: hub
+	// removal then genuinely disconnects the leaves.
+	n, err := NewStar("s", []float64{1e9, 1e9, 1e9, 1e9}, 1e8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.RemoveServer(0); err == nil {
+		t.Fatal("removing the star hub must disconnect and error")
+	}
+	// Removing a leaf is fine.
+	nn, _, err := n.RemoveServer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.N() != 3 {
+		t.Fatalf("leaf removal wrong: %s", nn)
+	}
+}

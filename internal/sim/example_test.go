@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/sim"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// ExampleRunOnce executes one deterministic workflow instance and reads
+// its makespan.
+func ExampleRunOnce() {
+	w := workflow.MustNewLine("job",
+		[]float64{10e6, 10e6}, // two 10 Mcycle operations
+		[]float64{8e6})        // one 8 Mbit message
+	n := network.MustNewBus("pair", []float64{1e9, 1e9}, 8e6, 0) // 8 Mbps bus
+	mp := deploy.Mapping{0, 1}                                   // split across servers
+
+	rr := sim.RunOnce(w, n, mp, stats.NewRNG(1), sim.Config{})
+	fmt.Printf("makespan %.2fs, %d message(s), %.0f bits\n", rr.Makespan, rr.MessagesSent, rr.BitsSent)
+	// Output:
+	// makespan 1.02s, 1 message(s), 8000000 bits
+}
+
+// ExampleSimulateStream pushes a Poisson stream of instances through a
+// deployment and reads the sustained throughput.
+func ExampleSimulateStream() {
+	w := workflow.MustNewLine("job", []float64{40e6}, nil) // one 40 Mcycle op
+	n := network.MustNewBus("solo", []float64{1e9}, 1e9, 0)
+	mp := deploy.Uniform(1, 0)
+
+	// Capacity is 25 instances/s; drive it at 4× that.
+	res, err := sim.SimulateStream(w, n, mp, sim.StreamConfig{
+		ArrivalRate: 100, Instances: 500, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("throughput caps near capacity: %v\n", res.Throughput > 20 && res.Throughput < 26)
+	// Output:
+	// throughput caps near capacity: true
+}

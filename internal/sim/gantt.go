@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// Gantt renders one traced execution as a per-server ASCII timeline:
+// each server is a row, time flows left to right, and every operation
+// occupies its processing interval marked by a letter (legend below the
+// chart). Idle time is blank; overlapping starts cannot happen on a FIFO
+// server.
+func Gantt(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, events []Event) string {
+	const width = 72
+	var makespan float64
+	type span struct {
+		node       int
+		start, end float64
+	}
+	starts := map[int]float64{}
+	var spans []span
+	for _, e := range events {
+		switch e.Kind {
+		case EvStart:
+			starts[e.Node] = e.Time
+		case EvFinish:
+			spans = append(spans, span{node: e.Node, start: starts[e.Node], end: e.Time})
+			if e.Time > makespan {
+				makespan = e.Time
+			}
+		}
+	}
+	if makespan == 0 {
+		makespan = 1
+	}
+	col := func(t float64) int {
+		c := int(t / makespan * float64(width-1))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rows := make([][]byte, n.N())
+	for s := range rows {
+		rows[s] = []byte(strings.Repeat(" ", width))
+	}
+	mark := func(i int) byte { return byte('A' + i%26) }
+	for _, sp := range spans {
+		s := mp[sp.node]
+		if s == deploy.Unassigned {
+			continue
+		}
+		from, to := col(sp.start), col(sp.end)
+		for c := from; c <= to; c++ {
+			rows[s][c] = mark(sp.node)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt: 0 .. %.6fs\n", makespan)
+	for s, row := range rows {
+		fmt.Fprintf(&b, "%-6s |%s|\n", n.Servers[s].Name, string(row))
+	}
+	b.WriteString("legend:")
+	for u := range w.Nodes {
+		fmt.Fprintf(&b, " %c=%s", mark(u), w.Nodes[u].Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

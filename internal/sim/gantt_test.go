@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+func TestGanttRendersAllServers(t *testing.T) {
+	w, err := workflow.NewLine("w", []float64{10e6, 20e6, 30e6}, []float64{1e5, 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 1e9}, 10*mbps)
+	mp := deploy.Mapping{0, 1, 0}
+	events, _ := Trace(w, n, mp, stats.NewRNG(1), Config{})
+	out := Gantt(w, n, mp, events)
+	if !strings.Contains(out, "S1") || !strings.Contains(out, "S2") {
+		t.Fatalf("servers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "A=O1") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Server 1 hosts O1 (A) and O3 (C); server 2 hosts O2 (B).
+	lines := strings.Split(out, "\n")
+	var s1, s2 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "S1") {
+			s1 = l
+		}
+		if strings.HasPrefix(l, "S2") {
+			s2 = l
+		}
+	}
+	if !strings.Contains(s1, "A") || !strings.Contains(s1, "C") || strings.Contains(s1, "B") {
+		t.Fatalf("S1 row wrong: %q", s1)
+	}
+	if !strings.Contains(s2, "B") || strings.Contains(s2, "A") {
+		t.Fatalf("S2 row wrong: %q", s2)
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	w, err := workflow.NewLine("w", []float64{1e6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9}, 10*mbps)
+	out := Gantt(w, n, deploy.Mapping{0}, nil)
+	if out == "" {
+		t.Fatal("empty gantt output")
+	}
+}

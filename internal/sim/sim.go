@@ -1,0 +1,272 @@
+// Package sim is a discrete-event simulator for deployed workflows. It is
+// the reproduction's stand-in for the paper's (unreleased) experimental
+// testbed: given a workflow, a server network and a mapping, it *executes*
+// the workflow — operations queue FIFO on their servers, messages travel
+// over links, AND joins rendezvous, OR joins fire on first arrival, XOR
+// splits pick a random branch — and measures the makespan and per-server
+// busy time.
+//
+// The simulator serves two purposes:
+//
+//   - validation: the expected serial time it measures converges to the
+//     analytic, probability-amortised Texecute of internal/cost, which
+//     grounds the cost model the algorithms optimize;
+//   - extension: it reports *makespan* (critical-path time with per-server
+//     queueing and optional bus contention), a truer notion of "fastest
+//     closing of each patient case" than the paper's serial sum.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// Config controls a simulation.
+type Config struct {
+	// Runs is the number of Monte-Carlo executions; zero means 1 000.
+	Runs int
+	// Seed drives XOR branch choices deterministically.
+	Seed uint64
+	// BusContention serializes transmissions over a bus network: the
+	// shared medium carries one message at a time. Ignored on non-bus
+	// topologies. Off by default, matching the paper's contention-free
+	// cost model.
+	BusContention bool
+	// InfiniteServers disables per-server FIFO queueing, yielding the pure
+	// critical path of the mapped workflow.
+	InfiniteServers bool
+
+	// onEvent, when set (via Trace), receives every simulation event.
+	onEvent func(Event)
+}
+
+// DefaultRuns is the Monte-Carlo run count used when Config.Runs is zero.
+const DefaultRuns = 1000
+
+// RunResult reports one simulated execution.
+type RunResult struct {
+	Makespan     float64   // completion time of the sink, seconds
+	SerialTime   float64   // Σ proc + Σ comm of everything that ran
+	BusyTime     []float64 // per-server processing time
+	BitsSent     float64   // bits that crossed the network
+	MessagesSent int       // inter-server messages
+	ExecutedOps  int       // operations that ran
+}
+
+// Result aggregates a Monte-Carlo simulation.
+type Result struct {
+	Runs           int
+	Makespan       stats.Summary
+	SerialTime     stats.Summary
+	MeanBusy       []float64 // per-server mean busy time
+	MeanBits       float64
+	MeanMessages   float64
+	MeanExecutedOp float64
+}
+
+// Simulate executes the mapped workflow cfg.Runs times and aggregates the
+// results. The mapping must be total and valid.
+func Simulate(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg Config) (*Result, error) {
+	if err := mp.Validate(w, n); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = DefaultRuns
+	}
+	r := stats.NewRNG(cfg.Seed)
+	res := &Result{Runs: runs, MeanBusy: make([]float64, n.N())}
+	makespans := make([]float64, 0, runs)
+	serials := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		rr := RunOnce(w, n, mp, r, cfg)
+		makespans = append(makespans, rr.Makespan)
+		serials = append(serials, rr.SerialTime)
+		for s, b := range rr.BusyTime {
+			res.MeanBusy[s] += b
+		}
+		res.MeanBits += rr.BitsSent
+		res.MeanMessages += float64(rr.MessagesSent)
+		res.MeanExecutedOp += float64(rr.ExecutedOps)
+	}
+	for s := range res.MeanBusy {
+		res.MeanBusy[s] /= float64(runs)
+	}
+	res.MeanBits /= float64(runs)
+	res.MeanMessages /= float64(runs)
+	res.MeanExecutedOp /= float64(runs)
+	res.Makespan = stats.Summarize(makespans)
+	res.SerialTime = stats.Summarize(serials)
+	return res, nil
+}
+
+// event kinds for the simulation heap.
+const (
+	evOpDone  = iota // an operation finished processing on its server
+	evArrival        // a message arrived at its destination operation
+)
+
+type event struct {
+	time float64
+	kind int
+	node int // the operation that finished / receives the message
+	edge int // evArrival: the delivering edge; -1 otherwise
+	seq  int // FIFO tie-break
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// RunOnce executes the mapped workflow a single time, drawing XOR branches
+// from r.
+func RunOnce(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, r *stats.RNG, cfg Config) RunResult {
+	ex := w.SampleExecution(r)
+
+	// need[u]: how many message arrivals node u requires before it can
+	// start. AND joins rendezvous on every executed incoming branch; OR
+	// joins fire on the first arrival; everything else waits for all of
+	// its (at most one, except XOR joins) executed in-edges — an XOR join
+	// has exactly one executed in-edge per run.
+	need := make([]int, w.M())
+	for u := range w.Nodes {
+		if !ex.Nodes[u] {
+			continue
+		}
+		executedIn := 0
+		for _, ei := range w.In(u) {
+			if ex.Edges[ei] {
+				executedIn++
+			}
+		}
+		switch {
+		case u == w.Source():
+			need[u] = 0
+		case w.Nodes[u].Kind == workflow.OrJoin:
+			need[u] = 1
+		default:
+			need[u] = executedIn
+		}
+	}
+
+	started := make([]bool, w.M())
+	var (
+		h        eventHeap
+		seq      int
+		now      float64
+		busFree  float64
+		busyTill = make([]float64, n.N())
+		rr       = RunResult{BusyTime: make([]float64, n.N())}
+	)
+	push := func(t float64, kind, node, edge int) {
+		heap.Push(&h, event{time: t, kind: kind, node: node, edge: edge, seq: seq})
+		seq++
+	}
+
+	// startOp schedules node u's processing on its server at readiness
+	// time t, respecting FIFO server occupancy.
+	startOp := func(u int, t float64) {
+		if started[u] {
+			return
+		}
+		started[u] = true
+		s := mp[u]
+		proc := w.Nodes[u].Cycles / n.Servers[s].PowerHz
+		start := t
+		if !cfg.InfiniteServers && busyTill[s] > start {
+			start = busyTill[s]
+		}
+		done := start + proc
+		busyTill[s] = done
+		rr.BusyTime[s] += proc
+		rr.SerialTime += proc
+		rr.ExecutedOps++
+		if cfg.onEvent != nil {
+			cfg.onEvent(Event{Time: start, Kind: EvStart, Node: u, Edge: -1})
+			cfg.onEvent(Event{Time: done, Kind: EvFinish, Node: u, Edge: -1})
+		}
+		push(done, evOpDone, u, -1)
+	}
+
+	startOp(w.Source(), 0)
+	var makespan float64
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		now = e.time
+		switch e.kind {
+		case evOpDone:
+			if e.node == w.Sink() {
+				makespan = now
+			}
+			for _, ei := range w.Out(e.node) {
+				if !ex.Edges[ei] {
+					continue
+				}
+				edge := w.Edges[ei]
+				from, to := mp[edge.From], mp[edge.To]
+				if from == to {
+					push(now, evArrival, edge.To, ei)
+					continue
+				}
+				transfer := n.TransferTime(from, to, edge.SizeBits)
+				depart := now
+				if cfg.BusContention && n.Topology() == network.Bus {
+					if busFree > depart {
+						depart = busFree
+					}
+					busFree = depart + transfer
+				}
+				rr.SerialTime += transfer
+				rr.BitsSent += edge.SizeBits
+				rr.MessagesSent++
+				if cfg.onEvent != nil {
+					cfg.onEvent(Event{Time: depart, Kind: EvSend, Node: edge.From, Edge: ei})
+				}
+				push(depart+transfer, evArrival, edge.To, ei)
+			}
+		case evArrival:
+			u := e.node
+			if !ex.Nodes[u] || started[u] {
+				continue
+			}
+			need[u]--
+			if need[u] <= 0 {
+				startOp(u, now)
+			}
+		}
+	}
+	rr.Makespan = makespan
+	return rr
+}
+
+// ValidateAgainstModel compares the simulator's mean serial time with the
+// analytic amortised execution time and returns their relative deviation;
+// a small value certifies that the cost model and the simulator agree.
+func ValidateAgainstModel(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, analytic float64, cfg Config) (float64, error) {
+	res, err := Simulate(w, n, mp, cfg)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return stats.RelDev(res.SerialTime.Mean, analytic), nil
+}

@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+const mbps = 1e6
+
+func busNet(t testing.TB, powers []float64, speed float64) *network.Network {
+	t.Helper()
+	n, err := network.NewBus("bus", powers, speed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLinearDeterministicMakespan(t *testing.T) {
+	// Two ops of 10 Mcycles on one 1 GHz server, zero-size message:
+	// makespan exactly 0.02 s; serial time the same.
+	w, err := workflow.NewLine("w", []float64{10e6, 10e6}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9}, 10*mbps)
+	mp := deploy.Uniform(2, 0)
+	rr := RunOnce(w, n, mp, stats.NewRNG(1), Config{})
+	if math.Abs(rr.Makespan-0.02) > 1e-12 {
+		t.Fatalf("makespan = %v, want 0.02", rr.Makespan)
+	}
+	if math.Abs(rr.SerialTime-0.02) > 1e-12 {
+		t.Fatalf("serial = %v", rr.SerialTime)
+	}
+	if rr.MessagesSent != 0 || rr.BitsSent != 0 {
+		t.Fatalf("co-located run sent traffic: %+v", rr)
+	}
+	if rr.ExecutedOps != 2 {
+		t.Fatalf("executed %d ops", rr.ExecutedOps)
+	}
+}
+
+func TestLinearCrossServerMakespan(t *testing.T) {
+	// O1 on S1, O2 on S2, 8 Mbit message over 8 Mbps bus: makespan =
+	// 0.01 + 1 + 0.01.
+	w, err := workflow.NewLine("w", []float64{10e6, 10e6}, []float64{8e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 1e9}, 8*mbps)
+	mp := deploy.Mapping{0, 1}
+	rr := RunOnce(w, n, mp, stats.NewRNG(1), Config{})
+	if math.Abs(rr.Makespan-1.02) > 1e-12 {
+		t.Fatalf("makespan = %v, want 1.02", rr.Makespan)
+	}
+	if rr.MessagesSent != 1 || rr.BitsSent != 8e6 {
+		t.Fatalf("traffic: %+v", rr)
+	}
+}
+
+func TestSerialTimeMatchesAnalyticOnLine(t *testing.T) {
+	// For a deterministic linear workflow the simulated serial time must
+	// equal the analytic Texecute exactly, for any mapping.
+	w, err := workflow.NewLine("w",
+		[]float64{10e6, 20e6, 30e6, 40e6, 50e6},
+		[]float64{1e5, 2e5, 3e5, 4e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 2e9, 3e9}, 10*mbps)
+	model := cost.NewModel(w, n)
+	for seed := uint64(0); seed < 10; seed++ {
+		mp := deploy.Random(w, n, stats.NewRNG(seed))
+		dev, err := ValidateAgainstModel(w, n, mp, model.ExecutionTime(mp), Config{Runs: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dev) > 1e-9 {
+			t.Fatalf("seed %d: serial time deviates %v from analytic", seed, dev)
+		}
+	}
+}
+
+func TestSerialTimeConvergesOnXorGraph(t *testing.T) {
+	// On a probabilistic workflow the *expected* serial time converges to
+	// the amortised analytic Texecute.
+	b := workflow.NewBuilder("d")
+	src := b.Op("src", 10e6)
+	x := b.Split(workflow.XorSplit, "x", 0)
+	a := b.Op("a", 30e6)
+	bb := b.Op("b", 10e6)
+	j := b.Join(workflow.XorSplit, "/x", 0)
+	snk := b.Op("snk", 10e6)
+	b.Link(src, x, 1e5)
+	b.LinkWeighted(x, a, 2e5, 3)
+	b.LinkWeighted(x, bb, 1e5, 1)
+	b.Link(a, j, 1e5)
+	b.Link(bb, j, 2e5)
+	b.Link(j, snk, 1e5)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9, 2e9}, 10*mbps)
+	mp := deploy.Mapping{0, 0, 1, 0, 0, 1}
+	model := cost.NewModel(w, n)
+	dev, err := ValidateAgainstModel(w, n, mp, model.ExecutionTime(mp), Config{Runs: 20000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dev) > 0.02 {
+		t.Fatalf("expected serial time deviates %.3f%% from analytic", dev*100)
+	}
+}
+
+func TestAndJoinRendezvous(t *testing.T) {
+	// AND with a slow branch (100 Mcycles) and a fast one (10 Mcycles) on
+	// separate servers: the join fires at the slow branch's completion.
+	b := workflow.NewBuilder("and")
+	and := b.Split(workflow.AndSplit, "and", 0)
+	slow := b.Op("slow", 100e6)
+	fast := b.Op("fast", 10e6)
+	j := b.Join(workflow.AndSplit, "/and", 0)
+	b.Link(and, slow, 0)
+	b.Link(and, fast, 0)
+	b.Link(slow, j, 0)
+	b.Link(fast, j, 0)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9, 1e9}, 1000*mbps)
+	mp := deploy.Mapping{0, 0, 1, 0}
+	rr := RunOnce(w, n, mp, stats.NewRNG(1), Config{})
+	if math.Abs(rr.Makespan-0.1) > 1e-12 {
+		t.Fatalf("AND rendezvous makespan = %v, want 0.1", rr.Makespan)
+	}
+}
+
+func TestOrJoinFirstArrivalWins(t *testing.T) {
+	// Same shape but OR: the join fires when the *fast* branch arrives;
+	// the sink completes before the slow branch would allow.
+	b := workflow.NewBuilder("or")
+	or := b.Split(workflow.OrSplit, "or", 0)
+	slow := b.Op("slow", 100e6)
+	fast := b.Op("fast", 10e6)
+	j := b.Join(workflow.OrSplit, "/or", 0)
+	b.Link(or, slow, 0)
+	b.Link(or, fast, 0)
+	b.Link(slow, j, 0)
+	b.Link(fast, j, 0)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9, 1e9}, 1000*mbps)
+	mp := deploy.Mapping{0, 0, 1, 1} // join on the fast branch's server
+	rr := RunOnce(w, n, mp, stats.NewRNG(1), Config{})
+	if math.Abs(rr.Makespan-0.01) > 1e-9 {
+		t.Fatalf("OR join makespan = %v, want 0.01", rr.Makespan)
+	}
+}
+
+func TestServerQueueingSerializes(t *testing.T) {
+	// Two parallel AND branches mapped to the SAME server must serialize:
+	// makespan 0.02 + join, not 0.01.
+	b := workflow.NewBuilder("q")
+	and := b.Split(workflow.AndSplit, "and", 0)
+	a := b.Op("a", 10e6)
+	c := b.Op("b", 10e6)
+	j := b.Join(workflow.AndSplit, "/and", 0)
+	b.Link(and, a, 0)
+	b.Link(and, c, 0)
+	b.Link(a, j, 0)
+	b.Link(c, j, 0)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9}, 10*mbps)
+	mp := deploy.Uniform(w.M(), 0)
+	rr := RunOnce(w, n, mp, stats.NewRNG(1), Config{})
+	if math.Abs(rr.Makespan-0.02) > 1e-12 {
+		t.Fatalf("queued makespan = %v, want 0.02", rr.Makespan)
+	}
+	// With infinite servers the branches overlap.
+	rr = RunOnce(w, n, mp, stats.NewRNG(1), Config{InfiniteServers: true})
+	if math.Abs(rr.Makespan-0.01) > 1e-12 {
+		t.Fatalf("infinite-server makespan = %v, want 0.01", rr.Makespan)
+	}
+}
+
+func TestBusContentionSerializesTransfers(t *testing.T) {
+	// Two AND branches each send an 8 Mbit message across the bus at the
+	// same moment; with contention the second transfer waits.
+	b := workflow.NewBuilder("bc")
+	and := b.Split(workflow.AndSplit, "and", 0)
+	a := b.Op("a", 0)
+	c := b.Op("b", 0)
+	j := b.Join(workflow.AndSplit, "/and", 0)
+	b.Link(and, a, 0)
+	b.Link(and, c, 0)
+	b.Link(a, j, 8e6)
+	b.Link(c, j, 8e6)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9, 1e9}, 8*mbps)
+	mp := deploy.Mapping{0, 0, 0, 1} // both messages cross to S2
+	free := RunOnce(w, n, mp, stats.NewRNG(1), Config{})
+	cont := RunOnce(w, n, mp, stats.NewRNG(1), Config{BusContention: true})
+	if math.Abs(free.Makespan-1.0) > 1e-9 {
+		t.Fatalf("contention-free makespan = %v, want 1.0", free.Makespan)
+	}
+	if math.Abs(cont.Makespan-2.0) > 1e-9 {
+		t.Fatalf("contended makespan = %v, want 2.0", cont.Makespan)
+	}
+}
+
+func TestXorBranchFrequencies(t *testing.T) {
+	b := workflow.NewBuilder("x")
+	src := b.Op("src", 0)
+	x := b.Split(workflow.XorSplit, "x", 0)
+	a := b.Op("a", 10e6)
+	bb := b.Op("b", 20e6)
+	j := b.Join(workflow.XorSplit, "/x", 0)
+	b.Link(src, x, 0)
+	b.LinkWeighted(x, a, 0, 1)
+	b.LinkWeighted(x, bb, 0, 1)
+	b.Link(a, j, 0)
+	b.Link(bb, j, 0)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9}, 10*mbps)
+	mp := deploy.Uniform(w.M(), 0)
+	res, err := Simulate(w, n, mp, Config{Runs: 10000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean executed ops: src, x, /x always + exactly one branch = 4 every
+	// run; mean makespan = 0.5·0.01 + 0.5·0.02 = 0.015.
+	if math.Abs(res.MeanExecutedOp-4) > 1e-12 {
+		t.Fatalf("mean executed ops = %v", res.MeanExecutedOp)
+	}
+	if math.Abs(res.Makespan.Mean-0.015) > 0.0005 {
+		t.Fatalf("mean makespan = %v, want ≈0.015", res.Makespan.Mean)
+	}
+}
+
+func TestMakespanNeverExceedsSerialTime(t *testing.T) {
+	w, err := workflow.NewLine("w",
+		[]float64{10e6, 20e6, 30e6, 40e6},
+		[]float64{1e5, 2e5, 3e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 2e9, 3e9}, 10*mbps)
+	for seed := uint64(0); seed < 20; seed++ {
+		mp := deploy.Random(w, n, stats.NewRNG(seed))
+		rr := RunOnce(w, n, mp, stats.NewRNG(seed), Config{})
+		if rr.Makespan > rr.SerialTime+1e-12 {
+			t.Fatalf("seed %d: makespan %v exceeds serial %v", seed, rr.Makespan, rr.SerialTime)
+		}
+	}
+}
+
+func TestSimulateValidatesMapping(t *testing.T) {
+	w, err := workflow.NewLine("w", []float64{1, 1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9}, 10*mbps)
+	if _, err := Simulate(w, n, deploy.Mapping{0}, Config{}); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+	if _, err := Simulate(w, n, deploy.Mapping{0, 5}, Config{}); err == nil {
+		t.Fatal("out-of-range mapping accepted")
+	}
+}
+
+func TestSimulateAggregates(t *testing.T) {
+	w, err := workflow.NewLine("w", []float64{10e6, 10e6}, []float64{1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 1e9}, 10*mbps)
+	mp := deploy.Mapping{0, 1}
+	res, err := Simulate(w, n, mp, Config{Runs: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 50 {
+		t.Fatalf("Runs = %d", res.Runs)
+	}
+	if res.Makespan.Stddev > 1e-12 {
+		t.Fatalf("deterministic workflow has makespan variance %v", res.Makespan.Stddev)
+	}
+	if math.Abs(res.MeanBusy[0]-0.01) > 1e-12 || math.Abs(res.MeanBusy[1]-0.01) > 1e-12 {
+		t.Fatalf("MeanBusy = %v", res.MeanBusy)
+	}
+	if res.MeanMessages != 1 || res.MeanBits != 1e5 {
+		t.Fatalf("traffic: %+v", res)
+	}
+}
+
+func TestDefaultRunsApplied(t *testing.T) {
+	w, err := workflow.NewLine("w", []float64{1e6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9}, 10*mbps)
+	res, err := Simulate(w, n, deploy.Mapping{0}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != DefaultRuns {
+		t.Fatalf("Runs = %d, want %d", res.Runs, DefaultRuns)
+	}
+}
+
+func TestMakespanReflectsLoadImbalance(t *testing.T) {
+	// Everything on one server vs. a fair split: with large messages the
+	// single-server mapping wins the makespan; with tiny messages the
+	// split wins. The simulator must reproduce the antagonism the paper
+	// builds its two metrics on.
+	heavy := []float64{50e6, 50e6, 50e6, 50e6}
+	bigMsgs := []float64{1e8, 1e8, 1e8}
+	tinyMsgs := []float64{1, 1, 1}
+	n := busNet(t, []float64{1e9, 1e9}, 10*mbps)
+
+	wBig, err := workflow.NewLine("big", heavy, bigMsgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := deploy.Uniform(4, 0)
+	split := deploy.Mapping{0, 1, 0, 1}
+	rrOne := RunOnce(wBig, n, one, stats.NewRNG(1), Config{})
+	rrSplit := RunOnce(wBig, n, split, stats.NewRNG(1), Config{})
+	if rrOne.Makespan >= rrSplit.Makespan {
+		t.Fatalf("big messages: single-server %v should beat split %v", rrOne.Makespan, rrSplit.Makespan)
+	}
+
+	wTiny, err := workflow.NewLine("tiny", heavy, tinyMsgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A linear workflow has no parallelism, so the split cannot be faster
+	// than single-server even with tiny messages — but it must be at most
+	// negligibly slower, and the busy time becomes fair.
+	rrOne = RunOnce(wTiny, n, one, stats.NewRNG(1), Config{})
+	rrSplit = RunOnce(wTiny, n, split, stats.NewRNG(1), Config{})
+	if rrSplit.Makespan > rrOne.Makespan*1.001 {
+		t.Fatalf("tiny messages: split %v much worse than single %v", rrSplit.Makespan, rrOne.Makespan)
+	}
+	if math.Abs(rrSplit.BusyTime[0]-rrSplit.BusyTime[1]) > 1e-12 {
+		t.Fatalf("split busy times unfair: %v", rrSplit.BusyTime)
+	}
+}

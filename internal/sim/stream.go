@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// StreamConfig drives a continuous-execution simulation: workflow
+// instances arrive as a Poisson process and *share* the deployed servers,
+// so placement quality shows up as queueing delay and saturation — the
+// "continuous execution of a workflow" setting the paper's related work
+// ([SWMM05]) studies and its §2.1 example implies ("whenever additional
+// workflows are deployed ... a reasonable load scale-up is still
+// possible").
+type StreamConfig struct {
+	// ArrivalRate is the mean instance arrival rate in instances per
+	// (virtual) second.
+	ArrivalRate float64
+	// Instances is the number of arrivals to simulate; zero means 500.
+	Instances int
+	// Seed drives arrivals and XOR choices.
+	Seed uint64
+	// BusContention serializes bus transfers as in Config.
+	BusContention bool
+}
+
+// StreamResult aggregates a stream simulation.
+type StreamResult struct {
+	Instances   int
+	Sojourn     stats.Summary // per-instance latency (arrival → sink), seconds
+	Utilization []float64     // per-server busy fraction over the run
+	Span        float64       // virtual time from first arrival to last completion
+	Throughput  float64       // completed instances per virtual second
+	BitsSent    float64       // total bits that crossed the network
+}
+
+// SimulateStream runs a Poisson arrival stream of workflow instances over
+// one deployment, with all instances sharing the FIFO servers (and
+// optionally the bus).
+func SimulateStream(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg StreamConfig) (*StreamResult, error) {
+	if err := mp.Validate(w, n); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.ArrivalRate <= 0 {
+		return nil, fmt.Errorf("sim: stream needs a positive arrival rate, got %v", cfg.ArrivalRate)
+	}
+	instances := cfg.Instances
+	if instances <= 0 {
+		instances = 500
+	}
+	r := stats.NewRNG(cfg.Seed)
+
+	// Pre-draw arrivals and per-instance executions.
+	type instState struct {
+		arrival float64
+		ex      workflow.Execution
+		need    []int
+		started []bool
+		done    float64
+	}
+	insts := make([]*instState, instances)
+	t := 0.0
+	for i := range insts {
+		// Exponential inter-arrival times.
+		t += -math.Log(1-r.Float64()) / cfg.ArrivalRate
+		ex := w.SampleExecution(r)
+		is := &instState{
+			arrival: t,
+			ex:      ex,
+			need:    make([]int, w.M()),
+			started: make([]bool, w.M()),
+			done:    -1,
+		}
+		for u := range w.Nodes {
+			if !ex.Nodes[u] {
+				continue
+			}
+			executedIn := 0
+			for _, ei := range w.In(u) {
+				if ex.Edges[ei] {
+					executedIn++
+				}
+			}
+			switch {
+			case u == w.Source():
+				is.need[u] = 0
+			case w.Nodes[u].Kind == workflow.OrJoin:
+				is.need[u] = 1
+			default:
+				is.need[u] = executedIn
+			}
+		}
+		insts[i] = is
+	}
+
+	// Shared event loop: events carry an instance id.
+	var h streamHeap
+	seq := 0
+	push := func(time float64, kind, inst, node, edge int) {
+		heap.Push(&h, sev{time: time, kind: kind, inst: inst, node: node, edge: edge, seq: seq})
+		seq++
+	}
+
+	busyTill := make([]float64, n.N())
+	busyTime := make([]float64, n.N())
+	busFree := 0.0
+	var bitsSent float64
+
+	startOp := func(i, u int, t float64) {
+		is := insts[i]
+		if is.started[u] {
+			return
+		}
+		is.started[u] = true
+		s := mp[u]
+		proc := w.Nodes[u].Cycles / n.Servers[s].PowerHz
+		start := t
+		if busyTill[s] > start {
+			start = busyTill[s]
+		}
+		done := start + proc
+		busyTill[s] = done
+		busyTime[s] += proc
+		push(done, evOpDone, i, u, -1)
+	}
+
+	// Inject every arrival up front; the heap interleaves instances.
+	for i, is := range insts {
+		push(is.arrival, evArrival, i, w.Source(), -1)
+	}
+
+	var lastCompletion, firstArrival float64
+	firstArrival = insts[0].arrival
+	sojourns := make([]float64, 0, instances)
+	completed := 0
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(sev)
+		is := insts[e.inst]
+		switch e.kind {
+		case evOpDone:
+			if e.node == w.Sink() {
+				is.done = e.time
+				sojourns = append(sojourns, e.time-is.arrival)
+				completed++
+				if e.time > lastCompletion {
+					lastCompletion = e.time
+				}
+			}
+			for _, ei := range w.Out(e.node) {
+				if !is.ex.Edges[ei] {
+					continue
+				}
+				edge := w.Edges[ei]
+				from, to := mp[edge.From], mp[edge.To]
+				if from == to {
+					push(e.time, evArrival, e.inst, edge.To, ei)
+					continue
+				}
+				transfer := n.TransferTime(from, to, edge.SizeBits)
+				depart := e.time
+				if cfg.BusContention && n.Topology() == network.Bus {
+					if busFree > depart {
+						depart = busFree
+					}
+					busFree = depart + transfer
+				}
+				bitsSent += edge.SizeBits
+				push(depart+transfer, evArrival, e.inst, edge.To, ei)
+			}
+		case evArrival:
+			u := e.node
+			if !is.ex.Nodes[u] || is.started[u] {
+				continue
+			}
+			if u == w.Source() {
+				startOp(e.inst, u, e.time)
+				continue
+			}
+			is.need[u]--
+			if is.need[u] <= 0 {
+				startOp(e.inst, u, e.time)
+			}
+		}
+	}
+	if completed != instances {
+		return nil, fmt.Errorf("sim: stream completed %d of %d instances", completed, instances)
+	}
+
+	span := lastCompletion - firstArrival
+	res := &StreamResult{
+		Instances:   instances,
+		Sojourn:     stats.Summarize(sojourns),
+		Utilization: make([]float64, n.N()),
+		Span:        span,
+		BitsSent:    bitsSent,
+	}
+	if span > 0 {
+		res.Throughput = float64(instances) / span
+		for s := range busyTime {
+			res.Utilization[s] = busyTime[s] / span
+		}
+	}
+	return res, nil
+}
+
+// sev is a stream event: a simulator event tagged with its instance.
+type sev struct {
+	time float64
+	kind int // evOpDone / evArrival
+	inst int
+	node int
+	edge int
+	seq  int
+}
+
+type streamHeap []sev
+
+func (h streamHeap) Len() int { return len(h) }
+func (h streamHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h streamHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x interface{}) { *h = append(*h, x.(sev)) }
+func (h *streamHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

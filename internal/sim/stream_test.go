@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+func streamWF(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	w, err := workflow.NewLine("s",
+		[]float64{10e6, 20e6, 10e6},
+		[]float64{1e5, 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestStreamValidation(t *testing.T) {
+	w := streamWF(t)
+	n := busNet(t, []float64{1e9, 1e9}, 10*mbps)
+	if _, err := SimulateStream(w, n, deploy.Mapping{0}, StreamConfig{ArrivalRate: 1}); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+	if _, err := SimulateStream(w, n, deploy.Uniform(3, 0), StreamConfig{}); err == nil {
+		t.Fatal("zero arrival rate accepted")
+	}
+}
+
+func TestStreamLightLoadMatchesSingleRun(t *testing.T) {
+	// At a very low arrival rate instances never overlap, so the mean
+	// sojourn equals the single-instance makespan.
+	w := streamWF(t)
+	n := busNet(t, []float64{1e9, 1e9}, 10*mbps)
+	mp := deploy.Mapping{0, 1, 0}
+	single := RunOnce(w, n, mp, stats.NewRNG(1), Config{})
+	res, err := SimulateStream(w, n, mp, StreamConfig{ArrivalRate: 0.1, Instances: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Sojourn.Mean-single.Makespan) > single.Makespan*0.01 {
+		t.Fatalf("light-load sojourn %v vs single makespan %v", res.Sojourn.Mean, single.Makespan)
+	}
+	if res.Instances != 100 {
+		t.Fatalf("instances = %d", res.Instances)
+	}
+}
+
+func TestStreamQueueingGrowsWithLoad(t *testing.T) {
+	// Sojourn must grow monotonically (roughly) as the arrival rate
+	// approaches saturation.
+	w := streamWF(t)
+	n := busNet(t, []float64{1e9}, 1000*mbps)
+	mp := deploy.Uniform(3, 0)
+	// Service time per instance: 40 Mcycles / 1 GHz = 0.04 s → capacity
+	// 25 instances/s.
+	light, err := SimulateStream(w, n, mp, StreamConfig{ArrivalRate: 2, Instances: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := SimulateStream(w, n, mp, StreamConfig{ArrivalRate: 20, Instances: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Sojourn.Mean < light.Sojourn.Mean*1.5 {
+		t.Fatalf("queueing did not grow: light %v, heavy %v", light.Sojourn.Mean, heavy.Sojourn.Mean)
+	}
+	if heavy.Utilization[0] < light.Utilization[0] {
+		t.Fatalf("utilization did not grow: %v vs %v", heavy.Utilization[0], light.Utilization[0])
+	}
+	if heavy.Utilization[0] > 1.0001 {
+		t.Fatalf("utilization above 1: %v", heavy.Utilization[0])
+	}
+}
+
+func TestStreamThroughputCapsAtServiceRate(t *testing.T) {
+	// Oversaturated: throughput approaches the service capacity, not the
+	// arrival rate.
+	w := streamWF(t)
+	n := busNet(t, []float64{1e9}, 1000*mbps)
+	mp := deploy.Uniform(3, 0)
+	res, err := SimulateStream(w, n, mp, StreamConfig{ArrivalRate: 100, Instances: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capacity = 25.0 // 1e9 Hz / 40e6 cycles
+	if res.Throughput > capacity*1.1 {
+		t.Fatalf("throughput %v exceeds capacity %v", res.Throughput, capacity)
+	}
+	if res.Throughput < capacity*0.8 {
+		t.Fatalf("oversaturated throughput %v far below capacity %v", res.Throughput, capacity)
+	}
+}
+
+func TestStreamBalancedDeploymentSustainsMoreLoad(t *testing.T) {
+	// Two servers: a fair split sustains higher throughput than dumping
+	// everything on one box, once the arrival rate exceeds one server's
+	// capacity.
+	w := streamWF(t)
+	n := busNet(t, []float64{1e9, 1e9}, 1000*mbps)
+	split := deploy.Mapping{0, 1, 0}
+	single := deploy.Uniform(3, 0)
+	cfg := StreamConfig{ArrivalRate: 40, Instances: 400, Seed: 4}
+	resSplit, err := SimulateStream(w, n, split, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSingle, err := SimulateStream(w, n, single, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSplit.Throughput <= resSingle.Throughput {
+		t.Fatalf("split throughput %v not above single-server %v", resSplit.Throughput, resSingle.Throughput)
+	}
+	if resSplit.Sojourn.Mean >= resSingle.Sojourn.Mean {
+		t.Fatalf("split sojourn %v not below single-server %v", resSplit.Sojourn.Mean, resSingle.Sojourn.Mean)
+	}
+}
+
+func TestStreamXorWorkflow(t *testing.T) {
+	b := workflow.NewBuilder("x")
+	src := b.Op("src", 5e6)
+	x := b.Split(workflow.XorSplit, "x", 0)
+	a := b.Op("a", 10e6)
+	bb := b.Op("b", 30e6)
+	j := b.Join(workflow.XorSplit, "/x", 0)
+	b.Link(src, x, 1e4)
+	b.LinkWeighted(x, a, 1e4, 1)
+	b.LinkWeighted(x, bb, 1e4, 1)
+	b.Link(a, j, 1e4)
+	b.Link(bb, j, 1e4)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9, 1e9}, 100*mbps)
+	mp := deploy.Mapping{0, 0, 0, 1, 0}
+	res, err := SimulateStream(w, n, mp, StreamConfig{ArrivalRate: 1, Instances: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 200 || res.Sojourn.Mean <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.BitsSent <= 0 {
+		t.Fatal("no traffic recorded")
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// Event is one step of a simulated execution, in occurrence order.
+type Event struct {
+	Time float64
+	Kind EventKind
+	Node int // the operation involved
+	Edge int // the message involved (Send only; -1 otherwise)
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvStart  EventKind = iota // operation begins processing
+	EvFinish                  // operation completes
+	EvSend                    // message departs across the network
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvStart:
+		return "start"
+	case EvFinish:
+		return "finish"
+	case EvSend:
+		return "send"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Trace executes the mapped workflow once and returns the event log in
+// time order, for debugging deployments and rendering Gantt-style views.
+func Trace(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, r *stats.RNG, cfg Config) ([]Event, RunResult) {
+	var events []Event
+	cfg.onEvent = func(e Event) { events = append(events, e) }
+	rr := RunOnce(w, n, mp, r, cfg)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return events, rr
+}
+
+// FormatTrace renders an event log as readable lines.
+func FormatTrace(w *workflow.Workflow, events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		switch e.Kind {
+		case EvSend:
+			edge := w.Edges[e.Edge]
+			fmt.Fprintf(&b, "%10.6fs  send    %s -> %s (%.0f bits)\n",
+				e.Time, w.Nodes[edge.From].Name, w.Nodes[edge.To].Name, edge.SizeBits)
+		default:
+			fmt.Fprintf(&b, "%10.6fs  %-7s %s\n", e.Time, e.Kind, w.Nodes[e.Node].Name)
+		}
+	}
+	return b.String()
+}

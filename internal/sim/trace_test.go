@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+func TestTraceOrderingAndContent(t *testing.T) {
+	w, err := workflow.NewLine("w", []float64{10e6, 20e6}, []float64{8e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 1e9}, 8*mbps)
+	mp := deploy.Mapping{0, 1}
+	events, rr := Trace(w, n, mp, stats.NewRNG(1), Config{})
+	// start O1, finish O1, send O1->O2, start O2, finish O2.
+	if len(events) != 5 {
+		t.Fatalf("got %d events: %+v", len(events), events)
+	}
+	wantKinds := []EventKind{EvStart, EvFinish, EvSend, EvStart, EvFinish}
+	prev := -1.0
+	for i, e := range events {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("event %d kind = %v, want %v", i, e.Kind, wantKinds[i])
+		}
+		if e.Time < prev {
+			t.Fatalf("events out of order at %d", i)
+		}
+		prev = e.Time
+	}
+	if events[4].Time != rr.Makespan {
+		t.Fatalf("last finish %v != makespan %v", events[4].Time, rr.Makespan)
+	}
+	out := FormatTrace(w, events)
+	for _, want := range []string{"start", "finish", "send", "O1", "O2", "8000000 bits"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceNoSendWhenColocated(t *testing.T) {
+	w, err := workflow.NewLine("w", []float64{1e6, 1e6}, []float64{8e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9}, 8*mbps)
+	events, _ := Trace(w, n, deploy.Uniform(2, 0), stats.NewRNG(1), Config{})
+	for _, e := range events {
+		if e.Kind == EvSend {
+			t.Fatal("co-located run emitted a send event")
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvStart.String() != "start" || EvFinish.String() != "finish" || EvSend.String() != "send" {
+		t.Fatal("event kind names wrong")
+	}
+}
+
+func TestMakespanEstimateMatchesInfiniteServerSim(t *testing.T) {
+	// On deterministic workflows (no XOR), the analytic MakespanEstimate
+	// must equal the simulator's makespan with InfiniteServers exactly.
+	b := workflow.NewBuilder("mix")
+	src := b.Op("src", 10e6)
+	and := b.Split(workflow.AndSplit, "and", 2e6)
+	a := b.Op("a", 30e6)
+	c := b.Op("c", 15e6)
+	d := b.Op("d", 15e6)
+	j := b.Join(workflow.AndSplit, "/and", 2e6)
+	snk := b.Op("snk", 5e6)
+	b.Link(src, and, 1e5)
+	b.Link(and, a, 2e5)
+	b.Link(and, c, 1e5)
+	b.Link(c, d, 3e5)
+	b.Link(a, j, 1e5)
+	b.Link(d, j, 2e5)
+	b.Link(j, snk, 1e5)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9, 2e9, 3e9}, 10*mbps)
+	for seed := uint64(0); seed < 10; seed++ {
+		mp := deploy.Random(w, n, stats.NewRNG(seed))
+		model := cost.NewModel(w, n)
+		analytic := model.MakespanEstimate(mp)
+		rr := RunOnce(w, n, mp, stats.NewRNG(seed), Config{InfiniteServers: true})
+		if math.Abs(rr.Makespan-analytic) > 1e-9 {
+			t.Fatalf("seed %d: sim %v vs analytic %v", seed, rr.Makespan, analytic)
+		}
+	}
+}
+
+func TestMakespanEstimateXorExpectationMatchesMonteCarlo(t *testing.T) {
+	// With XOR branches the analytic estimate is an expectation; the
+	// Monte-Carlo mean over many runs must converge to it.
+	b := workflow.NewBuilder("x")
+	src := b.Op("src", 5e6)
+	x := b.Split(workflow.XorSplit, "x", 0)
+	a := b.Op("a", 40e6)
+	c := b.Op("b", 10e6)
+	j := b.Join(workflow.XorSplit, "/x", 0)
+	snk := b.Op("snk", 5e6)
+	b.Link(src, x, 1e5)
+	b.LinkWeighted(x, a, 1e5, 1)
+	b.LinkWeighted(x, c, 1e5, 3)
+	b.Link(a, j, 1e5)
+	b.Link(c, j, 1e5)
+	b.Link(j, snk, 1e5)
+	w := b.MustBuild()
+	n := busNet(t, []float64{1e9, 2e9}, 100*mbps)
+	mp := deploy.Mapping{0, 0, 1, 0, 0, 1}
+	model := cost.NewModel(w, n)
+	analytic := model.MakespanEstimate(mp)
+	res, err := Simulate(w, n, mp, Config{Runs: 20000, Seed: 3, InfiniteServers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan.Mean-analytic) > analytic*0.02 {
+		t.Fatalf("MC mean %v vs analytic %v", res.Makespan.Mean, analytic)
+	}
+}
+
+func TestQueueingNeverFasterThanInfiniteServers(t *testing.T) {
+	w, err := workflow.NewLine("w",
+		[]float64{10e6, 20e6, 30e6, 40e6, 50e6},
+		[]float64{1e5, 1e5, 1e5, 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 2e9}, 10*mbps)
+	for seed := uint64(0); seed < 10; seed++ {
+		mp := deploy.Random(w, n, stats.NewRNG(seed))
+		q := RunOnce(w, n, mp, stats.NewRNG(seed), Config{})
+		inf := RunOnce(w, n, mp, stats.NewRNG(seed), Config{InfiniteServers: true})
+		if q.Makespan < inf.Makespan-1e-12 {
+			t.Fatalf("seed %d: queued %v faster than infinite %v", seed, q.Makespan, inf.Makespan)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Discrete is a finite discrete distribution over float64 values, the shape
+// used throughout the paper's experimental configuration: "X Mbits with
+// probability 25%, Y Mbits with probability 50%, ...". Weights need not be
+// normalized; sampling normalizes internally.
+type Discrete struct {
+	values  []float64
+	weights []float64
+	cum     []float64 // cumulative normalized weights
+	total   float64
+}
+
+// NewDiscrete builds a discrete distribution. values and weights must have
+// the same non-zero length, and every weight must be non-negative with a
+// positive total.
+func NewDiscrete(values, weights []float64) (*Discrete, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("stats: discrete distribution needs at least one value")
+	}
+	if len(values) != len(weights) {
+		return nil, fmt.Errorf("stats: %d values but %d weights", len(values), len(weights))
+	}
+	d := &Discrete{
+		values:  append([]float64(nil), values...),
+		weights: append([]float64(nil), weights...),
+		cum:     make([]float64, len(values)),
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: invalid weight %v at index %d", w, i)
+		}
+		d.total += w
+		d.cum[i] = d.total
+	}
+	if d.total <= 0 {
+		return nil, fmt.Errorf("stats: discrete distribution has zero total weight")
+	}
+	return d, nil
+}
+
+// MustDiscrete is NewDiscrete that panics on error; intended for
+// package-level configuration literals.
+func MustDiscrete(values, weights []float64) *Discrete {
+	d, err := NewDiscrete(values, weights)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Sample draws one value according to the distribution's weights.
+func (d *Discrete) Sample(r *RNG) float64 {
+	u := r.Float64() * d.total
+	// The cumulative array is sorted by construction; binary search keeps
+	// sampling O(log k) even though k is tiny in practice.
+	i := sort.SearchFloat64s(d.cum, u)
+	if i >= len(d.values) {
+		i = len(d.values) - 1
+	}
+	// SearchFloat64s returns the first index with cum >= u; when u lands
+	// exactly on a boundary this attributes the draw to the earlier bucket,
+	// which is immaterial for continuous u.
+	return d.values[i]
+}
+
+// Mean returns the expected value of the distribution.
+func (d *Discrete) Mean() float64 {
+	var m float64
+	for i, v := range d.values {
+		m += v * d.weights[i] / d.total
+	}
+	return m
+}
+
+// Values returns a copy of the distribution's support.
+func (d *Discrete) Values() []float64 {
+	return append([]float64(nil), d.values...)
+}
+
+// Probabilities returns the normalized probability of each value.
+func (d *Discrete) Probabilities() []float64 {
+	ps := make([]float64, len(d.weights))
+	for i, w := range d.weights {
+		ps[i] = w / d.total
+	}
+	return ps
+}
+
+// String renders the distribution in the paper's "v with probability p%"
+// style.
+func (d *Discrete) String() string {
+	var b strings.Builder
+	ps := d.Probabilities()
+	for i, v := range d.values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g @ %.0f%%", v, ps[i]*100)
+	}
+	return b.String()
+}

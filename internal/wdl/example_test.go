@@ -1,0 +1,48 @@
+package wdl_test
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/wdl"
+)
+
+// ExampleParse compiles workflow definition language source into a
+// validated workflow.
+func ExampleParse() {
+	src := `workflow fulfilment
+op Pick 20M
+msg 7581B
+xor InStock 1M {
+    branch 9 { op Pack 30M }
+    branch 1 { op Backorder 5M }
+}
+msg 873B
+op Notify 5M`
+	w, err := wdl.Parse(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(w.M(), "nodes,", len(w.Edges), "messages")
+	fmt.Printf("decision ratio %.0f%%\n", w.DecisionRatio()*100)
+	// Output:
+	// 6 nodes, 6 messages
+	// decision ratio 33%
+}
+
+// ExampleFormat decompiles a workflow back to canonical source.
+func ExampleFormat() {
+	w, _ := wdl.Parse(`workflow tiny op A 5M msg 873B op B 50M`)
+	src, err := wdl.Format(w)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(src)
+	// Output:
+	// workflow tiny
+	//
+	// op A 5M
+	// msg 873B
+	// op B 50M
+}

@@ -1,0 +1,135 @@
+package wdl
+
+import (
+	"fmt"
+	"strings"
+
+	"wsdeploy/internal/workflow"
+)
+
+// Format decompiles a well-formed workflow back to canonical workflow
+// definition language source. Parse(Format(w)) reconstructs a workflow
+// with the same structure, cycles, message sizes and branch weights.
+//
+// Join-node cycles are folded into the decision header only when they
+// equal the split's; otherwise the join cost cannot be expressed in the
+// language and Format returns an error (the language deliberately keeps
+// decisions symmetric).
+func Format(w *workflow.Workflow) (string, error) {
+	var b strings.Builder
+	name := w.Name
+	if name == "" || strings.ContainsAny(name, " \t\n{}") {
+		name = "unnamed"
+	}
+	fmt.Fprintf(&b, "workflow %s\n\n", name)
+	if err := formatSeq(&b, w, w.Source(), -1, 0, true); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// formatSeq writes the sequence starting at node `cur` and ending when
+// the walk reaches `stop` (exclusive) or runs out of edges. entryEdge
+// handling: the caller prints the msg for the edge *into* cur, so this
+// function starts by printing cur itself.
+func formatSeq(b *strings.Builder, w *workflow.Workflow, cur, stop, indent int, atTop bool) error {
+	for cur != stop {
+		nd := w.Nodes[cur]
+		switch {
+		case nd.Kind == workflow.Operational:
+			writeIndent(b, indent)
+			fmt.Fprintf(b, "op %s %s\n", safeName(nd.Name), formatQuantity(nd.Cycles))
+		case nd.Kind.IsSplit():
+			join := nd.Complement
+			jn := w.Nodes[join]
+			if jn.Cycles != nd.Cycles {
+				return fmt.Errorf("wdl: cannot format workflow %q: split %q costs %g cycles but its join costs %g",
+					w.Name, nd.Name, nd.Cycles, jn.Cycles)
+			}
+			writeIndent(b, indent)
+			fmt.Fprintf(b, "%s %s", keywordOf(nd.Kind), safeName(nd.Name))
+			if nd.Cycles != 0 {
+				fmt.Fprintf(b, " %s", formatQuantity(nd.Cycles))
+			}
+			b.WriteString(" {\n")
+			for _, ei := range w.Out(cur) {
+				e := w.Edges[ei]
+				writeIndent(b, indent+1)
+				b.WriteString("branch")
+				if nd.Kind == workflow.XorSplit && e.Weight != 1 {
+					fmt.Fprintf(b, " %s", formatQuantity(e.Weight))
+				}
+				b.WriteString(" {\n")
+				writeMsg(b, e.SizeBits, indent+2)
+				if e.To != join {
+					if err := formatSeq(b, w, e.To, join, indent+2, false); err != nil {
+						return err
+					}
+				}
+				writeIndent(b, indent+1)
+				b.WriteString("}\n")
+			}
+			writeIndent(b, indent)
+			b.WriteString("}\n")
+			cur = join
+		default:
+			return fmt.Errorf("wdl: unexpected %s node %q outside its block", nd.Kind, nd.Name)
+		}
+
+		outs := w.Out(cur)
+		if len(outs) == 0 {
+			return nil
+		}
+		e := w.Edges[outs[0]]
+		if e.To == stop {
+			// The exit edge's size belongs to the enclosing branch.
+			writeMsg(b, e.SizeBits, indent)
+			return nil
+		}
+		writeMsg(b, e.SizeBits, indent)
+		cur = e.To
+	}
+	return nil
+}
+
+// writeMsg emits a msg line for a non-zero edge size.
+func writeMsg(b *strings.Builder, size float64, indent int) {
+	if size == 0 {
+		return
+	}
+	writeIndent(b, indent)
+	fmt.Fprintf(b, "msg %s\n", formatQuantity(size))
+}
+
+func writeIndent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func keywordOf(k workflow.Kind) string {
+	switch k {
+	case workflow.XorSplit:
+		return "xor"
+	case workflow.AndSplit:
+		return "and"
+	default:
+		return "or"
+	}
+}
+
+// safeName sanitizes node names into language identifiers.
+func safeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var out []rune
+	for i, c := range name {
+		if isIdentRune(c) && !(i == 0 && !isIdentStart(c)) {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,58 @@
+package wdl
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the parser's total behaviour: arbitrary input never
+// panics, and any input it accepts round-trips through Format → Parse.
+func FuzzParse(f *testing.F) {
+	f.Add(patientSrc)
+	f.Add(`workflow x op A 1`)
+	f.Add(`workflow x xor D { branch { op A 1 } branch { } } op B 2`)
+	f.Add(`workflow x defaultmsg 1K op A 5M msg 2K op B 1`)
+	f.Add(`workflow`)
+	f.Add(`workflow x op`)
+	f.Add(`{}{}{}`)
+	f.Add(`workflow x and D 3M { branch 2 { op A 1M } branch { op B 2M msg 5B } }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		w, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out, err := Format(w)
+		if err != nil {
+			// Only asymmetric decision costs are unformattable, and the
+			// parser always emits symmetric ones.
+			t.Fatalf("parsed source unformattable: %v", err)
+		}
+		w2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("formatted output unparseable: %v\n%s", err, out)
+		}
+		if w2.M() != w.M() || len(w2.Edges) != len(w.Edges) {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d edges",
+				w.M(), w2.M(), len(w.Edges), len(w2.Edges))
+		}
+	})
+}
+
+// FuzzLexer asserts the lexer terminates and never panics on arbitrary
+// byte soup.
+func FuzzLexer(f *testing.F) {
+	f.Add("workflow x op A 5M")
+	f.Add("5M 873B 2.5K 1G .")
+	f.Add("// comment\n# another\n{}")
+	f.Fuzz(func(t *testing.T, src string) {
+		lx := newLexer(src)
+		// Every token consumes at least one rune, so the token count is
+		// bounded by the input length; exceeding it means livelock.
+		for i := 0; i <= len(src)+1; i++ {
+			tok, err := lx.next()
+			if err != nil || tok.kind == tokEOF {
+				return
+			}
+		}
+		t.Fatalf("lexer emitted more tokens than runes in %q", src)
+	})
+}

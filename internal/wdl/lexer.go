@@ -1,0 +1,221 @@
+// Package wdl implements a small workflow definition language — the
+// reproduction's stand-in for the BPEL/WSFL specifications the paper
+// assumes ("web services are composed in workflows (specified in
+// appropriate languages such as BPEL or WSFL)"). The language is
+// block-structured, mirroring the paper's well-formed workflows: decision
+// blocks open with and/or/xor and close implicitly, so complements can
+// never be mismatched.
+//
+// Example:
+//
+//	workflow patient-rendezvous
+//
+//	op Receive 5M
+//	msg 873B
+//	op Identify 50M
+//	xor Available {
+//	    branch 7 { op Book 50M }
+//	    branch 3 { op Waitlist 5M }
+//	}
+//	op Consult 500M
+//	and Register {
+//	    branch { op RegisterMed 50M }
+//	    branch { op NotifySSA 50M }
+//	}
+//
+// Numbers take magnitude suffixes K/M/G (×1e3/1e6/1e9); the B suffix
+// reads a byte count and converts to bits (873B = 6 984 bits). `msg SIZE`
+// sets the size of the next generated message; `defaultmsg SIZE` sets the
+// fallback for all messages that follow. Parse compiles source to a
+// validated *workflow.Workflow; Format decompiles any well-formed
+// workflow back to canonical source (Parse∘Format is the identity up to
+// formatting).
+package wdl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber // numeric literal with optional magnitude/byte suffix
+	tokLBrace
+	tokRBrace
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// token is one lexeme with its source line for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	val  float64 // numbers: the scaled value
+	line int
+}
+
+// lexer splits source text into tokens. Comments run from // or # to end
+// of line.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+// next returns the next token or an error for malformed input.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case unicode.IsSpace(c):
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			lx.skipLine()
+		case c == '#':
+			lx.skipLine()
+		case c == '{':
+			lx.pos++
+			return token{kind: tokLBrace, text: "{", line: lx.line}, nil
+		case c == '}':
+			lx.pos++
+			return token{kind: tokRBrace, text: "}", line: lx.line}, nil
+		case unicode.IsDigit(c) || c == '.':
+			return lx.number()
+		case isIdentStart(c):
+			return lx.ident(), nil
+		default:
+			return token{}, fmt.Errorf("line %d: unexpected character %q", lx.line, c)
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+}
+
+func (lx *lexer) skipLine() {
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+		lx.pos++
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_' || c == '/'
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '/' || c == '?' || c == '.'
+}
+
+func (lx *lexer) ident() token {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentRune(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	return token{kind: tokIdent, text: string(lx.src[start:lx.pos]), line: lx.line}
+}
+
+// number lexes a numeric literal: digits with optional decimal point and
+// one optional suffix: K, M, G (magnitudes in bits/cycles) or B (bytes,
+// converted to bits).
+func (lx *lexer) number() (token, error) {
+	start := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '.' {
+			if seenDot {
+				return token{}, fmt.Errorf("line %d: malformed number", lx.line)
+			}
+			seenDot = true
+			lx.pos++
+			continue
+		}
+		if !unicode.IsDigit(c) {
+			break
+		}
+		lx.pos++
+	}
+	digits := string(lx.src[start:lx.pos])
+	if digits == "." || digits == "" {
+		return token{}, fmt.Errorf("line %d: malformed number", lx.line)
+	}
+	var base float64
+	if _, err := fmt.Sscanf(digits, "%g", &base); err != nil {
+		return token{}, fmt.Errorf("line %d: malformed number %q", lx.line, digits)
+	}
+	scale := 1.0
+	text := digits
+	if lx.pos < len(lx.src) {
+		switch lx.src[lx.pos] {
+		case 'K', 'k':
+			scale = 1e3
+			lx.pos++
+		case 'M', 'm':
+			scale = 1e6
+			lx.pos++
+		case 'G', 'g':
+			scale = 1e9
+			lx.pos++
+		case 'B', 'b':
+			scale = 8 // bytes → bits
+			lx.pos++
+		}
+		if scale != 1 {
+			text = digits + string(lx.src[lx.pos-1])
+		}
+	}
+	// A trailing identifier character after the suffix is an error
+	// (e.g. "5Mx").
+	if lx.pos < len(lx.src) && isIdentRune(lx.src[lx.pos]) {
+		return token{}, fmt.Errorf("line %d: malformed number suffix after %q", lx.line, text)
+	}
+	return token{kind: tokNumber, text: text, val: base * scale, line: lx.line}, nil
+}
+
+// formatQuantity renders a bit/cycle count in the language's compact
+// suffix notation: the largest magnitude suffix that loses no precision
+// at one decimal, falling back to a byte count for multiples of 8, then
+// to the bare number.
+func formatQuantity(v float64) string {
+	// plain renders without exponent notation, which the lexer cannot
+	// read back.
+	plain := func(x float64) string { return strconv.FormatFloat(x, 'f', -1, 64) }
+	for _, unit := range []struct {
+		scale  float64
+		suffix string
+	}{{1e9, "G"}, {1e6, "M"}, {1e3, "K"}} {
+		if v >= unit.scale && math.Mod(v, unit.scale/10) == 0 {
+			return plain(v/unit.scale) + unit.suffix
+		}
+	}
+	if v >= 8 && math.Mod(v, 8) == 0 {
+		return plain(v/8) + "B"
+	}
+	return plain(v)
+}

@@ -1,0 +1,310 @@
+package wdl
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/workflow"
+)
+
+// AST node kinds. The AST mirrors the language's block structure and is
+// compiled to a workflow.Builder in one pass.
+type seqAST []itemAST
+
+type itemAST interface{ line() int }
+
+type opAST struct {
+	name   string
+	cycles float64
+	ln     int
+}
+
+func (a opAST) line() int { return a.ln }
+
+type msgAST struct {
+	size      float64
+	isDefault bool
+	ln        int
+}
+
+func (a msgAST) line() int { return a.ln }
+
+type decAST struct {
+	kind     workflow.Kind // split kind
+	name     string
+	cycles   float64
+	branches []branchAST
+	ln       int
+}
+
+func (a decAST) line() int { return a.ln }
+
+type branchAST struct {
+	weight float64
+	seq    seqAST
+	ln     int
+}
+
+// parser is a single-token-lookahead recursive-descent parser.
+type parser struct {
+	lx   *lexer
+	tok  token
+	errs []string
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, fmt.Errorf("line %d: expected %s (%s), got %s %q",
+			p.tok.line, kind, what, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// Parse compiles workflow definition language source into a validated
+// workflow.
+func Parse(src string) (*workflow.Workflow, error) {
+	name, seq, err := parseAST(src)
+	if err != nil {
+		return nil, err
+	}
+	return compile(name, seq)
+}
+
+// parseAST parses source into the workflow name and top-level sequence.
+func parseAST(src string) (string, seqAST, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return "", nil, err
+	}
+	kw, err := p.expect(tokIdent, "keyword 'workflow'")
+	if err != nil {
+		return "", nil, err
+	}
+	if kw.text != "workflow" {
+		return "", nil, fmt.Errorf("line %d: source must start with 'workflow NAME', got %q", kw.line, kw.text)
+	}
+	nameTok, err := p.expect(tokIdent, "workflow name")
+	if err != nil {
+		return "", nil, err
+	}
+	seq, err := p.parseSeq()
+	if err != nil {
+		return "", nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return "", nil, fmt.Errorf("line %d: unexpected %s %q after workflow body", p.tok.line, p.tok.kind, p.tok.text)
+	}
+	return nameTok.text, seq, nil
+}
+
+// parseSeq parses items until '}' or EOF (without consuming the brace).
+func (p *parser) parseSeq() (seqAST, error) {
+	var seq seqAST
+	for {
+		switch p.tok.kind {
+		case tokEOF, tokRBrace:
+			return seq, nil
+		case tokIdent:
+			item, err := p.parseItem()
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, item)
+		default:
+			return nil, fmt.Errorf("line %d: expected an item, got %s %q", p.tok.line, p.tok.kind, p.tok.text)
+		}
+	}
+}
+
+func (p *parser) parseItem() (itemAST, error) {
+	kw := p.tok
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch kw.text {
+	case "op":
+		name, err := p.expect(tokIdent, "operation name")
+		if err != nil {
+			return nil, err
+		}
+		cycles, err := p.expect(tokNumber, "operation cycles")
+		if err != nil {
+			return nil, err
+		}
+		return opAST{name: name.text, cycles: cycles.val, ln: kw.line}, nil
+	case "msg", "defaultmsg":
+		size, err := p.expect(tokNumber, "message size")
+		if err != nil {
+			return nil, err
+		}
+		return msgAST{size: size.val, isDefault: kw.text == "defaultmsg", ln: kw.line}, nil
+	case "xor", "and", "or":
+		return p.parseDecision(kw)
+	default:
+		return nil, fmt.Errorf("line %d: unknown keyword %q (want op, msg, defaultmsg, xor, and, or)", kw.line, kw.text)
+	}
+}
+
+func kindOf(kw string) workflow.Kind {
+	switch kw {
+	case "xor":
+		return workflow.XorSplit
+	case "and":
+		return workflow.AndSplit
+	default:
+		return workflow.OrSplit
+	}
+}
+
+func (p *parser) parseDecision(kw token) (itemAST, error) {
+	name, err := p.expect(tokIdent, "decision name")
+	if err != nil {
+		return nil, err
+	}
+	dec := decAST{kind: kindOf(kw.text), name: name.text, ln: kw.line}
+	if p.tok.kind == tokNumber {
+		dec.cycles = p.tok.val
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokLBrace, "decision body"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokIdent && p.tok.text == "branch" {
+		br, err := p.parseBranch()
+		if err != nil {
+			return nil, err
+		}
+		dec.branches = append(dec.branches, br)
+	}
+	if _, err := p.expect(tokRBrace, "end of decision body"); err != nil {
+		return nil, err
+	}
+	if len(dec.branches) < 2 {
+		return nil, fmt.Errorf("line %d: decision %q needs at least 2 branches, got %d", kw.line, name.text, len(dec.branches))
+	}
+	return dec, nil
+}
+
+func (p *parser) parseBranch() (branchAST, error) {
+	br := branchAST{weight: 1, ln: p.tok.line}
+	if err := p.advance(); err != nil { // consume 'branch'
+		return br, err
+	}
+	if p.tok.kind == tokNumber {
+		br.weight = p.tok.val
+		if err := p.advance(); err != nil {
+			return br, err
+		}
+	}
+	if _, err := p.expect(tokLBrace, "branch body"); err != nil {
+		return br, err
+	}
+	seq, err := p.parseSeq()
+	if err != nil {
+		return br, err
+	}
+	br.seq = seq
+	if _, err := p.expect(tokRBrace, "end of branch body"); err != nil {
+		return br, err
+	}
+	return br, nil
+}
+
+// compiler state: translates the AST into a workflow.Builder.
+type compiler struct {
+	b          *workflow.Builder
+	defaultMsg float64
+	pending    *float64 // one-shot size set by the last `msg`
+}
+
+// nextMsg consumes the one-shot pending size or falls back to the
+// default.
+func (c *compiler) nextMsg() float64 {
+	if c.pending != nil {
+		v := *c.pending
+		c.pending = nil
+		return v
+	}
+	return c.defaultMsg
+}
+
+func compile(name string, seq seqAST) (*workflow.Workflow, error) {
+	c := &compiler{b: workflow.NewBuilder(name)}
+	if _, _, err := c.seq(seq, workflow.NodeID(-1), 1, false); err != nil {
+		return nil, err
+	}
+	return c.b.Build()
+}
+
+// seq emits a sequence chained after prev (with weight on the first link
+// when the caller is an XOR split, signalled by weighted). It returns the
+// first and last node of the sequence; first is -1 when the sequence
+// created no nodes.
+func (c *compiler) seq(seq seqAST, prev workflow.NodeID, weight float64, weighted bool) (first, last workflow.NodeID, err error) {
+	first, last = -1, prev
+	link := func(to workflow.NodeID) {
+		if last >= 0 {
+			if weighted && first == -1 {
+				c.b.LinkWeighted(last, to, c.nextMsg(), weight)
+			} else {
+				c.b.Link(last, to, c.nextMsg())
+			}
+		}
+		if first == -1 {
+			first = to
+		}
+		last = to
+	}
+	for _, item := range seq {
+		switch it := item.(type) {
+		case opAST:
+			link(c.b.Op(it.name, it.cycles))
+		case msgAST:
+			if it.isDefault {
+				c.defaultMsg = it.size
+			} else {
+				size := it.size
+				c.pending = &size
+			}
+		case decAST:
+			split := c.b.Split(it.kind, it.name, it.cycles)
+			link(split)
+			join := c.b.Join(it.kind, "/"+it.name, it.cycles)
+			for _, br := range it.branches {
+				bFirst, bLast, err := c.seq(br.seq, split, br.weight, it.kind == workflow.XorSplit)
+				if err != nil {
+					return -1, -1, err
+				}
+				_ = bFirst
+				// Close the branch into the join; an empty branch links the
+				// split straight to the join.
+				if bLast == split && it.kind == workflow.XorSplit {
+					c.b.LinkWeighted(bLast, join, c.nextMsg(), br.weight)
+				} else {
+					c.b.Link(bLast, join, c.nextMsg())
+				}
+			}
+			last = join
+			if first == -1 {
+				first = split
+			}
+		default:
+			return -1, -1, fmt.Errorf("wdl: unknown AST item %T", item)
+		}
+	}
+	return first, last, nil
+}

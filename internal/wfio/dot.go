@@ -1,0 +1,97 @@
+package wfio
+
+import (
+	"fmt"
+	"strings"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// dotPalette colors servers in DOT output; it cycles when a network has
+// more servers than colors.
+var dotPalette = []string{
+	"lightblue", "lightgreen", "lightsalmon", "plum", "khaki",
+	"lightcyan", "mistyrose", "palegreen", "thistle", "wheat",
+}
+
+// WorkflowDOT renders a workflow as a Graphviz digraph. When mp is
+// non-nil, nodes are grouped into per-server clusters and filled with the
+// server's color, visualizing the deployment.
+func WorkflowDOT(w *workflow.Workflow, mp deploy.Mapping) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", w.Name)
+	nodeAttrs := func(u int) string {
+		nd := w.Nodes[u]
+		shape := "box"
+		if nd.Kind.IsDecision() {
+			shape = "diamond"
+		}
+		label := fmt.Sprintf("%s\\n%s %.0fM", nd.Name, nd.Kind, nd.Cycles/1e6)
+		if nd.Kind == workflow.Operational {
+			label = fmt.Sprintf("%s\\n%.0fM", nd.Name, nd.Cycles/1e6)
+		}
+		attrs := fmt.Sprintf("shape=%s label=\"%s\"", shape, label)
+		if mp != nil && mp[u] != deploy.Unassigned {
+			attrs += fmt.Sprintf(" style=filled fillcolor=%s", dotPalette[mp[u]%len(dotPalette)])
+		}
+		return attrs
+	}
+	if mp != nil {
+		per := mp.OpsOn(maxServer(mp) + 1)
+		for s, ops := range per {
+			if len(ops) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  subgraph cluster_s%d {\n    label=\"S%d\";\n", s, s+1)
+			for _, u := range ops {
+				fmt.Fprintf(&b, "    n%d [%s];\n", u, nodeAttrs(u))
+			}
+			fmt.Fprintf(&b, "  }\n")
+		}
+		for u := range w.Nodes {
+			if mp[u] == deploy.Unassigned {
+				fmt.Fprintf(&b, "  n%d [%s];\n", u, nodeAttrs(u))
+			}
+		}
+	} else {
+		for u := range w.Nodes {
+			fmt.Fprintf(&b, "  n%d [%s];\n", u, nodeAttrs(u))
+		}
+	}
+	for _, e := range w.Edges {
+		label := fmt.Sprintf("%.3fMb", e.SizeBits/1e6)
+		if w.Nodes[e.From].Kind == workflow.XorSplit {
+			label += fmt.Sprintf(" w=%g", e.Weight)
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%s\" fontsize=8];\n", e.From, e.To, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func maxServer(mp deploy.Mapping) int {
+	max := 0
+	for _, s := range mp {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NetworkDOT renders a network as a Graphviz graph with link speeds.
+func NetworkDOT(n *network.Network) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n  node [shape=box3d fontsize=10];\n", n.Name)
+	for i, s := range n.Servers {
+		fmt.Fprintf(&b, "  s%d [label=\"%s\\n%.1f GHz\" style=filled fillcolor=%s];\n",
+			i, s.Name, s.PowerHz/1e9, dotPalette[i%len(dotPalette)])
+	}
+	for _, l := range n.Links {
+		fmt.Fprintf(&b, "  s%d -- s%d [label=\"%.0f Mbps\" fontsize=8];\n", l.A, l.B, l.SpeedBps/1e6)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,192 @@
+// Package wfio serializes workflows, networks and mappings to JSON (for
+// the CLI tools and interchange) and to Graphviz DOT (for visual
+// inspection). The JSON schema is stable and documented on the spec
+// types.
+package wfio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// WorkflowSpec is the JSON form of a workflow.
+type WorkflowSpec struct {
+	Name  string     `json:"name"`
+	Nodes []NodeSpec `json:"nodes"`
+	Edges []EdgeSpec `json:"edges"`
+}
+
+// NodeSpec is the JSON form of one operation. Kind is the paper's
+// notation: "OP", "AND", "OR", "XOR", "/AND", "/OR", "/XOR".
+type NodeSpec struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Cycles float64 `json:"cycles"`
+}
+
+// EdgeSpec is the JSON form of one message. From and To index into the
+// nodes array. Weight defaults to 1 when omitted.
+type EdgeSpec struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	SizeBits float64 `json:"sizeBits"`
+	Weight   float64 `json:"weight,omitempty"`
+}
+
+// kindNames maps JSON kind strings to workflow kinds.
+var kindNames = map[string]workflow.Kind{
+	"OP":   workflow.Operational,
+	"AND":  workflow.AndSplit,
+	"OR":   workflow.OrSplit,
+	"XOR":  workflow.XorSplit,
+	"/AND": workflow.AndJoin,
+	"/OR":  workflow.OrJoin,
+	"/XOR": workflow.XorJoin,
+}
+
+// EncodeWorkflow writes w as indented JSON.
+func EncodeWorkflow(out io.Writer, w *workflow.Workflow) error {
+	spec := WorkflowSpec{Name: w.Name}
+	for _, nd := range w.Nodes {
+		spec.Nodes = append(spec.Nodes, NodeSpec{Name: nd.Name, Kind: nd.Kind.String(), Cycles: nd.Cycles})
+	}
+	for _, e := range w.Edges {
+		spec.Edges = append(spec.Edges, EdgeSpec{From: e.From, To: e.To, SizeBits: e.SizeBits, Weight: e.Weight})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// DecodeWorkflow reads a WorkflowSpec and builds the validated workflow.
+func DecodeWorkflow(in io.Reader) (*workflow.Workflow, error) {
+	var spec WorkflowSpec
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("wfio: decoding workflow: %w", err)
+	}
+	nodes := make([]workflow.Node, len(spec.Nodes))
+	for i, ns := range spec.Nodes {
+		kind, ok := kindNames[ns.Kind]
+		if !ok {
+			return nil, fmt.Errorf("wfio: node %d (%s) has unknown kind %q", i, ns.Name, ns.Kind)
+		}
+		nodes[i] = workflow.Node{Name: ns.Name, Kind: kind, Cycles: ns.Cycles, Complement: -1}
+	}
+	edges := make([]workflow.Edge, len(spec.Edges))
+	for i, es := range spec.Edges {
+		weight := es.Weight
+		if weight == 0 {
+			weight = 1
+		}
+		edges[i] = workflow.Edge{From: es.From, To: es.To, SizeBits: es.SizeBits, Weight: weight}
+	}
+	return workflow.New(spec.Name, nodes, edges)
+}
+
+// NetworkSpec is the JSON form of a server network.
+type NetworkSpec struct {
+	Name    string       `json:"name"`
+	Servers []ServerSpec `json:"servers"`
+	// Links lists explicit links; for a pure bus, set Bus instead and
+	// leave Links empty.
+	Links []LinkSpec `json:"links,omitempty"`
+	Bus   *BusSpec   `json:"bus,omitempty"`
+}
+
+// ServerSpec is the JSON form of one server.
+type ServerSpec struct {
+	Name    string  `json:"name"`
+	PowerHz float64 `json:"powerHz"`
+}
+
+// LinkSpec is the JSON form of one link.
+type LinkSpec struct {
+	A         int     `json:"a"`
+	B         int     `json:"b"`
+	SpeedBps  float64 `json:"speedBps"`
+	PropDelay float64 `json:"propDelay,omitempty"`
+}
+
+// BusSpec pins every pair of servers to the same speed and delay.
+type BusSpec struct {
+	SpeedBps  float64 `json:"speedBps"`
+	PropDelay float64 `json:"propDelay,omitempty"`
+}
+
+// EncodeNetwork writes n as indented JSON, preserving a bus as a BusSpec.
+func EncodeNetwork(out io.Writer, n *network.Network) error {
+	spec := NetworkSpec{Name: n.Name}
+	for _, s := range n.Servers {
+		spec.Servers = append(spec.Servers, ServerSpec{Name: s.Name, PowerHz: s.PowerHz})
+	}
+	if n.Topology() == network.Bus && len(n.Links) > 0 {
+		spec.Bus = &BusSpec{SpeedBps: n.Links[0].SpeedBps, PropDelay: n.Links[0].PropDelay}
+	} else {
+		for _, l := range n.Links {
+			spec.Links = append(spec.Links, LinkSpec{A: l.A, B: l.B, SpeedBps: l.SpeedBps, PropDelay: l.PropDelay})
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// DecodeNetwork reads a NetworkSpec and builds the validated network.
+func DecodeNetwork(in io.Reader) (*network.Network, error) {
+	var spec NetworkSpec
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("wfio: decoding network: %w", err)
+	}
+	if spec.Bus != nil {
+		if len(spec.Links) > 0 {
+			return nil, fmt.Errorf("wfio: network %q sets both bus and explicit links", spec.Name)
+		}
+		powers := make([]float64, len(spec.Servers))
+		for i, s := range spec.Servers {
+			powers[i] = s.PowerHz
+		}
+		return network.NewBus(spec.Name, powers, spec.Bus.SpeedBps, spec.Bus.PropDelay)
+	}
+	servers := make([]network.Server, len(spec.Servers))
+	for i, s := range spec.Servers {
+		servers[i] = network.Server{Name: s.Name, PowerHz: s.PowerHz}
+	}
+	links := make([]network.Link, len(spec.Links))
+	for i, l := range spec.Links {
+		links[i] = network.Link{A: l.A, B: l.B, SpeedBps: l.SpeedBps, PropDelay: l.PropDelay}
+	}
+	return network.New(spec.Name, servers, links)
+}
+
+// MappingSpec is the JSON form of a deployment mapping.
+type MappingSpec struct {
+	// Assignment[i] is the server index hosting operation i.
+	Assignment []int `json:"assignment"`
+}
+
+// EncodeMapping writes mp as JSON.
+func EncodeMapping(out io.Writer, mp deploy.Mapping) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(MappingSpec{Assignment: mp})
+}
+
+// DecodeMapping reads a MappingSpec.
+func DecodeMapping(in io.Reader) (deploy.Mapping, error) {
+	var spec MappingSpec
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("wfio: decoding mapping: %w", err)
+	}
+	return deploy.Mapping(spec.Assignment), nil
+}

@@ -1,0 +1,130 @@
+package workflow
+
+import "fmt"
+
+// NodeID identifies a node added to a Builder. It is the node's index in
+// the workflow under construction.
+type NodeID int
+
+// Builder assembles a workflow incrementally. Errors are deferred to Build
+// so call sites can chain additions without per-call error handling; the
+// first error encountered is reported and later calls become no-ops.
+type Builder struct {
+	name  string
+	nodes []Node
+	edges []Edge
+	err   error
+}
+
+// NewBuilder returns an empty builder for a workflow with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Op adds an operational node costing the given CPU cycles and returns its
+// id.
+func (b *Builder) Op(name string, cycles float64) NodeID {
+	return b.add(Node{Name: name, Kind: Operational, Cycles: cycles, Complement: -1})
+}
+
+// Split adds a decision node of the given split kind (AndSplit, OrSplit or
+// XorSplit). Decision nodes may themselves cost cycles (evaluating the
+// condition); pass 0 for free decisions.
+func (b *Builder) Split(kind Kind, name string, cycles float64) NodeID {
+	if !kind.IsSplit() && b.err == nil {
+		b.err = fmt.Errorf("workflow builder: Split called with non-split kind %v", kind)
+	}
+	return b.add(Node{Name: name, Kind: kind, Cycles: cycles, Complement: -1})
+}
+
+// Join adds the complement node closing a split of the given split kind;
+// pass the *split* kind (e.g. AndSplit) and the matching join kind is
+// stored.
+func (b *Builder) Join(splitKind Kind, name string, cycles float64) NodeID {
+	if !splitKind.IsSplit() && b.err == nil {
+		b.err = fmt.Errorf("workflow builder: Join called with non-split kind %v", splitKind)
+		return b.add(Node{Name: name, Kind: Operational, Complement: -1})
+	}
+	return b.add(Node{Name: name, Kind: splitKind.JoinFor(), Cycles: cycles, Complement: -1})
+}
+
+func (b *Builder) add(n Node) NodeID {
+	b.nodes = append(b.nodes, n)
+	return NodeID(len(b.nodes) - 1)
+}
+
+// Link adds a message of the given size in bits from one node to another
+// with branch weight 1.
+func (b *Builder) Link(from, to NodeID, sizeBits float64) {
+	b.LinkWeighted(from, to, sizeBits, 1)
+}
+
+// LinkWeighted adds a message with an explicit XOR branch weight.
+func (b *Builder) LinkWeighted(from, to NodeID, sizeBits, weight float64) {
+	b.edges = append(b.edges, Edge{From: int(from), To: int(to), SizeBits: sizeBits, Weight: weight})
+}
+
+// Chain links a sequence of nodes left to right with the same message
+// size and returns the last node, easing linear sections.
+func (b *Builder) Chain(sizeBits float64, ids ...NodeID) NodeID {
+	for i := 0; i+1 < len(ids); i++ {
+		b.Link(ids[i], ids[i+1], sizeBits)
+	}
+	if len(ids) == 0 {
+		if b.err == nil {
+			b.err = fmt.Errorf("workflow builder: Chain of no nodes")
+		}
+		return 0
+	}
+	return ids[len(ids)-1]
+}
+
+// Build validates and returns the workflow.
+func (b *Builder) Build() (*Workflow, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return New(b.name, b.nodes, b.edges)
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Workflow {
+	w, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// NewLine builds the linear workflow O_1 -> O_2 -> ... -> O_M used by the
+// paper's Line–Line and Line–Bus configurations. cycles[i] is C(O_i);
+// msgSizes[i] is the size in bits of the message O_i -> O_{i+1}, so
+// len(msgSizes) must be len(cycles)-1.
+func NewLine(name string, cycles, msgSizes []float64) (*Workflow, error) {
+	if len(cycles) == 0 {
+		return nil, fmt.Errorf("workflow: NewLine with no operations")
+	}
+	if len(msgSizes) != len(cycles)-1 {
+		return nil, fmt.Errorf("workflow: NewLine with %d operations needs %d message sizes, got %d",
+			len(cycles), len(cycles)-1, len(msgSizes))
+	}
+	b := NewBuilder(name)
+	prev := NodeID(-1)
+	for i, c := range cycles {
+		cur := b.Op(fmt.Sprintf("O%d", i+1), c)
+		if i > 0 {
+			b.Link(prev, cur, msgSizes[i-1])
+		}
+		prev = cur
+	}
+	return b.Build()
+}
+
+// MustNewLine is NewLine that panics on error.
+func MustNewLine(name string, cycles, msgSizes []float64) *Workflow {
+	w, err := NewLine(name, cycles, msgSizes)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

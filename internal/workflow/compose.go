@@ -1,0 +1,83 @@
+package workflow
+
+import "fmt"
+
+// Composition combinators: build larger well-formed workflows from
+// smaller ones. Concat chains two workflows in sequence; ParallelBlock
+// wraps several workflows as the branches of a fresh decision block.
+// Both re-validate, so any composition that would break well-formedness
+// is rejected rather than constructed.
+
+// Concat returns a workflow that runs a to completion and then feeds b:
+// a's sink sends a message of bridgeBits to b's source. Node indices of a
+// are preserved; b's shift by a.M().
+func Concat(name string, a, b *Workflow, bridgeBits float64) (*Workflow, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("workflow: Concat of nil workflow")
+	}
+	nodes := make([]Node, 0, a.M()+b.M())
+	nodes = append(nodes, a.Nodes...)
+	nodes = append(nodes, b.Nodes...)
+	// Complements are recomputed by New; clear stale links.
+	for i := range nodes {
+		nodes[i].Complement = -1
+	}
+	edges := make([]Edge, 0, len(a.Edges)+len(b.Edges)+1)
+	edges = append(edges, a.Edges...)
+	off := a.M()
+	for _, e := range b.Edges {
+		edges = append(edges, Edge{From: e.From + off, To: e.To + off, SizeBits: e.SizeBits, Weight: e.Weight})
+	}
+	edges = append(edges, Edge{From: a.Sink(), To: b.Source() + off, SizeBits: bridgeBits, Weight: 1})
+	return New(name, nodes, edges)
+}
+
+// ParallelBlock wraps the given workflows as branches of one decision
+// block of splitKind (AndSplit, OrSplit or XorSplit): a fresh split node
+// fans out to every branch's source and every branch's sink feeds the
+// matching join. weights supplies the XOR branch weights (ignored for
+// AND/OR; nil means uniform). branchBits sizes the messages into and out
+// of the branches.
+func ParallelBlock(name string, splitKind Kind, branches []*Workflow, weights []float64, branchBits float64) (*Workflow, error) {
+	if !splitKind.IsSplit() {
+		return nil, fmt.Errorf("workflow: ParallelBlock needs a split kind, got %v", splitKind)
+	}
+	if len(branches) < 2 {
+		return nil, fmt.Errorf("workflow: ParallelBlock needs at least 2 branches, got %d", len(branches))
+	}
+	if weights != nil && len(weights) != len(branches) {
+		return nil, fmt.Errorf("workflow: %d weights for %d branches", len(weights), len(branches))
+	}
+	var nodes []Node
+	var edges []Edge
+	split := 0
+	nodes = append(nodes, Node{Name: name, Kind: splitKind, Complement: -1})
+	offsets := make([]int, len(branches))
+	for i, br := range branches {
+		if br == nil {
+			return nil, fmt.Errorf("workflow: ParallelBlock branch %d is nil", i)
+		}
+		offsets[i] = len(nodes)
+		for _, nd := range br.Nodes {
+			nd.Complement = -1
+			nodes = append(nodes, nd)
+		}
+		for _, e := range br.Edges {
+			edges = append(edges, Edge{
+				From: e.From + offsets[i], To: e.To + offsets[i],
+				SizeBits: e.SizeBits, Weight: e.Weight,
+			})
+		}
+	}
+	join := len(nodes)
+	nodes = append(nodes, Node{Name: "/" + name, Kind: splitKind.JoinFor(), Complement: -1})
+	for i, br := range branches {
+		weight := 1.0
+		if weights != nil {
+			weight = weights[i]
+		}
+		edges = append(edges, Edge{From: split, To: br.Source() + offsets[i], SizeBits: branchBits, Weight: weight})
+		edges = append(edges, Edge{From: br.Sink() + offsets[i], To: join, SizeBits: branchBits, Weight: 1})
+	}
+	return New(name, nodes, edges)
+}

@@ -1,0 +1,137 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConcat(t *testing.T) {
+	a := MustNewLine("a", []float64{10, 20}, []float64{100})
+	b := MustNewLine("b", []float64{30, 40}, []float64{200})
+	c, err := Concat("ab", a, b, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != 4 || len(c.Edges) != 3 {
+		t.Fatalf("shape: %s", c)
+	}
+	if !c.IsLinear() {
+		t.Fatal("concat of lines not linear")
+	}
+	if c.TotalCycles() != 100 {
+		t.Fatalf("cycles: %v", c.TotalCycles())
+	}
+	// The bridge edge connects a's sink to b's shifted source.
+	if ei := c.EdgeBetween(1, 2); ei < 0 || c.Edges[ei].SizeBits != 500 {
+		t.Fatalf("bridge edge wrong: %d", ei)
+	}
+	if _, err := Concat("x", nil, b, 1); err == nil {
+		t.Fatal("nil workflow accepted")
+	}
+}
+
+func TestConcatPreservesBlocks(t *testing.T) {
+	d := diamondWF(t)
+	line := MustNewLine("l", []float64{5, 5}, []float64{50})
+	c, err := Concat("dl", d, line, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != d.M()+2 {
+		t.Fatalf("M = %d", c.M())
+	}
+	// Complements re-matched after concatenation.
+	found := false
+	for u, nd := range c.Nodes {
+		if nd.Kind == XorSplit {
+			found = true
+			if c.Nodes[u].Complement < 0 || c.Nodes[c.Nodes[u].Complement].Kind != XorJoin {
+				t.Fatal("complement lost in concat")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("split vanished")
+	}
+}
+
+func TestParallelBlockAnd(t *testing.T) {
+	a := MustNewLine("a", []float64{10, 10}, []float64{1})
+	b := MustNewLine("b", []float64{20}, nil)
+	p, err := ParallelBlock("fork", AndSplit, []*Workflow{a, b}, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M() != 5 { // split + 3 ops + join
+		t.Fatalf("M = %d", p.M())
+	}
+	np, _ := p.Probabilities()
+	for u, prob := range np {
+		if prob != 1 {
+			t.Fatalf("AND block node %d prob %v", u, prob)
+		}
+	}
+}
+
+func TestParallelBlockXorWeights(t *testing.T) {
+	a := MustNewLine("a", []float64{10}, nil)
+	b := MustNewLine("b", []float64{20}, nil)
+	p, err := ParallelBlock("pick", XorSplit, []*Workflow{a, b}, []float64{3, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, _ := p.Probabilities()
+	var pa, pb float64
+	for u, nd := range p.Nodes {
+		if nd.Name == "O1" && nd.Cycles == 10 {
+			pa = np[u]
+		}
+		if nd.Name == "O1" && nd.Cycles == 20 {
+			pb = np[u]
+		}
+	}
+	if math.Abs(pa-0.75) > 1e-12 || math.Abs(pb-0.25) > 1e-12 {
+		t.Fatalf("branch probs %v / %v", pa, pb)
+	}
+}
+
+func TestParallelBlockValidation(t *testing.T) {
+	a := MustNewLine("a", []float64{1}, nil)
+	if _, err := ParallelBlock("x", Operational, []*Workflow{a, a}, nil, 1); err == nil {
+		t.Fatal("non-split kind accepted")
+	}
+	if _, err := ParallelBlock("x", AndSplit, []*Workflow{a}, nil, 1); err == nil {
+		t.Fatal("single branch accepted")
+	}
+	if _, err := ParallelBlock("x", XorSplit, []*Workflow{a, a}, []float64{1}, 1); err == nil {
+		t.Fatal("weight mismatch accepted")
+	}
+	if _, err := ParallelBlock("x", AndSplit, []*Workflow{a, nil}, nil, 1); err == nil {
+		t.Fatal("nil branch accepted")
+	}
+}
+
+func TestComposeNested(t *testing.T) {
+	// ParallelBlock of a Concat of ParallelBlocks — deep composition must
+	// stay well-formed.
+	leaf := MustNewLine("leaf", []float64{5, 5}, []float64{10})
+	inner, err := ParallelBlock("inner", XorSplit, []*Workflow{leaf, leaf.Clone()}, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := Concat("chain", inner, leaf.Clone(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := ParallelBlock("outer", AndSplit, []*Workflow{chain, leaf.Clone()}, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, _ := outer.Probabilities()
+	if math.Abs(np[outer.Sink()]-1) > 1e-12 {
+		t.Fatalf("sink prob %v", np[outer.Sink()])
+	}
+	if outer.DecisionRatio() <= 0 {
+		t.Fatal("no decisions after composition")
+	}
+}

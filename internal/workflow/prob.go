@@ -1,0 +1,87 @@
+package workflow
+
+// This file computes execution probabilities. XOR decision nodes pick one
+// outgoing path with a probabilistically weighted choice, so in a random
+// graph each operation (and message) only executes with some probability.
+// The paper (§3.4) amortises the cost model by exactly these probabilities:
+// "all the algorithms of this family ... assign an execution probability to
+// each operation (and thus, each message) due to the existence of XOR
+// decision nodes".
+//
+// Probabilities propagate forward from the source (probability 1):
+//
+//   - an XOR split divides its probability among its branches according to
+//     the edge weights;
+//   - AND and OR splits fork all branches, so every branch carries the full
+//     block probability (OR semantics execute all paths; only the
+//     rendezvous differs);
+//   - an XOR join's probability is the sum of its (mutually exclusive)
+//     incoming branch probabilities;
+//   - AND and OR joins execute once per block activation, so their
+//     probability equals the (identical) probability of any incoming
+//     branch.
+
+// Probabilities returns the execution probability of every node and every
+// edge. The workflow's validation guarantees the propagation rules above
+// are well defined.
+func (w *Workflow) Probabilities() (nodeProb, edgeProb []float64) {
+	nodeProb = make([]float64, len(w.Nodes))
+	edgeProb = make([]float64, len(w.Edges))
+	for _, u := range w.topo {
+		p := 0.0
+		if u == w.source {
+			p = 1.0
+		} else {
+			switch w.Nodes[u].Kind {
+			case XorJoin:
+				for _, ei := range w.in[u] {
+					p += edgeProb[ei]
+				}
+			case AndJoin, OrJoin:
+				// All incoming branches carry the block's probability;
+				// use the maximum to be robust to float drift.
+				for _, ei := range w.in[u] {
+					if edgeProb[ei] > p {
+						p = edgeProb[ei]
+					}
+				}
+			default:
+				// Operational nodes and splits have at most one in-edge.
+				for _, ei := range w.in[u] {
+					p = edgeProb[ei]
+				}
+			}
+		}
+		if p > 1 {
+			p = 1 // guard against float drift on deeply nested joins
+		}
+		nodeProb[u] = p
+
+		if w.Nodes[u].Kind == XorSplit {
+			var total float64
+			for _, ei := range w.out[u] {
+				total += w.Edges[ei].Weight
+			}
+			for _, ei := range w.out[u] {
+				edgeProb[ei] = p * w.Edges[ei].Weight / total
+			}
+		} else {
+			for _, ei := range w.out[u] {
+				edgeProb[ei] = p
+			}
+		}
+	}
+	return nodeProb, edgeProb
+}
+
+// ExpectedCycles returns the probability-weighted total cycles of the
+// workflow: Σ prob(op)·C(op). For linear workflows this equals
+// TotalCycles.
+func (w *Workflow) ExpectedCycles() float64 {
+	nodeProb, _ := w.Probabilities()
+	var sum float64
+	for u, nd := range w.Nodes {
+		sum += nodeProb[u] * nd.Cycles
+	}
+	return sum
+}

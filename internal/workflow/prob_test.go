@@ -1,0 +1,238 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wsdeploy/internal/stats"
+)
+
+func TestProbabilitiesLinear(t *testing.T) {
+	w := lineWF(t)
+	np, ep := w.Probabilities()
+	for u, p := range np {
+		if p != 1 {
+			t.Fatalf("node %d prob = %v, want 1 on a line", u, p)
+		}
+	}
+	for e, p := range ep {
+		if p != 1 {
+			t.Fatalf("edge %d prob = %v, want 1 on a line", e, p)
+		}
+	}
+}
+
+func TestProbabilitiesXorSplit(t *testing.T) {
+	w := diamondWF(t)
+	np, _ := w.Probabilities()
+	var pa, pb float64
+	for u, nd := range w.Nodes {
+		switch nd.Name {
+		case "a":
+			pa = np[u]
+		case "b":
+			pb = np[u]
+		}
+	}
+	if math.Abs(pa-0.75) > 1e-12 {
+		t.Fatalf("prob(a) = %v, want 0.75", pa)
+	}
+	if math.Abs(pb-0.25) > 1e-12 {
+		t.Fatalf("prob(b) = %v, want 0.25", pb)
+	}
+	// The join and sink re-merge to probability 1.
+	if p := np[w.Sink()]; math.Abs(p-1) > 1e-12 {
+		t.Fatalf("sink prob = %v", p)
+	}
+}
+
+func TestProbabilitiesAndFork(t *testing.T) {
+	b := NewBuilder("andfork")
+	and := b.Split(AndSplit, "and", 0)
+	a := b.Op("a", 1)
+	c := b.Op("b", 1)
+	j := b.Join(AndSplit, "/and", 0)
+	b.Link(and, a, 1)
+	b.Link(and, c, 1)
+	b.Link(a, j, 1)
+	b.Link(c, j, 1)
+	w := b.MustBuild()
+	np, _ := w.Probabilities()
+	for u, p := range np {
+		if p != 1 {
+			t.Fatalf("node %d prob = %v; AND forks carry full probability", u, p)
+		}
+	}
+}
+
+func TestProbabilitiesNestedXor(t *testing.T) {
+	// XOR(0.5: XOR(0.5 a | 0.5 b) | 0.5: c): leaves a and b get 0.25.
+	b := NewBuilder("nestedxor")
+	x1 := b.Split(XorSplit, "x1", 0)
+	x2 := b.Split(XorSplit, "x2", 0)
+	a := b.Op("a", 1)
+	bb := b.Op("b", 1)
+	j2 := b.Join(XorSplit, "/x2", 0)
+	c := b.Op("c", 1)
+	j1 := b.Join(XorSplit, "/x1", 0)
+	b.LinkWeighted(x1, x2, 1, 1)
+	b.LinkWeighted(x1, c, 1, 1)
+	b.LinkWeighted(x2, a, 1, 1)
+	b.LinkWeighted(x2, bb, 1, 1)
+	b.Link(a, j2, 1)
+	b.Link(bb, j2, 1)
+	b.Link(j2, j1, 1)
+	b.Link(c, j1, 1)
+	w := b.MustBuild()
+	np, _ := w.Probabilities()
+	want := map[string]float64{"a": 0.25, "b": 0.25, "c": 0.5, "/x2": 0.5, "/x1": 1}
+	for u, nd := range w.Nodes {
+		if exp, ok := want[nd.Name]; ok && math.Abs(np[u]-exp) > 1e-12 {
+			t.Fatalf("prob(%s) = %v, want %v", nd.Name, np[u], exp)
+		}
+	}
+}
+
+func TestProbabilityConservationAtXorJoin(t *testing.T) {
+	// Property: for any branch weights, the XOR join probability equals
+	// the split probability.
+	check := func(w1, w2, w3 uint8) bool {
+		ws := []float64{float64(w1) + 1, float64(w2) + 1, float64(w3) + 1}
+		b := NewBuilder("p")
+		x := b.Split(XorSplit, "x", 0)
+		var joinsIn []NodeID
+		for range ws {
+			joinsIn = append(joinsIn, b.Op("op", 1))
+		}
+		j := b.Join(XorSplit, "/x", 0)
+		for i, id := range joinsIn {
+			b.LinkWeighted(x, id, 1, ws[i])
+			b.Link(id, j, 1)
+		}
+		wf := b.MustBuild()
+		np, _ := wf.Probabilities()
+		return math.Abs(np[int(j)]-1) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedCycles(t *testing.T) {
+	w := diamondWF(t)
+	// src(5) + xor(0) + 0.75*a(10) + 0.25*b(20) + join(0) + snk(5) = 22.5
+	if got := w.ExpectedCycles(); math.Abs(got-22.5) > 1e-12 {
+		t.Fatalf("ExpectedCycles = %v, want 22.5", got)
+	}
+	lw := lineWF(t)
+	if got := lw.ExpectedCycles(); got != lw.TotalCycles() {
+		t.Fatalf("linear ExpectedCycles %v != TotalCycles %v", got, lw.TotalCycles())
+	}
+}
+
+func TestSampleExecutionLinear(t *testing.T) {
+	w := lineWF(t)
+	r := stats.NewRNG(1)
+	ex := w.SampleExecution(r)
+	for u, on := range ex.Nodes {
+		if !on {
+			t.Fatalf("node %d skipped on a linear workflow", u)
+		}
+	}
+	for e, on := range ex.Edges {
+		if !on {
+			t.Fatalf("edge %d skipped on a linear workflow", e)
+		}
+	}
+	if got := w.ExecutedCycles(ex); got != w.TotalCycles() {
+		t.Fatalf("ExecutedCycles = %v", got)
+	}
+}
+
+func TestSampleExecutionXorExactlyOneBranch(t *testing.T) {
+	w := diamondWF(t)
+	r := stats.NewRNG(2)
+	var aIdx, bIdx int
+	for u, nd := range w.Nodes {
+		switch nd.Name {
+		case "a":
+			aIdx = u
+		case "b":
+			bIdx = u
+		}
+	}
+	for i := 0; i < 500; i++ {
+		ex := w.SampleExecution(r)
+		if ex.Nodes[aIdx] == ex.Nodes[bIdx] {
+			t.Fatalf("run %d: XOR executed %v/%v branches", i, ex.Nodes[aIdx], ex.Nodes[bIdx])
+		}
+		if !ex.Nodes[w.Sink()] {
+			t.Fatalf("run %d: sink not reached", i)
+		}
+	}
+}
+
+func TestSampleExecutionFrequenciesMatchWeights(t *testing.T) {
+	w := diamondWF(t) // weights 3:1
+	r := stats.NewRNG(3)
+	var aIdx int
+	for u, nd := range w.Nodes {
+		if nd.Name == "a" {
+			aIdx = u
+		}
+	}
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if w.SampleExecution(r).Nodes[aIdx] {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("branch a frequency %v, want ≈0.75", frac)
+	}
+}
+
+func TestSampleExecutionAndRunsAllBranches(t *testing.T) {
+	b := NewBuilder("and3")
+	and := b.Split(AndSplit, "and", 0)
+	ops := []NodeID{b.Op("a", 1), b.Op("b", 1), b.Op("c", 1)}
+	j := b.Join(AndSplit, "/and", 0)
+	for _, id := range ops {
+		b.Link(and, id, 1)
+		b.Link(id, j, 1)
+	}
+	w := b.MustBuild()
+	ex := w.SampleExecution(stats.NewRNG(4))
+	for u := range w.Nodes {
+		if !ex.Nodes[u] {
+			t.Fatalf("AND fork skipped node %d", u)
+		}
+	}
+}
+
+func TestSampleMatchesAnalyticProbability(t *testing.T) {
+	// Property-style check: empirical node frequencies over many sampled
+	// executions converge to Probabilities().
+	w := diamondWF(t)
+	np, _ := w.Probabilities()
+	counts := make([]int, w.M())
+	r := stats.NewRNG(5)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		ex := w.SampleExecution(r)
+		for u, on := range ex.Nodes {
+			if on {
+				counts[u]++
+			}
+		}
+	}
+	for u := range w.Nodes {
+		got := float64(counts[u]) / n
+		if math.Abs(got-np[u]) > 0.02 {
+			t.Fatalf("node %d: empirical %v vs analytic %v", u, got, np[u])
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package workflow
+
+import "wsdeploy/internal/stats"
+
+// Execution is one sampled execution of a workflow: the subset of nodes
+// and edges that actually run once every XOR decision has been resolved.
+// AND and OR splits execute all their branches (the paper's OR semantics
+// execute every path; only the rendezvous condition differs), so only XOR
+// nodes introduce randomness.
+type Execution struct {
+	Nodes []bool // Nodes[u] reports whether node u executes
+	Edges []bool // Edges[e] reports whether message e is sent
+}
+
+// SampleExecution draws one execution of the workflow, resolving each XOR
+// split with a weighted random choice from r.
+func (w *Workflow) SampleExecution(r *stats.RNG) Execution {
+	ex := Execution{
+		Nodes: make([]bool, len(w.Nodes)),
+		Edges: make([]bool, len(w.Edges)),
+	}
+	for _, u := range w.topo {
+		if u == w.source {
+			ex.Nodes[u] = true
+		} else {
+			for _, ei := range w.in[u] {
+				if ex.Edges[ei] {
+					ex.Nodes[u] = true
+					break
+				}
+			}
+		}
+		if !ex.Nodes[u] {
+			continue
+		}
+		if w.Nodes[u].Kind == XorSplit {
+			ex.Edges[w.pickXorBranch(u, r)] = true
+		} else {
+			for _, ei := range w.out[u] {
+				ex.Edges[ei] = true
+			}
+		}
+	}
+	return ex
+}
+
+// pickXorBranch chooses one outgoing edge of XOR split u according to the
+// edge weights. Validation guarantees the total weight is positive.
+func (w *Workflow) pickXorBranch(u int, r *stats.RNG) int {
+	var total float64
+	for _, ei := range w.out[u] {
+		total += w.Edges[ei].Weight
+	}
+	x := r.Float64() * total
+	for _, ei := range w.out[u] {
+		x -= w.Edges[ei].Weight
+		if x < 0 {
+			return ei
+		}
+	}
+	// Float rounding can leave x barely non-negative; take the last
+	// positive-weight branch.
+	for i := len(w.out[u]) - 1; i >= 0; i-- {
+		if w.Edges[w.out[u][i]].Weight > 0 {
+			return w.out[u][i]
+		}
+	}
+	return w.out[u][len(w.out[u])-1]
+}
+
+// ExecutedCycles returns the total CPU cycles of the nodes that run in the
+// given execution.
+func (w *Workflow) ExecutedCycles(ex Execution) float64 {
+	var sum float64
+	for u, nd := range w.Nodes {
+		if ex.Nodes[u] {
+			sum += nd.Cycles
+		}
+	}
+	return sum
+}
