@@ -7,11 +7,13 @@ package wsdeploy
 // binary (cmd/experiment) prints the actual rows/series.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"wsdeploy/internal/core"
 	"wsdeploy/internal/cost"
+	"wsdeploy/internal/engine"
 	"wsdeploy/internal/exp"
 	"wsdeploy/internal/gen"
 	"wsdeploy/internal/manager"
@@ -289,6 +291,99 @@ func BenchmarkRefiners(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// portfolioInstance draws the portfolio benchmark's class: a 25-operation
+// Line–Bus workflow over 5 servers — big enough that the search-based
+// algorithms dominate and the worker pool has something to overlap.
+func portfolioInstance(b *testing.B) (*workflow.Workflow, *network.Network) {
+	b.Helper()
+	cfg := gen.ClassC()
+	r := stats.NewRNG(29)
+	w, err := cfg.LinearWorkflow(r, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := cfg.BusNetworkWithSpeed(r, 5, 100*gen.Mbps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, n
+}
+
+// BenchmarkPortfolio races the whole registry through the concurrent
+// engine on the 25-operation/5-server class; compare against
+// BenchmarkPortfolioSequential to read off the worker pool's speedup.
+func BenchmarkPortfolio(b *testing.B) {
+	w, n := portfolioInstance(b)
+	eng, err := engine.New(engine.Options{CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(context.Background(), engine.Request{Workflow: w, Network: n, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Best == nil {
+			b.Fatal("no winner")
+		}
+	}
+}
+
+// BenchmarkPortfolioSequential is the baseline the engine replaces: every
+// registry algorithm run one after another on one goroutine, keeping the
+// best mapping.
+func BenchmarkPortfolioSequential(b *testing.B) {
+	w, n := portfolioInstance(b)
+	model := cost.NewModel(w, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bestSeen := false
+		var best float64
+		for _, name := range core.RegistryOrder() {
+			algo, err := core.NewByName(name, uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mp, err := algo.Deploy(w, n)
+			if err != nil {
+				continue // inapplicable on this class, same as the engine's error rows
+			}
+			if c := model.Combined(mp); !bestSeen || c < best {
+				bestSeen, best = true, c
+			}
+		}
+		if !bestSeen {
+			b.Fatal("no winner")
+		}
+	}
+}
+
+// BenchmarkPortfolioCached times the LRU plan-cache hit path: the same
+// request replayed against a warm engine, the shape repeated HTTP deploys
+// of one spec take.
+func BenchmarkPortfolioCached(b *testing.B) {
+	w, n := portfolioInstance(b)
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := engine.Request{Workflow: w, Network: n, Seed: 1}
+	if _, err := eng.Run(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheMisses != 0 {
+			b.Fatal("expected pure cache hits")
+		}
 	}
 }
 

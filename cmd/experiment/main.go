@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: fig6|fig7|fig8|lineline|quality|classA|classB|table6|all")
+		which   = flag.String("exp", "all", "experiment: fig6|fig7|fig8|lineline|quality|classA|classB|table6|portfolio|all")
 		runs    = flag.Int("runs", 50, "instances per configuration (paper: 50)")
 		ops     = flag.Int("ops", 19, "workflow operations M (paper: 19)")
 		servers = flag.String("servers", "3,4,5", "comma-separated server counts to sweep")
@@ -77,12 +77,13 @@ func run(which string, o exp.Options, scatter bool, csvDir, htmlOut string) erro
 		"flmme-quantile": exp.RunFLMMEQuantile,
 		"ksweep":         exp.RunKSweep,
 		"topologies":     exp.RunTopologies,
+		"portfolio":      exp.RunPortfolio,
 	}
 	order := []string{
 		"table6", "fig6", "fig7", "fig8", "lineline", "quality",
 		"classA", "classB",
 		"ksweep", "topologies", "refiners", "flmme-quantile", "weights", "failure", "makespan",
-		"throughput",
+		"throughput", "portfolio",
 	}
 
 	selected := []string{which}

@@ -8,21 +8,27 @@
 //	wsdeploy -workflow wf.json -network net.json -algo holm
 //	wsdeploy -demo -all                 # built-in Fig. 1 example, compare all algorithms
 //	wsdeploy -demo -algo holm -simulate # Monte-Carlo simulate the chosen mapping
+//	wsdeploy -demo -algo portfolio -timeout 2s -parallel 4
+//	                                    # race the whole registry, keep the winner
 //
 // Workflow and network files use the JSON schema of internal/wfio (see
 // `wfgen` to generate examples).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"wsdeploy/internal/core"
 	"wsdeploy/internal/cost"
 	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/engine"
 	"wsdeploy/internal/gen"
 	"wsdeploy/internal/network"
 	"wsdeploy/internal/sim"
@@ -36,10 +42,12 @@ func main() {
 	var (
 		wfPath   = flag.String("workflow", "", "workflow JSON file (omit with -demo)")
 		netPath  = flag.String("network", "", "network JSON file (omit with -demo)")
-		algoName = flag.String("algo", "holm", fmt.Sprintf("algorithm: one of %v", core.KnownAlgorithms()))
+		algoName = flag.String("algo", "holm", fmt.Sprintf("algorithm: \"portfolio\" or one of %v", core.KnownAlgorithms()))
 		all      = flag.Bool("all", false, "compare every applicable algorithm instead of running one")
 		demo     = flag.Bool("demo", false, "use the paper's Fig. 1 workflow over a 5-server 100 Mbps bus")
 		seed     = flag.Uint64("seed", 1, "random seed for seeded algorithms")
+		timeout  = flag.Duration("timeout", 0, "planning deadline (0 = none); on expiry the best mapping so far is kept")
+		parallel = flag.Int("parallel", 0, "portfolio worker-pool size (0 = GOMAXPROCS)")
 		simulate = flag.Bool("simulate", false, "Monte-Carlo simulate the resulting mapping")
 		simRuns  = flag.Int("simruns", 1000, "simulation runs")
 		outPath  = flag.String("out", "", "write the mapping as JSON to this file")
@@ -49,13 +57,13 @@ func main() {
 		diffPath = flag.String("diff", "", "print the migration plan from the mapping JSON in this file to the computed one")
 	)
 	flag.Parse()
-	if err := run(*wfPath, *netPath, *algoName, *all, *demo, *seed, *simulate, *simRuns, *outPath, *dotPath, *trace, *explain, *diffPath); err != nil {
+	if err := run(*wfPath, *netPath, *algoName, *all, *demo, *seed, *timeout, *parallel, *simulate, *simRuns, *outPath, *dotPath, *trace, *explain, *diffPath); err != nil {
 		fmt.Fprintln(os.Stderr, "wsdeploy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, simulate bool, simRuns int, outPath, dotPath string, trace, explain bool, diffPath string) error {
+func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, timeout time.Duration, parallel int, simulate bool, simRuns int, outPath, dotPath string, trace, explain bool, diffPath string) error {
 	w, n, err := loadInputs(wfPath, netPath, demo)
 	if err != nil {
 		return err
@@ -66,17 +74,37 @@ func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, simulate
 		return compareAll(w, n, seed)
 	}
 
-	algo, err := core.NewByName(algoName, seed)
-	if err != nil {
-		return err
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
-	mp, err := algo.Deploy(w, n)
-	if err != nil {
-		return err
+
+	var mp deploy.Mapping
+	var display string
+	if algoName == "portfolio" {
+		mp, display, err = runPortfolio(ctx, w, n, seed, parallel)
+		if err != nil {
+			return err
+		}
+	} else {
+		algo, err := core.NewByName(algoName, seed)
+		if err != nil {
+			return err
+		}
+		mp, err = core.DeployContext(ctx, algo, w, n)
+		if err != nil && mp == nil {
+			return err
+		}
+		if err != nil {
+			fmt.Printf("deadline expired; keeping the best mapping found so far\n\n")
+		}
+		display = algo.Name()
 	}
 	model := cost.NewModel(w, n)
 	res := model.Evaluate(mp)
-	fmt.Printf("algorithm: %s\nmapping:   %s\n\n", algo.Name(), mp)
+	fmt.Printf("algorithm: %s\nmapping:   %s\n\n", display, mp)
 	fmt.Printf("execution time: %.6f s\ntime penalty:   %.6f s\ncombined cost:  %.6f s\n",
 		res.ExecTime, res.TimePenalty, res.Combined)
 	for s, l := range res.Loads {
@@ -186,6 +214,46 @@ func loadInputs(wfPath, netPath string, demo bool) (*workflow.Workflow, *network
 		return nil, nil, err
 	}
 	return w, n, nil
+}
+
+// runPortfolio races the whole registry through the portfolio engine and
+// prints the leaderboard before returning the winning mapping.
+func runPortfolio(ctx context.Context, w *workflow.Workflow, n *network.Network, seed uint64, parallel int) (deploy.Mapping, string, error) {
+	eng, err := engine.New(engine.Options{Parallelism: parallel})
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := eng.Run(ctx, engine.Request{Workflow: w, Network: n, Seed: seed})
+	if err != nil && !errors.Is(err, engine.ErrDeadline) {
+		return nil, "", err
+	}
+	if errors.Is(err, engine.ErrDeadline) {
+		fmt.Printf("deadline expired; leaderboard holds everything finished in time\n\n")
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\talgorithm\tcombined (s)\telapsed\tnote")
+	for i, p := range res.Leaderboard() {
+		note := ""
+		switch {
+		case p.Err != "":
+			note = "skipped: " + p.Err
+		case p.Truncated:
+			note = "truncated"
+		case p.FromCache:
+			note = "cached"
+		}
+		if p.Mapping == nil {
+			fmt.Fprintf(tw, "-\t%s\t\t\t%s\n", p.Name, note)
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.6f\t%s\t%s\n", i+1, p.Name, p.Combined, p.Elapsed.Round(time.Microsecond), note)
+	}
+	tw.Flush()
+	fmt.Println()
+	if res.Best == nil {
+		return nil, "", fmt.Errorf("no algorithm produced a mapping for this configuration")
+	}
+	return res.Best.Mapping, fmt.Sprintf("portfolio → %s", res.Best.Name), nil
 }
 
 // compareAll deploys with every algorithm that accepts the input pair and

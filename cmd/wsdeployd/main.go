@@ -8,17 +8,23 @@
 //	curl -s -X POST localhost:8080/v1/deploy -d '{
 //	  "workflow": {...wfio schema...},
 //	  "network":  {...wfio schema...},
-//	  "algorithm": "holm"
+//	  "algorithm": "portfolio"
 //	}'
+//	curl -s localhost:8080/debug/vars   # engine metrics (expvar)
 //
-// See internal/httpapi for the endpoint reference.
+// See internal/httpapi for the endpoint reference. The daemon traps
+// SIGINT/SIGTERM and drains in-flight plans before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"wsdeploy/internal/httpapi"
@@ -26,6 +32,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	flag.Parse()
 	srv := &http.Server{
 		Addr:              *addr,
@@ -34,6 +41,30 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("wsdeployd listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		// The listener failed before any signal (e.g. the port is taken).
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	fmt.Printf("wsdeployd shutting down (draining up to %s)\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	fmt.Println("wsdeployd stopped")
 }

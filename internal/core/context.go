@@ -1,0 +1,49 @@
+package core
+
+// This file defines cooperative cancellation for the search-based
+// algorithms. The greedy suite (FairLoad, FLTR, …) runs in microseconds
+// and needs no interruption, but Exhaustive, Sampling, LocalSearch and
+// Anneal perform unbounded-feeling amounts of work on large instances;
+// each of them implements ContextAlgorithm and periodically polls the
+// context so a deadline or cancellation returns the best mapping found so
+// far instead of hanging.
+
+import (
+	"context"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// ContextAlgorithm is implemented by algorithms whose search can run long
+// enough to need cooperative cancellation. On cancellation DeployContext
+// returns the best *valid* mapping found so far together with the
+// context's error; the mapping is nil only when the search was cancelled
+// before any candidate had been evaluated. Callers that can use a
+// truncated result should therefore check the mapping before the error.
+type ContextAlgorithm interface {
+	Algorithm
+	DeployContext(ctx context.Context, w *workflow.Workflow, n *network.Network) (deploy.Mapping, error)
+}
+
+// DeployContext runs a under ctx. Algorithms implementing
+// ContextAlgorithm are interrupted cooperatively (best-so-far plus the
+// context error); the one-shot greedy algorithms run to completion — they
+// are fast enough that checking afterwards suffices. An already-expired
+// context short-circuits without running anything.
+func DeployContext(ctx context.Context, a Algorithm, w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ca, ok := a.(ContextAlgorithm); ok {
+		return ca.DeployContext(ctx, w, n)
+	}
+	return a.Deploy(w, n)
+}
+
+// pollEvery is how many search iterations pass between context polls in
+// the cancellable algorithms: frequent enough that cancellation latency
+// stays in the microseconds, rare enough that ctx.Err() never shows up in
+// a profile.
+const pollEvery = 1024

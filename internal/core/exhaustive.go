@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,6 +34,14 @@ func (a Exhaustive) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Map
 	return best, err
 }
 
+// DeployContext implements ContextAlgorithm: the enumeration polls ctx
+// and on cancellation returns the best mapping seen so far along with the
+// context's error.
+func (a Exhaustive) DeployContext(ctx context.Context, w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	best, _, err := a.SearchContext(ctx, w, n)
+	return best, err
+}
+
 // SearchStats reports what the exhaustive enumeration saw; the evaluation
 // section uses the per-metric minima to normalize solution quality.
 type SearchStats struct {
@@ -48,6 +57,13 @@ type SearchStats struct {
 // Search enumerates all mappings, returning the combined-cost optimum and
 // enumeration statistics.
 func (a Exhaustive) Search(w *workflow.Workflow, n *network.Network) (deploy.Mapping, SearchStats, error) {
+	return a.SearchContext(context.Background(), w, n)
+}
+
+// SearchContext is Search under a context: on cancellation it stops the
+// enumeration and returns the best-so-far mapping, the statistics of the
+// truncated prefix, and the context's error.
+func (a Exhaustive) SearchContext(ctx context.Context, w *workflow.Workflow, n *network.Network) (deploy.Mapping, SearchStats, error) {
 	limit := a.Limit
 	if limit <= 0 {
 		limit = DefaultExhaustiveLimit
@@ -75,6 +91,11 @@ func (a Exhaustive) Search(w *workflow.Workflow, n *network.Network) (deploy.Map
 	}
 	var best deploy.Mapping
 	for {
+		if stats.Enumerated%pollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return best, stats, err
+			}
+		}
 		res := model.Evaluate(mp)
 		stats.Enumerated++
 		if res.Combined < stats.BestCombined {

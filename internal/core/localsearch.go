@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -45,9 +46,19 @@ func (a LocalSearch) base() Algorithm {
 
 // Deploy implements Algorithm.
 func (a LocalSearch) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
-	mp, err := a.base().Deploy(w, n)
+	return a.DeployContext(context.Background(), w, n)
+}
+
+// DeployContext implements ContextAlgorithm. The context is polled once
+// per examined operation (a sweep over all M·(N−1) moves between
+// accepted moves can itself be slow on large instances); cancellation
+// returns the mapping as refined so far — always total, since the climb
+// starts from the base algorithm's complete mapping — together with the
+// context's error.
+func (a LocalSearch) DeployContext(ctx context.Context, w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	mp, err := DeployContext(ctx, a.base(), w, n)
 	if err != nil {
-		return nil, err
+		return mp, err
 	}
 	model := cost.NewModel(w, n)
 	maxMoves := a.MaxMoves
@@ -59,6 +70,9 @@ func (a LocalSearch) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Ma
 		bestOp, bestS := -1, -1
 		bestCost := cur
 		for op := 0; op < w.M(); op++ {
+			if err := ctx.Err(); err != nil {
+				return mp, err
+			}
 			orig := mp[op]
 			for s := 0; s < n.N(); s++ {
 				if s == orig {
@@ -104,6 +118,13 @@ func (a Anneal) Name() string { return "Anneal" }
 
 // Deploy implements Algorithm.
 func (a Anneal) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	return a.DeployContext(context.Background(), w, n)
+}
+
+// DeployContext implements ContextAlgorithm: the walk polls ctx
+// periodically, and cancellation returns the best mapping accepted so far
+// with the context's error.
+func (a Anneal) DeployContext(ctx context.Context, w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
 	if w.M() == 0 || n.N() == 0 {
 		return nil, fmt.Errorf("core: Anneal on empty workflow or network")
 	}
@@ -111,9 +132,9 @@ func (a Anneal) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping
 	var mp deploy.Mapping
 	if a.Base != nil {
 		var err error
-		mp, err = a.Base.Deploy(w, n)
+		mp, err = DeployContext(ctx, a.Base, w, n)
 		if err != nil {
-			return nil, err
+			return mp, err
 		}
 		mp = mp.Clone()
 	} else {
@@ -143,6 +164,11 @@ func (a Anneal) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping
 	alpha := math.Pow(1e-3, 1/float64(steps))
 	temp := t0
 	for i := 0; i < steps; i++ {
+		if i%pollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return best, err
+			}
+		}
 		op := r.Intn(w.M())
 		old := mp[op]
 		s := r.Intn(n.N() - 1)

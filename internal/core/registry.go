@@ -5,6 +5,37 @@ import (
 	"sort"
 )
 
+// registryEntry binds one registry key to its constructor. Seeded
+// algorithms receive the caller's seed; unseeded ones ignore it.
+type registryEntry struct {
+	key string
+	new func(seed uint64) Algorithm
+}
+
+// registry is the single source of truth for the algorithm registry:
+// NewByName, KnownAlgorithms and RegistryOrder all derive from this
+// table, so the set of constructible algorithms and the set of advertised
+// keys cannot drift apart. Entries are listed in the paper's presentation
+// order (exact search, line family, bus family, then the search-based
+// extensions); this order is also the deterministic tie-break used by the
+// portfolio engine.
+var registry = []registryEntry{
+	{"exhaustive", func(uint64) Algorithm { return Exhaustive{} }},
+	{"sampling", func(seed uint64) Algorithm { return Sampling{Seed: seed} }},
+	{"lineline", func(uint64) Algorithm { return LineLine{} }},
+	{"lineline-nofix", func(uint64) Algorithm { return LineLine{SkipFix: true} }},
+	{"lineline-rl", func(uint64) Algorithm { return LineLine{Reverse: true} }},
+	{"lineline-best", func(uint64) Algorithm { return LineLineBest{} }},
+	{"fairload", func(uint64) Algorithm { return FairLoad{} }},
+	{"fltr", func(seed uint64) Algorithm { return FLTR{Seed: seed} }},
+	{"fltr2", func(seed uint64) Algorithm { return FLTR2{Seed: seed} }},
+	{"flmme", func(seed uint64) Algorithm { return FLMME{Seed: seed} }},
+	{"holm", func(uint64) Algorithm { return HOLM{} }},
+	{"localsearch", func(uint64) Algorithm { return LocalSearch{} }},
+	{"anneal", func(seed uint64) Algorithm { return Anneal{Seed: seed} }},
+	{"partition", func(uint64) Algorithm { return Partition{} }},
+}
+
 // NewByName constructs an algorithm from its registry key. Seeded
 // algorithms receive the given seed; unseeded ones ignore it. The known
 // keys are the lower-case short names used across the CLI tools and the
@@ -14,48 +45,29 @@ import (
 //	lineline-best, fairload, fltr, fltr2, flmme, holm,
 //	localsearch, anneal, partition
 func NewByName(name string, seed uint64) (Algorithm, error) {
-	switch name {
-	case "localsearch":
-		return LocalSearch{}, nil
-	case "anneal":
-		return Anneal{Seed: seed}, nil
-	case "partition":
-		return Partition{}, nil
-	case "exhaustive":
-		return Exhaustive{}, nil
-	case "sampling":
-		return Sampling{Seed: seed}, nil
-	case "lineline":
-		return LineLine{}, nil
-	case "lineline-nofix":
-		return LineLine{SkipFix: true}, nil
-	case "lineline-rl":
-		return LineLine{Reverse: true}, nil
-	case "lineline-best":
-		return LineLineBest{}, nil
-	case "fairload":
-		return FairLoad{}, nil
-	case "fltr":
-		return FLTR{Seed: seed}, nil
-	case "fltr2":
-		return FLTR2{Seed: seed}, nil
-	case "flmme":
-		return FLMME{Seed: seed}, nil
-	case "holm":
-		return HOLM{}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q (known: %v)", name, KnownAlgorithms())
+	for _, e := range registry {
+		if e.key == name {
+			return e.new(seed), nil
+		}
 	}
+	return nil, fmt.Errorf("core: unknown algorithm %q (known: %v)", name, KnownAlgorithms())
 }
 
 // KnownAlgorithms returns the sorted registry keys accepted by NewByName.
 func KnownAlgorithms() []string {
-	keys := []string{
-		"exhaustive", "sampling", "lineline", "lineline-nofix", "lineline-rl",
-		"lineline-best", "fairload", "fltr", "fltr2", "flmme", "holm",
-		"localsearch", "anneal", "partition",
-	}
+	keys := RegistryOrder()
 	sort.Strings(keys)
+	return keys
+}
+
+// RegistryOrder returns the registry keys in declaration order (the
+// paper's presentation order). The portfolio engine breaks cost ties by
+// this order so winner selection is deterministic.
+func RegistryOrder() []string {
+	keys := make([]string, len(registry))
+	for i, e := range registry {
+		keys[i] = e.key
+	}
 	return keys
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,10 +44,25 @@ func (a Sampling) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mappi
 	return best, err
 }
 
+// DeployContext implements ContextAlgorithm: on cancellation the best
+// mapping of the samples drawn so far is returned with the context's
+// error.
+func (a Sampling) DeployContext(ctx context.Context, w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
+	best, _, err := a.SearchContext(ctx, w, n)
+	return best, err
+}
+
 // Search draws the configured number of random mappings and reports the
 // per-metric minima alongside the combined-cost winner, mirroring
 // Exhaustive.Search for spaces that cannot be enumerated.
 func (a Sampling) Search(w *workflow.Workflow, n *network.Network) (deploy.Mapping, SearchStats, error) {
+	return a.SearchContext(context.Background(), w, n)
+}
+
+// SearchContext is Search under a context; a cancelled draw returns the
+// truncated sample's statistics and best mapping with the context's
+// error.
+func (a Sampling) SearchContext(ctx context.Context, w *workflow.Workflow, n *network.Network) (deploy.Mapping, SearchStats, error) {
 	if w.M() == 0 || n.N() == 0 {
 		return nil, SearchStats{}, fmt.Errorf("core: Sampling on empty workflow or network")
 	}
@@ -60,6 +76,11 @@ func (a Sampling) Search(w *workflow.Workflow, n *network.Network) (deploy.Mappi
 	}
 	var best deploy.Mapping
 	for i := 0; i < a.samples(); i++ {
+		if i%pollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return best, st, err
+			}
+		}
 		mp := deploy.Random(w, n, r)
 		res := model.Evaluate(mp)
 		st.Enumerated++

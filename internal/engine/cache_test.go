@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"context"
+	"expvar"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+)
+
+func expvarInt(t *testing.T, name string) int64 {
+	t.Helper()
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	n, err := strconv.ParseInt(v.String(), 10, 64)
+	if err != nil {
+		t.Fatalf("expvar %q = %q: %v", name, v.String(), err)
+	}
+	return n
+}
+
+// TestCacheServesRepeatedRequests plans the same request twice and
+// requires the second run to be answered entirely from the LRU cache,
+// with the hit visible on the expvar counters.
+func TestCacheServesRepeatedRequests(t *testing.T) {
+	w, n := fig1Pair(t)
+	e := newEngine(t, Options{Parallelism: 4, CacheSize: 64})
+	req := Request{Workflow: w, Network: n, Seed: 21, Algorithms: []string{"holm", "fairload", "flmme"}}
+
+	first, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHits != 0 || first.CacheMisses != 3 {
+		t.Fatalf("first run: hits=%d misses=%d", first.CacheHits, first.CacheMisses)
+	}
+
+	hitsBefore := expvarInt(t, "engine.cache_hits")
+	second, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != 3 || second.CacheMisses != 0 {
+		t.Fatalf("second run: hits=%d misses=%d", second.CacheHits, second.CacheMisses)
+	}
+	if got := expvarInt(t, "engine.cache_hits"); got != hitsBefore+3 {
+		t.Fatalf("engine.cache_hits = %d, want %d", got, hitsBefore+3)
+	}
+	for i, p := range second.Plans {
+		if !p.FromCache {
+			t.Fatalf("plan %d (%s) not served from cache", i, p.Key)
+		}
+		if p.Combined != first.Plans[i].Combined {
+			t.Fatalf("cached plan %s differs: %.9f vs %.9f", p.Key, p.Combined, first.Plans[i].Combined)
+		}
+	}
+	if second.Best.Key != first.Best.Key {
+		t.Fatalf("cached winner %s != computed winner %s", second.Best.Key, first.Best.Key)
+	}
+}
+
+// TestCacheKeyDiscriminates: a different seed, algorithm or instance must
+// miss; renaming the workflow must still hit (the key hashes content, not
+// names).
+func TestCacheKeyDiscriminates(t *testing.T) {
+	w, n := fig1Pair(t)
+	k := planKey(w, n, "flmme", 1)
+	if k == planKey(w, n, "flmme", 2) {
+		t.Fatal("seed not part of the key")
+	}
+	if k == planKey(w, n, "fltr", 1) {
+		t.Fatal("algorithm not part of the key")
+	}
+	n2, err := network.NewBus("other-name", []float64{1e9, 2e9, 2e9, 3e9, 1e9}, 100*gen.Mbps, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != planKey(w, n2, "flmme", 1) {
+		t.Fatal("renaming the network should not change the key")
+	}
+	n3, err := network.NewBus("ministry", []float64{1e9, 2e9, 2e9, 3e9, 2e9}, 100*gen.Mbps, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k == planKey(w, n3, "flmme", 1) {
+		t.Fatal("changing a server power must change the key")
+	}
+}
+
+// TestCacheLRUEviction fills a tiny cache past capacity and checks the
+// oldest entry is gone while the freshest survive.
+func TestCacheLRUEviction(t *testing.T) {
+	w, n := fig1Pair(t)
+	e := newEngine(t, Options{Parallelism: 2, CacheSize: 2})
+	for seed := uint64(1); seed <= 3; seed++ {
+		if _, err := e.Run(context.Background(), Request{Workflow: w, Network: n, Seed: seed, Algorithms: []string{"flmme"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.cache.len(); got != 2 {
+		t.Fatalf("cache holds %d entries, want 2", got)
+	}
+	if _, ok := e.cache.get(planKey(w, n, "flmme", 1)); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	for seed := uint64(2); seed <= 3; seed++ {
+		if _, ok := e.cache.get(planKey(w, n, "flmme", seed)); !ok {
+			t.Fatalf("entry for seed %d missing", seed)
+		}
+	}
+}
+
+// TestCacheIsolation ensures callers cannot corrupt cached plans through
+// the returned mapping.
+func TestCacheIsolation(t *testing.T) {
+	w, n := fig1Pair(t)
+	e := newEngine(t, Options{Parallelism: 1, CacheSize: 8})
+	req := Request{Workflow: w, Network: n, Seed: 5, Algorithms: []string{"holm"}}
+	first, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Plans[0].Mapping[0] = -99
+	second, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Plans[0].Mapping[0] == -99 {
+		t.Fatal("cached mapping aliases a previously returned slice")
+	}
+	if err := second.Plans[0].Mapping.Validate(w, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncatedPlansAreNotCached: a best-so-far answer depends on the
+// deadline that produced it and must never be served to later callers.
+func TestTruncatedPlansAreNotCached(t *testing.T) {
+	w, n := fig1Pair(t)
+	e := newEngine(t, Options{Parallelism: 1, CacheSize: 8})
+	ctx := &countdownCtx{Context: context.Background(), limit: 2}
+	res, err := e.Run(ctx, Request{Workflow: w, Network: n, Seed: 31, Algorithms: []string{"sampling"}})
+	if err == nil || res.Best == nil {
+		t.Fatalf("expected a truncated run, got res=%+v err=%v", res, err)
+	}
+	if e.cache.len() != 0 {
+		t.Fatal("truncated plan leaked into the cache")
+	}
+}
+
+// TestLatencyMetricsPublished checks that completed plans show up in the
+// expvar latency histogram under their registry key.
+func TestLatencyMetricsPublished(t *testing.T) {
+	w, n := fig1Pair(t)
+	e := newEngine(t, Options{Parallelism: 2, CacheSize: -1})
+	if _, err := e.Run(context.Background(), Request{Workflow: w, Network: n, Seed: 77, Algorithms: []string{"fairload"}}); err != nil {
+		t.Fatal(err)
+	}
+	v := expvar.Get("engine.latency")
+	if v == nil {
+		t.Fatal("engine.latency not published")
+	}
+	if !strings.Contains(v.String(), `"fairload"`) {
+		t.Fatalf("latency snapshot missing fairload: %s", v.String())
+	}
+	started, completed := expvarInt(t, "engine.plans_started"), expvarInt(t, "engine.plans_completed")
+	if started == 0 || completed == 0 {
+		t.Fatalf("plan counters not moving: started=%d completed=%d", started, completed)
+	}
+}

@@ -8,26 +8,40 @@
 //
 //	GET  /healthz        — liveness
 //	GET  /v1/algorithms  — registry keys accepted by deploy requests
-//	POST /v1/deploy      — plan one deployment (workflow JSON or WDL)
-//	POST /v1/compare     — run every applicable algorithm
+//	POST /v1/deploy      — plan one deployment (workflow JSON or WDL);
+//	                       algorithm "portfolio" races the whole registry
+//	POST /v1/compare     — run every applicable algorithm (in parallel)
+//	POST /v1/portfolio   — race a portfolio, report the leaderboard
 //	POST /v1/simulate    — Monte-Carlo simulate a given mapping
 //	POST /v1/failover    — recover a mapping from a server failure
 //	POST /v1/convert     — translate a workflow between JSON, WDL and DOT
+//	GET  /debug/vars     — expvar metrics (engine counters, latency)
 //
 // plus the stateful fleet-manager endpoints under /v1/fleet (see
 // fleet.go): create/status, workflow arrival/departure, server
 // join/failure, rebalance, and snapshot/restore.
+//
+// Planning requests are served by the concurrent portfolio engine
+// (internal/engine): repeated deploys of an identical spec hit its LRU
+// plan cache, and an optional timeoutMs field bounds planning latency —
+// on expiry the best mapping found so far is returned with "truncated"
+// set.
 package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
+	"time"
 
 	"wsdeploy/internal/core"
 	"wsdeploy/internal/cost"
 	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/engine"
 	"wsdeploy/internal/network"
 	"wsdeploy/internal/sim"
 	"wsdeploy/internal/wfio"
@@ -38,24 +52,35 @@ import (
 // small, so anything bigger is a client error (or abuse).
 const MaxRequestBytes = 4 << 20
 
+// PortfolioAlgorithm is the deploy-request algorithm value that races the
+// whole registry through the portfolio engine instead of running a single
+// algorithm.
+const PortfolioAlgorithm = "portfolio"
+
 // Handler serves the planning API. Construct with NewHandler.
 type Handler struct {
-	mux *http.ServeMux
+	mux    *http.ServeMux
+	engine *engine.Engine
 }
 
 // NewHandler builds the API handler.
 func NewHandler() *Handler {
-	h := &Handler{mux: http.NewServeMux()}
+	h := &Handler{
+		mux:    http.NewServeMux(),
+		engine: engine.MustNew(engine.Options{}),
+	}
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	h.mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"algorithms": core.KnownAlgorithms()})
+		writeJSON(w, http.StatusOK, map[string]any{"algorithms": append(core.KnownAlgorithms(), PortfolioAlgorithm)})
 	})
 	h.mux.HandleFunc("POST /v1/deploy", h.deploy)
 	h.mux.HandleFunc("POST /v1/compare", h.compare)
+	h.mux.HandleFunc("POST /v1/portfolio", h.portfolio)
 	h.mux.HandleFunc("POST /v1/simulate", h.simulate)
 	h.mux.HandleFunc("POST /v1/failover", h.failover)
+	h.mux.Handle("GET /debug/vars", expvar.Handler())
 	h.registerFleet()
 	h.registerConvert()
 	return h
@@ -139,12 +164,15 @@ func metricsOf(model *cost.Model, mp deploy.Mapping) Metrics {
 
 // deployRequest plans one deployment. The workflow arrives either as the
 // wfio JSON spec (workflow) or as workflow definition language source
-// (workflowWdl).
+// (workflowWdl). Algorithm "portfolio" races every registry algorithm
+// and returns the winner. TimeoutMs, when positive, bounds planning time:
+// on expiry the best mapping found so far is returned with truncated set.
 type deployRequest struct {
 	pairSpec
 	WorkflowWDL string  `json:"workflowWdl,omitempty"`
 	Algorithm   string  `json:"algorithm"`
 	Seed        uint64  `json:"seed"`
+	TimeoutMs   int64   `json:"timeoutMs,omitempty"`
 	MaxExecTime float64 `json:"maxExecTime,omitempty"`
 	MaxPenalty  float64 `json:"maxTimePenalty,omitempty"`
 	MaxLoad     float64 `json:"maxServerLoad,omitempty"`
@@ -156,6 +184,17 @@ type deployResponse struct {
 	Algorithm string  `json:"algorithm"`
 	Mapping   []int   `json:"mapping"`
 	Metrics   Metrics `json:"metrics"`
+	Cached    bool    `json:"cached,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+}
+
+// planContext derives the planning context from the request, applying the
+// optional client-side timeout.
+func planContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	if timeoutMs > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(timeoutMs)*time.Millisecond)
+	}
+	return r.Context(), func() {}
 }
 
 func (h *Handler) deploy(w http.ResponseWriter, r *http.Request) {
@@ -182,16 +221,32 @@ func (h *Handler) deploy(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "holm"
 	}
-	algo, err := core.NewByName(name, req.Seed)
-	if err != nil {
+	ereq := engine.Request{Workflow: wf, Network: n, Seed: req.Seed}
+	if name != PortfolioAlgorithm {
+		// Single algorithm, still through the engine for caching,
+		// metrics and deadline support.
+		ereq.Algorithms = []string{name}
+	}
+	ctx, cancel := planContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := h.engine.Run(ctx, ereq)
+	if err != nil && !errors.Is(err, engine.ErrDeadline) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	mp, err := algo.Deploy(wf, n)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+	if res.Best == nil {
+		if errors.Is(err, engine.ErrDeadline) {
+			writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("deadline expired before any algorithm produced a mapping"))
+			return
+		}
+		if name == PortfolioAlgorithm {
+			writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("no algorithm produced a mapping for this configuration"))
+			return
+		}
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("%s", res.Plans[0].Err))
 		return
 	}
+	best := res.Best
 	model := cost.NewModel(wf, n)
 	cons := cost.Constraints{
 		MaxExecTime:    req.MaxExecTime,
@@ -199,14 +254,16 @@ func (h *Handler) deploy(w http.ResponseWriter, r *http.Request) {
 		MaxServerLoad:  req.MaxLoad,
 		MaxMakespan:    req.MaxMakespan,
 	}
-	if err := cons.Check(model, mp); err != nil {
+	if err := cons.Check(model, best.Mapping); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, deployResponse{
-		Algorithm: algo.Name(),
-		Mapping:   mp,
-		Metrics:   metricsOf(model, mp),
+		Algorithm: best.Name,
+		Mapping:   best.Mapping,
+		Metrics:   metricsOf(model, best.Mapping),
+		Cached:    best.FromCache,
+		Truncated: res.Truncated,
 	})
 }
 
@@ -236,23 +293,123 @@ func (h *Handler) compare(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// The whole registry runs concurrently on the engine's worker pool;
+	// rows keep the sorted registry-key order of the sequential era.
+	res, err := h.engine.Run(r.Context(), engine.Request{
+		Workflow:   wf,
+		Network:    n,
+		Algorithms: core.KnownAlgorithms(),
+		Seed:       req.Seed,
+	})
+	if err != nil && !errors.Is(err, engine.ErrDeadline) {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
 	model := cost.NewModel(wf, n)
-	var rows []compareRow
-	for _, name := range core.KnownAlgorithms() {
-		algo, err := core.NewByName(name, req.Seed)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
-			return
-		}
-		mp, err := algo.Deploy(wf, n)
-		if err != nil {
-			rows = append(rows, compareRow{Algorithm: algo.Name(), Error: err.Error()})
+	rows := make([]compareRow, 0, len(res.Plans))
+	for _, p := range res.Plans {
+		if p.Mapping == nil {
+			rows = append(rows, compareRow{Algorithm: p.Name, Error: p.Err})
 			continue
 		}
-		m := metricsOf(model, mp)
-		rows = append(rows, compareRow{Algorithm: algo.Name(), Mapping: mp, Metrics: &m})
+		m := metricsOf(model, p.Mapping)
+		rows = append(rows, compareRow{Algorithm: p.Name, Mapping: p.Mapping, Metrics: &m})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": rows})
+}
+
+// portfolioRequest races a portfolio of algorithms and reports the full
+// leaderboard. Algorithms defaults to the whole registry.
+type portfolioRequest struct {
+	pairSpec
+	WorkflowWDL string   `json:"workflowWdl,omitempty"`
+	Algorithms  []string `json:"algorithms,omitempty"`
+	Seed        uint64   `json:"seed"`
+	TimeoutMs   int64    `json:"timeoutMs,omitempty"`
+}
+
+// portfolioRow is one leaderboard entry.
+type portfolioRow struct {
+	Algorithm string   `json:"algorithm"`
+	Key       string   `json:"key"`
+	Mapping   []int    `json:"mapping,omitempty"`
+	Metrics   *Metrics `json:"metrics,omitempty"`
+	ElapsedMs float64  `json:"elapsedMs"`
+	Cached    bool     `json:"cached,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+func (h *Handler) portfolio(w http.ResponseWriter, r *http.Request) {
+	var req portfolioRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wf, err := decodeWorkflowField(req.Workflow, req.WorkflowWDL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Network) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("request needs a network"))
+		return
+	}
+	n, err := wfio.DecodeNetwork(bytes.NewReader(req.Network))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := planContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := h.engine.Run(ctx, engine.Request{
+		Workflow:   wf,
+		Network:    n,
+		Algorithms: req.Algorithms,
+		Seed:       req.Seed,
+	})
+	if err != nil && !errors.Is(err, engine.ErrDeadline) {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	model := cost.NewModel(wf, n)
+	board := make([]portfolioRow, 0, len(res.Plans))
+	for _, p := range res.Leaderboard() {
+		row := portfolioRow{
+			Algorithm: p.Name,
+			Key:       p.Key,
+			ElapsedMs: float64(p.Elapsed) / float64(time.Millisecond),
+			Cached:    p.FromCache,
+			Truncated: p.Truncated,
+			Error:     p.Err,
+		}
+		if p.Mapping != nil {
+			m := metricsOf(model, p.Mapping)
+			row.Mapping = p.Mapping
+			row.Metrics = &m
+		}
+		board = append(board, row)
+	}
+	out := map[string]any{
+		"leaderboard": board,
+		"cacheHits":   res.CacheHits,
+		"cacheMisses": res.CacheMisses,
+		"truncated":   res.Truncated,
+	}
+	if res.Best != nil {
+		out["best"] = deployResponse{
+			Algorithm: res.Best.Name,
+			Mapping:   res.Best.Mapping,
+			Metrics:   metricsOf(model, res.Best.Mapping),
+			Cached:    res.Best.FromCache,
+			Truncated: res.Best.Truncated,
+		}
+	}
+	code := http.StatusOK
+	if res.Best == nil && errors.Is(err, engine.ErrDeadline) {
+		code = http.StatusGatewayTimeout
+	}
+	writeJSON(w, code, out)
 }
 
 // simulateRequest Monte-Carlo simulates a mapping.

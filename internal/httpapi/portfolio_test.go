@@ -1,0 +1,204 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestDeployPortfolioAlgorithm deploys with algorithm "portfolio" and
+// checks the winner is at least as good as a fixed registry algorithm.
+func TestDeployPortfolioAlgorithm(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	wf, nf := specPair(t)
+
+	resp, single := post(t, srv, "/v1/deploy", fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithm": "fairload"}`, wf, nf))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fairload deploy: %d %v", resp.StatusCode, single)
+	}
+	resp, best := post(t, srv, "/v1/deploy", fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithm": "portfolio", "seed": 3}`, wf, nf))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("portfolio deploy: %d %v", resp.StatusCode, best)
+	}
+	if len(best["mapping"].([]any)) != 15 {
+		t.Fatalf("mapping: %v", best["mapping"])
+	}
+	bc := best["metrics"].(map[string]any)["combined"].(float64)
+	sc := single["metrics"].(map[string]any)["combined"].(float64)
+	if bc > sc {
+		t.Fatalf("portfolio combined %.9f worse than fairload %.9f", bc, sc)
+	}
+}
+
+// TestPortfolioEndpoint checks the leaderboard shape: sorted success rows
+// first, inapplicable algorithms at the bottom with errors, best echoing
+// the head row.
+func TestPortfolioEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	wf, nf := specPair(t)
+	resp, out := post(t, srv, "/v1/portfolio", fmt.Sprintf(`{"workflow": %s, "network": %s, "seed": 5}`, wf, nf))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	board := out["leaderboard"].([]any)
+	if len(board) < 10 {
+		t.Fatalf("leaderboard too small: %d rows", len(board))
+	}
+	head := board[0].(map[string]any)
+	best := out["best"].(map[string]any)
+	if head["algorithm"] != best["algorithm"] {
+		t.Fatalf("head %v != best %v", head["algorithm"], best["algorithm"])
+	}
+	prev := 0.0
+	seenErr := false
+	for i, rowAny := range board {
+		row := rowAny.(map[string]any)
+		if row["error"] != nil && row["error"] != "" {
+			seenErr = true
+			continue
+		}
+		if seenErr {
+			t.Fatalf("row %d: success after error rows", i)
+		}
+		c := row["metrics"].(map[string]any)["combined"].(float64)
+		if c < prev {
+			t.Fatalf("row %d: leaderboard unsorted (%.9f < %.9f)", i, c, prev)
+		}
+		prev = c
+	}
+	if !seenErr {
+		t.Fatal("expected error rows for the line-family algorithms on a bus")
+	}
+	// A subset portfolio with an unknown key is a client error.
+	resp, _ = post(t, srv, "/v1/portfolio", fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithms": ["nope"]}`, wf, nf))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: status %d", resp.StatusCode)
+	}
+}
+
+// expvarCounter fetches one engine counter from /debug/vars.
+func expvarCounter(t *testing.T, srv *httptest.Server, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := vars[name]
+	if !ok {
+		t.Fatalf("expvar %q missing from /debug/vars", name)
+	}
+	n, err := strconv.ParseInt(string(raw), 10, 64)
+	if err != nil {
+		t.Fatalf("expvar %q = %s: %v", name, raw, err)
+	}
+	return n
+}
+
+// TestDeployCacheHitObservable repeats an identical deploy and asserts
+// the second answer comes from the plan cache, with the hit visible on
+// the engine's expvar counters at /debug/vars.
+func TestDeployCacheHitObservable(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	wf, nf := specPair(t)
+	body := fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithm": "flmme", "seed": 9}`, wf, nf)
+
+	resp, first := post(t, srv, "/v1/deploy", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first deploy: %d %v", resp.StatusCode, first)
+	}
+	if first["cached"] == true {
+		t.Fatal("first deploy unexpectedly cached")
+	}
+	hitsBefore := expvarCounter(t, srv, "engine.cache_hits")
+
+	resp, second := post(t, srv, "/v1/deploy", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second deploy: %d %v", resp.StatusCode, second)
+	}
+	if second["cached"] != true {
+		t.Fatalf("second deploy not served from cache: %v", second)
+	}
+	if got := expvarCounter(t, srv, "engine.cache_hits"); got != hitsBefore+1 {
+		t.Fatalf("engine.cache_hits = %d, want %d", got, hitsBefore+1)
+	}
+	if fmt.Sprint(second["mapping"]) != fmt.Sprint(first["mapping"]) {
+		t.Fatalf("cached mapping differs: %v vs %v", second["mapping"], first["mapping"])
+	}
+}
+
+// TestConcurrentPlanning hammers /v1/deploy and /v1/portfolio from many
+// goroutines — run under -race this is the engine's concurrency audit.
+func TestConcurrentPlanning(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	wf, nf := specPair(t)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*4)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				// Vary the seed so some requests hit the cache and others miss.
+				body := fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithm": "portfolio", "seed": %d}`, wf, nf, c%3)
+				resp, out := post(t, srv, "/v1/deploy", body)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("deploy %d/%d: status %d: %v", c, i, resp.StatusCode, out)
+					return
+				}
+				body = fmt.Sprintf(`{"workflow": %s, "network": %s, "seed": %d}`, wf, nf, c%3)
+				resp, out = post(t, srv, "/v1/portfolio", body)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("portfolio %d/%d: status %d: %v", c, i, resp.StatusCode, out)
+					return
+				}
+				if out["best"] == nil {
+					errs <- fmt.Errorf("portfolio %d/%d: no best", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDeployTimeoutReturnsTruncated bounds a deploy at 1 ms: the answer
+// must arrive (possibly truncated or as a timeout status), never hang.
+func TestDeployTimeoutReturnsTruncated(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	wf, nf := specPair(t)
+	body := fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithm": "portfolio", "timeoutMs": 1, "seed": 77}`, wf, nf)
+	resp, out := post(t, srv, "/v1/deploy", body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if len(out["mapping"].([]any)) != 15 {
+			t.Fatalf("mapping: %v", out["mapping"])
+		}
+	case http.StatusGatewayTimeout:
+		// Nothing finished within 1 ms on this machine; also fine.
+	default:
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+}
