@@ -25,6 +25,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"wsdeploy/internal/chaos"
 	"wsdeploy/internal/core"
 	"wsdeploy/internal/cost"
 	"wsdeploy/internal/deploy"
@@ -55,15 +56,19 @@ func main() {
 		trace    = flag.Bool("trace", false, "print the event trace and Gantt chart of one simulated execution")
 		explain  = flag.Bool("explain", false, "print a cost breakdown: per-server loads vs ideal and the top network crossings")
 		diffPath = flag.String("diff", "", "print the migration plan from the mapping JSON in this file to the computed one")
+		chaosArg = flag.String("chaos", "", `run the mapping under a fault plan: a plan JSON file, or "gen" for a random plan`)
+		chaosBk  = flag.String("chaosbackend", "sim", "chaos backend: sim (virtual clock) or fabric (real HTTP hosts)")
+		chaosRt  = flag.Float64("chaosrate", 0.1, `per-server crash rate for -chaos gen, crashes per virtual second`)
+		chaosHl  = flag.Bool("chaosheal", true, "run the self-healing supervisor during the chaos episode")
 	)
 	flag.Parse()
-	if err := run(*wfPath, *netPath, *algoName, *all, *demo, *seed, *timeout, *parallel, *simulate, *simRuns, *outPath, *dotPath, *trace, *explain, *diffPath); err != nil {
+	if err := run(*wfPath, *netPath, *algoName, *all, *demo, *seed, *timeout, *parallel, *simulate, *simRuns, *outPath, *dotPath, *trace, *explain, *diffPath, *chaosArg, *chaosBk, *chaosRt, *chaosHl); err != nil {
 		fmt.Fprintln(os.Stderr, "wsdeploy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, timeout time.Duration, parallel int, simulate bool, simRuns int, outPath, dotPath string, trace, explain bool, diffPath string) error {
+func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, timeout time.Duration, parallel int, simulate bool, simRuns int, outPath, dotPath string, trace, explain bool, diffPath, chaosArg, chaosBackend string, chaosRate float64, chaosHeal bool) error {
 	w, n, err := loadInputs(wfPath, netPath, demo)
 	if err != nil {
 		return err
@@ -125,6 +130,12 @@ func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, timeout 
 		fmt.Printf("\n%s", model.Explain(mp, 5))
 	}
 
+	if chaosArg != "" {
+		if err := runChaos(w, n, mp, chaosArg, chaosBackend, chaosRate, chaosHeal, seed); err != nil {
+			return err
+		}
+	}
+
 	if diffPath != "" {
 		f, err := os.Open(diffPath)
 		if err != nil {
@@ -165,6 +176,69 @@ func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, timeout 
 		}
 		fmt.Printf("DOT written to %s\n", dotPath)
 	}
+	return nil
+}
+
+// runChaos executes one chaos episode of the computed mapping — a plan
+// of timed faults, optionally repaired live by the self-healing
+// supervisor — and prints the outcome and the incident log.
+func runChaos(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, planSpec, backend string, rate float64, heal bool, seed uint64) error {
+	var plan *chaos.Plan
+	if planSpec == "gen" {
+		base, err := chaos.RunSim(w, n, mp, &chaos.Plan{}, chaos.RunConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		plan = chaos.Generate(chaos.GenerateConfig{
+			Servers: n.N(),
+			Horizon: 2 * base.Run.Makespan,
+			Rate:    rate,
+			Seed:    seed,
+		})
+	} else {
+		var err error
+		if plan, err = chaos.LoadPlan(planSpec); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nchaos episode (%s backend, %d fault events, self-heal %v):\n",
+		backend, len(plan.Events), heal)
+
+	cfg := chaos.RunConfig{Seed: seed, SelfHeal: heal}
+	var log *chaos.Log
+	switch backend {
+	case "sim":
+		out, err := chaos.RunSim(w, n, mp, plan, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  completed %v  makespan %.6fs  executed %d ops  lost %d ops, %d messages\n",
+			out.Run.Completed, out.Run.Makespan, out.Run.ExecutedOps,
+			out.Run.LostOps, out.Run.LostMessages)
+		fmt.Printf("  final mapping: %s\n", out.FinalMapping)
+		log = out.Log
+	case "fabric":
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		out, err := chaos.RunFabric(ctx, w, n, mp, plan, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  makespan %s (wall)  executed %d ops  %d messages, %d bytes on wire\n",
+			out.Run.Makespan, out.Run.ExecutedOps, out.Run.MessagesSent, out.Run.BytesOnWire)
+		fmt.Printf("  retries %d  drops %d  rejections %d  give-ups %d  remaps %d\n",
+			out.Stats.Retries, out.Stats.Drops, out.Stats.Rejections,
+			out.Stats.GiveUps, out.Stats.Remaps)
+		fmt.Printf("  final mapping: %s\n", out.FinalMapping)
+		log = out.Log
+	default:
+		return fmt.Errorf("unknown chaos backend %q (sim|fabric)", backend)
+	}
+	if log.Len() == 0 {
+		fmt.Println("  no incidents")
+		return nil
+	}
+	fmt.Printf("  incident log:\n%s\n", log.Canonical())
 	return nil
 }
 

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// BenchmarkChaosRecovery measures a full self-healed chaos episode —
+// plan generation, simulated execution, supervisor repairs — on a
+// 19-operation pipeline over 5 servers, at the study's three fault
+// rates. Results are checked into results/chaos_bench.txt.
+func BenchmarkChaosRecovery(b *testing.B) {
+	cycles := make([]float64, 19)
+	sizes := make([]float64, 18)
+	for i := range cycles {
+		cycles[i] = 1e8
+	}
+	for i := range sizes {
+		sizes[i] = 8000
+	}
+	w, err := workflow.NewLine("bench", cycles, sizes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := network.NewBus("bench-bus",
+		[]float64{1e9, 1e9, 1e9, 1e9, 1e9}, 1e8, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp := make(deploy.Mapping, len(cycles))
+	for i := range mp {
+		mp[i] = i % n.N()
+	}
+	base, err := RunSim(w, n, mp, &Plan{}, RunConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := 2 * base.Run.Makespan
+
+	for _, rate := range []float64{0.01, 0.05, 0.20} {
+		b.Run(fmt.Sprintf("rate=%g", rate), func(b *testing.B) {
+			b.ReportAllocs()
+			var incidents, lost int
+			for i := 0; i < b.N; i++ {
+				plan := Generate(GenerateConfig{
+					Servers: n.N(),
+					Horizon: horizon,
+					Rate:    rate,
+					Seed:    uint64(i) + 1,
+				})
+				out, err := RunSim(w, n, mp, plan, RunConfig{
+					Seed:     uint64(i),
+					SelfHeal: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				incidents += out.Log.Len()
+				lost += out.Run.LostOps
+			}
+			b.ReportMetric(float64(incidents)/float64(b.N), "incidents/op")
+			if lost != 0 {
+				b.Fatalf("self-healed episodes lost %d operations", lost)
+			}
+		})
+	}
+}

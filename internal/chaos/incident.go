@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Incident is one fault the Supervisor observed and (when self-healing
+// is on) repaired. Every canonical field is derived from the plan's
+// virtual clock and the manager's deterministic repair machinery, so a
+// seeded plan replays to a byte-identical log on both backends; the
+// wall-clock measurements are informational only and excluded from the
+// canonical serialization.
+type Incident struct {
+	// Seq orders incidents as the supervisor observed them.
+	Seq int `json:"seq"`
+	// Time is the fault's virtual time from the plan.
+	Time float64 `json:"time"`
+	// Kind is the triggering event kind (server-crash, server-rejoin).
+	Kind Kind `json:"kind"`
+	// Server is the affected server.
+	Server int `json:"server"`
+	// Detected is the virtual time the supervisor noticed the fault:
+	// Time + the configured detection delay.
+	Detected float64 `json:"detected"`
+	// Repaired is the virtual time the repair completed: Detected plus
+	// the base repair latency plus the per-operation redeploy cost.
+	// Equal to Detected when nothing had to move.
+	Repaired float64 `json:"repaired"`
+	// OpsMoved counts operations re-placed by the repair.
+	OpsMoved int `json:"ops_moved"`
+	// CostBefore and CostAfter are the combined deployment costs around
+	// the repair (the cost model's weighted objective).
+	CostBefore float64 `json:"cost_before"`
+	CostAfter  float64 `json:"cost_after"`
+	// Action says what the supervisor did: "repair-orphans", "rejoin",
+	// "none", or "failed: <reason>".
+	Action string `json:"action"`
+
+	// Wall is the wall-clock elapsed time of the handling (fabric runs
+	// only; zero in simulation). Excluded from the canonical log — real
+	// scheduling jitter must not break replay determinism.
+	Wall time.Duration `json:"-"`
+}
+
+// Log is a concurrency-safe, append-only incident log.
+type Log struct {
+	mu        sync.Mutex
+	incidents []Incident
+}
+
+// append stamps the incident's sequence number and records it.
+func (l *Log) append(inc Incident) Incident {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	inc.Seq = len(l.incidents)
+	l.incidents = append(l.incidents, inc)
+	return inc
+}
+
+// Incidents returns a snapshot of the log.
+func (l *Log) Incidents() []Incident {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Incident(nil), l.incidents...)
+}
+
+// Len returns the number of recorded incidents.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.incidents)
+}
+
+// Canonical serializes the log deterministically: replaying the same
+// seeded plan yields byte-identical output, on either backend.
+func (l *Log) Canonical() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := json.MarshalIndent(l.incidents, "", "  ")
+	if err != nil { // incidents are plain numbers and strings
+		panic("chaos: marshalling incident log: " + err.Error())
+	}
+	return data
+}

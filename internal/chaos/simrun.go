@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/fabric"
+	"wsdeploy/internal/manager"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/sim"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// supervisedID is the manager id RunSim/RunFabric register the
+// protected workflow under.
+const supervisedID = "chaos"
+
+// RunConfig tunes one chaos episode on either backend.
+type RunConfig struct {
+	// Seed drives the instance's XOR branch choices. The *plan's* seed
+	// drives the faults' probabilistic consequences (loss coins, retry
+	// jitter), so varying Seed replays the same fault schedule against
+	// fresh workflow instances.
+	Seed uint64
+	// SelfHeal runs the Supervisor: crashes are detected and repaired by
+	// the manager, re-placements pushed onto the substrate, incidents
+	// logged. Off, faults strike an undefended deployment — operations
+	// on a crashed server wait for its rejoin, or are lost if it never
+	// returns.
+	SelfHeal bool
+	// Retry is the delivery retry policy, shared verbatim with the
+	// fabric (zero value = fabric defaults).
+	Retry fabric.RetryPolicy
+	// Supervisor sets the control loop's detection/repair latencies.
+	Supervisor SupervisorConfig
+	// TimeScale converts virtual seconds to wall-clock sleep (fabric
+	// backend only; zero = the fabric default of 1ms per virtual second).
+	TimeScale time.Duration
+}
+
+// SimOutcome reports one simulated chaos episode.
+type SimOutcome struct {
+	Run          sim.RunResult
+	Log          *Log
+	FinalMapping deploy.Mapping
+}
+
+// RunSim executes one chaos episode on the discrete-event simulator:
+// the plan's faults perturb a single workflow execution and, with
+// SelfHeal, the Supervisor repairs around them on the virtual clock.
+// Everything is deterministic — the same plan and config replay to an
+// identical outcome and a byte-identical canonical incident log.
+func RunSim(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, plan *Plan, cfg RunConfig) (*SimOutcome, error) {
+	if err := mp.Validate(w, n); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if err := plan.Validate(n.N()); err != nil {
+		return nil, err
+	}
+	var sv *Supervisor
+	if cfg.SelfHeal {
+		mgr := manager.New(n)
+		if err := mgr.Adopt(supervisedID, w, mp); err != nil {
+			return nil, err
+		}
+		sv = NewSupervisor(mgr, supervisedID, cfg.Supervisor)
+	}
+	inj := &simInjector{
+		sorted:     plan.Sorted(),
+		st:         newState(),
+		sv:         sv,
+		live:       mp.Clone(),
+		repairedAt: map[int]float64{},
+		rng:        stats.NewRNG(plan.Seed),
+		retry:      cfg.Retry.WithDefaults(),
+	}
+	rr := sim.RunOnce(w, n, mp, stats.NewRNG(cfg.Seed), sim.Config{Injector: inj})
+	// Flush the remaining plan events so the incident log always covers
+	// the whole plan, independent of how early the run completed — the
+	// fabric backend's scheduler does the same.
+	inj.advance(math.Inf(1))
+	out := &SimOutcome{Run: rr, Log: &Log{}, FinalMapping: inj.live.Clone()}
+	if sv != nil {
+		out.Log = sv.Log()
+	}
+	return out, nil
+}
+
+// simInjector adapts a Plan (and optionally a Supervisor) to the
+// simulator's injection points. The simulator calls it with
+// non-decreasing times, so the fault timeline advances lazily; retry
+// deliberation inside Transfer uses side-effect-free state snapshots so
+// it never advances the shared timeline past the caller's clock.
+type simInjector struct {
+	sorted     []Event
+	idx        int
+	st         *state
+	sv         *Supervisor
+	live       deploy.Mapping
+	repairedAt map[int]float64 // op → virtual time its re-placement completed
+	rng        *stats.RNG
+	retry      fabric.RetryPolicy
+}
+
+// advance applies every plan event up to time t, routing crashes and
+// rejoins through the supervisor when self-healing is on.
+func (inj *simInjector) advance(t float64) {
+	for inj.idx < len(inj.sorted) && inj.sorted[inj.idx].Time <= t {
+		ev := inj.sorted[inj.idx]
+		inj.idx++
+		inj.st.apply(ev)
+		if inj.sv == nil {
+			continue
+		}
+		switch ev.Kind {
+		case ServerCrash:
+			rep := inj.sv.HandleCrash(ev.Time, ev.Server)
+			for _, op := range rep.Moved {
+				inj.repairedAt[op] = rep.Incident.Repaired
+			}
+			if rep.Mapping != nil {
+				inj.live = rep.Mapping
+			}
+		case ServerRejoin:
+			inj.sv.HandleRejoin(ev.Time, ev.Server)
+		}
+	}
+}
+
+// Place reports where operation u runs when it becomes ready at t —
+// following any repairs the supervisor has made by then.
+func (inj *simInjector) Place(u int, t float64) int {
+	inj.advance(t)
+	return inj.live[u]
+}
+
+// OpStart charges the cost of running on a repaired or crashed server:
+// an operation moved by a repair resumes at the repair-complete time;
+// an operation stuck on a down server (no supervisor, or a failed
+// repair) waits for the server's rejoin, or is lost if it never comes.
+func (inj *simInjector) OpStart(u, s int, t float64) (delay float64, ok bool) {
+	inj.advance(t)
+	if ra, ok := inj.repairedAt[u]; ok && ra > t {
+		delay = ra - t
+	}
+	if inj.st.serverDown(s) {
+		rejoin := math.Inf(1)
+		for _, ev := range inj.sorted {
+			if ev.Kind == ServerRejoin && ev.Server == s && ev.Time > t {
+				rejoin = ev.Time
+				break
+			}
+		}
+		if math.IsInf(rejoin, 1) {
+			return 0, false // dead forever and nobody to move the work
+		}
+		if d := rejoin - t; d > delay {
+			delay = d
+		}
+	}
+	return delay, true
+}
+
+// ProcFactor applies latency spikes.
+func (inj *simInjector) ProcFactor(u, s int, t float64) float64 {
+	inj.advance(t)
+	return inj.st.procFactor(s)
+}
+
+// Transfer plays the fabric's retry loop on the virtual clock: each
+// attempt consults a state snapshot at its own departure time, losses
+// and partition blocks burn the ack timeout plus the policy backoff,
+// and the message is lost once the attempts run out.
+func (inj *simInjector) Transfer(ei, from, to int, t, base float64) (float64, bool) {
+	inj.advance(t)
+	elapsed := 0.0
+	for attempt := 1; ; attempt++ {
+		st := stateAt(inj.sorted, t+elapsed)
+		lp := st.lossProb(from, to)
+		if st.unreachable(from, to) || (lp > 0 && inj.rng.Float64() < lp) {
+			if attempt >= inj.retry.MaxAttempts {
+				return elapsed, false
+			}
+			elapsed += inj.retry.Timeout + inj.retry.Backoff(attempt, inj.rng)
+			continue
+		}
+		return elapsed + base*st.transferFactor(from, to), true
+	}
+}

@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/manager"
+)
+
+// SupervisorConfig sets the control loop's latency model, in virtual
+// seconds: a crash is *detected* DetectDelay after it happens (health
+// probes are not instant), and the repair completes RepairBase +
+// RepairPerOp × moved later (computing the new placement plus shipping
+// each re-placed operation). Operations re-placed by a repair only
+// resume at the repair-complete time — that is the self-healing cost
+// the chaos experiments measure.
+type SupervisorConfig struct {
+	DetectDelay float64 // default 0.05
+	RepairBase  float64 // default 0.02
+	RepairPerOp float64 // default 0.005
+}
+
+// WithDefaults fills unset fields with the documented defaults.
+func (c SupervisorConfig) WithDefaults() SupervisorConfig {
+	if c.DetectDelay <= 0 {
+		c.DetectDelay = 0.05
+	}
+	if c.RepairBase <= 0 {
+		c.RepairBase = 0.02
+	}
+	if c.RepairPerOp <= 0 {
+		c.RepairPerOp = 0.005
+	}
+	return c
+}
+
+// Supervisor is the self-healing controller: fault events flow in
+// (HandleCrash, HandleRejoin), deployment repairs flow out through the
+// manager — detect → re-place orphans (GreedyPlace-style worst-fit) →
+// redeploy onto the live substrate via the attached remapper — and
+// every step lands in a structured incident log. Handlers are safe for
+// concurrent use; incidents are sequenced in handling order.
+type Supervisor struct {
+	cfg SupervisorConfig
+	log *Log
+
+	mu    sync.Mutex
+	mgr   *manager.Manager
+	id    string
+	remap func(op, s int) error // live substrate hook (e.g. fabric.Remap)
+}
+
+// NewSupervisor builds a supervisor over a manager and the id of the
+// workflow whose execution it protects. The manager may hold other
+// workflows; their placements participate in load budgets as usual.
+func NewSupervisor(mgr *manager.Manager, id string, cfg SupervisorConfig) *Supervisor {
+	return &Supervisor{cfg: cfg.WithDefaults(), log: &Log{}, mgr: mgr, id: id}
+}
+
+// AttachRemapper installs the live-substrate hook invoked for every
+// operation a repair moves (fabric.Remap for wall-clock runs; nil — the
+// default — for simulation, where the injector reads Mapping instead).
+func (sv *Supervisor) AttachRemapper(fn func(op, s int) error) {
+	sv.mu.Lock()
+	sv.remap = fn
+	sv.mu.Unlock()
+}
+
+// Log returns the supervisor's incident log.
+func (sv *Supervisor) Log() *Log { return sv.log }
+
+// Mapping returns the current live mapping of the supervised workflow.
+func (sv *Supervisor) Mapping() deploy.Mapping {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	mp, _ := sv.mgr.Mapping(sv.id)
+	return mp
+}
+
+// Repair reports one handled fault: the logged incident, the operations
+// that moved, and the post-repair live mapping.
+type Repair struct {
+	Incident Incident
+	Moved    []int
+	Mapping  deploy.Mapping
+}
+
+// combinedCost evaluates the supervised workflow's current placement
+// under the cost model (callers hold sv.mu).
+func (sv *Supervisor) combinedCost() float64 {
+	w, ok := sv.mgr.Workflow(sv.id)
+	if !ok {
+		return 0
+	}
+	mp, ok := sv.mgr.Mapping(sv.id)
+	if !ok {
+		return 0
+	}
+	return cost.NewModel(w, sv.mgr.Network()).Evaluate(mp).Combined
+}
+
+// HandleCrash runs the detect → repair → redeploy loop for a server
+// crash at virtual time t: the manager marks the server down and
+// re-places its orphaned operations onto the survivors, the remapper
+// pushes each move onto the live substrate, and the incident — costs
+// before and after, operations moved, detection and repair times — is
+// logged. A repair that cannot proceed (no survivors) is logged as
+// failed rather than crashing the run.
+func (sv *Supervisor) HandleCrash(t float64, s int) Repair {
+	start := time.Now()
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+
+	inc := Incident{
+		Time:     t,
+		Kind:     ServerCrash,
+		Server:   s,
+		Detected: t + sv.cfg.DetectDelay,
+	}
+	before, _ := sv.mgr.Mapping(sv.id)
+	inc.CostBefore = sv.combinedCost()
+
+	moved, err := sv.mgr.MarkDown(s)
+	after, _ := sv.mgr.Mapping(sv.id)
+	inc.OpsMoved = moved
+	inc.CostAfter = sv.combinedCost()
+	inc.Repaired = inc.Detected + sv.cfg.RepairBase + sv.cfg.RepairPerOp*float64(moved)
+
+	var movedOps []int
+	switch {
+	case err != nil:
+		inc.Action = "failed: " + err.Error()
+		inc.Repaired = inc.Detected
+	case moved == 0:
+		inc.Action = "none"
+		inc.Repaired = inc.Detected
+	default:
+		inc.Action = "repair-orphans"
+		for op := range after {
+			if before != nil && before[op] != after[op] {
+				movedOps = append(movedOps, op)
+				if sv.remap != nil {
+					if rerr := sv.remap(op, after[op]); rerr != nil {
+						inc.Action = "failed: " + rerr.Error()
+					}
+				}
+			}
+		}
+	}
+	inc.Wall = time.Since(start)
+	return Repair{Incident: sv.log.append(inc), Moved: movedOps, Mapping: after}
+}
+
+// HandleRejoin processes a crashed server coming back at virtual time
+// t. Nothing is re-placed — live operations stay where the repair put
+// them, so a rejoin can never double-place work — but the event is
+// logged and the capacity becomes available to subsequent repairs.
+func (sv *Supervisor) HandleRejoin(t float64, s int) Repair {
+	start := time.Now()
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+
+	inc := Incident{
+		Time:     t,
+		Kind:     ServerRejoin,
+		Server:   s,
+		Detected: t + sv.cfg.DetectDelay,
+	}
+	inc.Repaired = inc.Detected
+	inc.CostBefore = sv.combinedCost()
+	inc.CostAfter = inc.CostBefore
+	if err := sv.mgr.MarkUp(s); err != nil {
+		inc.Action = "failed: " + err.Error()
+	} else {
+		inc.Action = "rejoin"
+	}
+	inc.Wall = time.Since(start)
+	mp, _ := sv.mgr.Mapping(sv.id)
+	return Repair{Incident: sv.log.append(inc), Mapping: mp}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/network"
@@ -19,6 +20,11 @@ import (
 // This is the primitive behind both the §6 multi-workflow extension and
 // the online deployment manager: repeated GreedyPlace calls approximate
 // the joint FairLoad packing without disturbing anything already placed.
+//
+// A +Inf entry in existingCycles marks a server that is unavailable for
+// placement — failed but still indexed, as during a chaos-driven outage —
+// and receives neither budget nor operations. At least one server must
+// remain available.
 func GreedyPlace(w *workflow.Workflow, n *network.Network, existingCycles []float64) (deploy.Mapping, error) {
 	if existingCycles != nil && len(existingCycles) != n.N() {
 		return nil, fmt.Errorf("core: GreedyPlace got %d existing loads for %d servers", len(existingCycles), n.N())
@@ -28,17 +34,29 @@ func GreedyPlace(w *workflow.Workflow, n *network.Network, existingCycles []floa
 		return nil, err
 	}
 	// Recompute budgets over the combined cycle mass and charge the
-	// existing load upfront.
-	var newCycles, existingTotal float64
+	// existing load upfront. Ideal shares split across available servers
+	// only; unavailable ones sink to -Inf so the most-starved ordering
+	// never selects them.
+	var newCycles, existingTotal, availPower float64
 	for _, c := range in.effCycles {
 		newCycles += c
 	}
-	for _, c := range existingCycles {
-		existingTotal += c
+	for s := 0; s < n.N(); s++ {
+		if math.IsInf(existingCyclesAt(existingCycles, s), 1) {
+			continue
+		}
+		existingTotal += existingCyclesAt(existingCycles, s)
+		availPower += n.Servers[s].PowerHz
 	}
-	totalPower := n.TotalPower()
+	if availPower <= 0 {
+		return nil, fmt.Errorf("core: GreedyPlace has no available server")
+	}
 	for s := range in.idealRemaining {
-		in.idealRemaining[s] = (newCycles+existingTotal)*n.Servers[s].PowerHz/totalPower - existingCyclesAt(existingCycles, s)
+		if math.IsInf(existingCyclesAt(existingCycles, s), 1) {
+			in.idealRemaining[s] = math.Inf(-1)
+			continue
+		}
+		in.idealRemaining[s] = (newCycles+existingTotal)*n.Servers[s].PowerHz/availPower - existingCyclesAt(existingCycles, s)
 	}
 
 	mp := deploy.NewUnassigned(w.M())

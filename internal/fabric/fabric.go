@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,8 +23,15 @@ type Config struct {
 	// Zero means 1ms of real time per virtual second — fast tests, still
 	// measurable.
 	TimeScale time.Duration
-	// Seed drives XOR branch choices.
+	// Seed drives XOR branch choices and retry jitter.
 	Seed uint64
+	// Retry governs cross-host delivery retries; the zero value takes
+	// the documented defaults (see RetryPolicy).
+	Retry RetryPolicy
+	// Faults, when set, injects runtime faults into hosts and senders
+	// (see FaultController). A chaos supervisor typically pairs it with
+	// Remap to heal what the faults break.
+	Faults FaultController
 }
 
 func (c Config) timeScale() time.Duration {
@@ -35,24 +43,28 @@ func (c Config) timeScale() time.Duration {
 
 // Fabric is a deployed workflow: per-server HTTP hosts with the mapped
 // operations registered on them. Create with Deploy, run instances with
-// Run, and always Close it.
+// Run or RunContext, and always Close it.
 type Fabric struct {
-	w   *workflow.Workflow
-	n   *network.Network
-	mp  deploy.Mapping
-	cfg Config
+	w     *workflow.Workflow
+	n     *network.Network
+	cfg   Config
+	retry RetryPolicy
 
 	hosts []*host
-	urls  []string // urls[op] = endpoint of the operation's host
+
+	// rootCtx is cancelled by Close so every in-flight goroutine —
+	// operation starts, retry loops, slot waits — unwinds promptly
+	// instead of leaking.
+	rootCtx context.Context
+	cancel  context.CancelFunc
 
 	mu        sync.Mutex
+	mp        deploy.Mapping // live placement; Remap rewrites it mid-run
+	urls      []string       // urls[op] = endpoint of the operation's current host
 	rng       *stats.RNG
 	instances map[int]*instance
 	nextID    int
-
-	// Stats accumulated across instances (guarded by mu).
-	messagesSent int
-	bytesOnWire  int64
+	stats     Stats
 }
 
 // host is one emulated server: an HTTP listener plus a FIFO execution
@@ -67,6 +79,7 @@ type host struct {
 // instance tracks one running workflow execution.
 type instance struct {
 	id      int
+	ctx     context.Context
 	rng     *stats.RNG
 	mu      sync.Mutex
 	arrived map[int]int  // node -> executed-in-edge arrivals so far
@@ -83,8 +96,12 @@ func Deploy(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg Con
 	if err := mp.Validate(w, n); err != nil {
 		return nil, fmt.Errorf("fabric: %w", err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	f := &Fabric{
 		w: w, n: n, mp: mp.Clone(), cfg: cfg,
+		retry:     cfg.Retry.WithDefaults(),
+		rootCtx:   ctx,
+		cancel:    cancel,
 		urls:      make([]string, w.M()),
 		rng:       stats.NewRNG(cfg.Seed),
 		instances: map[int]*instance{},
@@ -105,11 +122,62 @@ func Deploy(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg Con
 	return f, nil
 }
 
-// Close shuts down every host.
+// Close aborts every in-flight instance and shuts down every host.
 func (f *Fabric) Close() {
+	f.cancel()
 	for _, h := range f.hosts {
 		h.httpSrv.Close()
 	}
+}
+
+// Mapping returns a snapshot of the live placement.
+func (f *Fabric) Mapping() deploy.Mapping {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mp.Clone()
+}
+
+// Stats returns a snapshot of the delivery counters.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Remap moves operation op to server s at runtime: subsequent starts and
+// deliveries use the new host, and senders already in their retry loop
+// pick up the new address on their next attempt. This is the fabric-side
+// half of a self-healing repair.
+func (f *Fabric) Remap(op, s int) error {
+	if op < 0 || op >= f.w.M() {
+		return fmt.Errorf("fabric: Remap of unknown operation %d", op)
+	}
+	if s < 0 || s >= len(f.hosts) {
+		return fmt.Errorf("fabric: Remap of operation %d to unknown server %d", op, s)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mp[op] == s {
+		return nil
+	}
+	f.mp[op] = s
+	f.urls[op] = fmt.Sprintf("%s/op/%d", f.hosts[s].httpSrv.URL, op)
+	f.stats.Remaps++
+	return nil
+}
+
+// serverOf returns the operation's current server.
+func (f *Fabric) serverOf(op int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mp[op]
+}
+
+// urlOf returns the operation's current endpoint.
+func (f *Fabric) urlOf(op int) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.urls[op]
 }
 
 // RunResult reports one executed instance.
@@ -123,11 +191,24 @@ type RunResult struct {
 // Run executes one workflow instance end to end and blocks until the
 // sink completes.
 func (f *Fabric) Run() (RunResult, error) {
+	return f.RunContext(context.Background())
+}
+
+// RunContext executes one workflow instance end to end, aborting cleanly
+// — no leaked goroutines or stranded hosts — when ctx is cancelled or
+// the fabric is closed.
+func (f *Fabric) RunContext(ctx context.Context) (RunResult, error) {
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	stop := context.AfterFunc(f.rootCtx, cancelRun)
+	defer stop()
+
 	f.mu.Lock()
 	id := f.nextID
 	f.nextID++
 	inst := &instance{
 		id:      id,
+		ctx:     runCtx,
 		rng:     f.rng.Split(),
 		arrived: map[int]int{},
 		started: map[int]bool{},
@@ -135,33 +216,45 @@ func (f *Fabric) Run() (RunResult, error) {
 		start:   time.Now(),
 	}
 	f.instances[id] = inst
-	msgs0, bytes0 := f.messagesSent, f.bytesOnWire
+	msgs0, bytes0 := f.stats.MessagesSent, f.stats.BytesOnWire
 	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		delete(f.instances, id)
+		f.mu.Unlock()
+	}()
 
 	// Inject the source: it has no inbound message, so trigger directly.
-	f.startOperation(inst, f.w.Source())
+	// Run it off this goroutine so cancellation is observed even while
+	// the source is still processing.
+	go f.startOperation(inst, f.w.Source())
 
 	select {
 	case <-inst.done:
+	case <-runCtx.Done():
+		return RunResult{}, fmt.Errorf("fabric: instance %d aborted: %w", id, context.Cause(runCtx))
 	case <-time.After(60 * time.Second):
+		cancelRun()
 		return RunResult{}, fmt.Errorf("fabric: instance %d timed out", id)
 	}
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	res := RunResult{
+	return RunResult{
 		Makespan:     inst.elapsed,
 		ExecutedOps:  inst.execOps,
-		MessagesSent: f.messagesSent - msgs0,
-		BytesOnWire:  f.bytesOnWire - bytes0,
-	}
-	delete(f.instances, id)
-	return res, nil
+		MessagesSent: f.stats.MessagesSent - msgs0,
+		BytesOnWire:  f.stats.BytesOnWire - bytes0,
+	}, nil
 }
 
 // handleMessage receives an XML envelope addressed to an operation
 // hosted on server s and advances the instance's state machine.
 func (f *Fabric) handleMessage(rw http.ResponseWriter, r *http.Request, s int) {
+	if fc := f.cfg.Faults; fc != nil && fc.ServerDown(s) {
+		http.Error(rw, "server down", http.StatusServiceUnavailable)
+		return
+	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
@@ -184,10 +277,17 @@ func (f *Fabric) handleMessage(rw http.ResponseWriter, r *http.Request, s int) {
 		return
 	}
 	node := f.w.Edges[env.EdgeID].To
-	if f.mp[node] != s {
+	if f.serverOf(node) != s {
 		http.Error(rw, "operation not deployed here", http.StatusMisdirectedRequest)
 		return
 	}
+	// Count on the receiving side, before the delivery can trigger any
+	// downstream work: when the sink completes, every message that gated
+	// it has already been accounted.
+	f.addStat(func(st *Stats) {
+		st.MessagesSent++
+		st.BytesOnWire += int64(len(body))
+	})
 	rw.WriteHeader(http.StatusAccepted)
 	f.deliver(inst, node)
 }
@@ -229,14 +329,47 @@ func (f *Fabric) deliver(inst *instance, node int) {
 	}
 }
 
-// startOperation occupies the host's FIFO slot, burns the scaled CPU
-// time, then fans out the outgoing messages.
+// startOperation occupies the current host's FIFO slot, burns the scaled
+// CPU time, then fans out the outgoing messages. A crashed host is
+// handled by waiting for either the self-healing controller to re-place
+// the operation or the server to rejoin; an operation that moves while
+// queued restarts on its new host.
 func (f *Fabric) startOperation(inst *instance, node int) {
-	h := f.hosts[f.mp[node]]
-	h.slot <- struct{}{} // acquire the CPU
+	fc := f.cfg.Faults
+	scale := f.cfg.timeScale()
+	var h *host
+	for {
+		if inst.ctx.Err() != nil {
+			return
+		}
+		s := f.serverOf(node)
+		if fc != nil && fc.ServerDown(s) {
+			if !sleepCtx(inst.ctx, scale) {
+				return
+			}
+			continue
+		}
+		h = f.hosts[s]
+		select {
+		case h.slot <- struct{}{}: // acquire the CPU
+		case <-inst.ctx.Done():
+			return
+		}
+		if cur := f.serverOf(node); cur != s || (fc != nil && fc.ServerDown(s)) {
+			<-h.slot // moved (or died) while queued; retarget
+			continue
+		}
+		break
+	}
 	proc := f.w.Nodes[node].Cycles / h.power
-	sleepVirtual(proc, f.cfg.timeScale())
+	if fc != nil {
+		proc *= fc.ProcFactor(h.server)
+	}
+	ok := sleepVirtualCtx(inst.ctx, proc, scale)
 	<-h.slot // release
+	if !ok {
+		return
+	}
 
 	inst.mu.Lock()
 	inst.execOps++
@@ -253,7 +386,7 @@ func (f *Fabric) startOperation(inst *instance, node int) {
 		inst.mu.Lock()
 		ei := f.pickBranch(inst, node)
 		inst.mu.Unlock()
-		f.send(inst, ei)
+		f.send(inst, ei, h.server)
 		return
 	}
 	var wg sync.WaitGroup
@@ -261,7 +394,7 @@ func (f *Fabric) startOperation(inst *instance, node int) {
 		wg.Add(1)
 		go func(ei int) {
 			defer wg.Done()
-			f.send(inst, ei)
+			f.send(inst, ei, h.server)
 		}(ei)
 	}
 	wg.Wait()
@@ -285,39 +418,108 @@ func (f *Fabric) pickBranch(inst *instance, node int) int {
 	return outs[len(outs)-1]
 }
 
-// send transfers one message: co-located deliveries are immediate; cross-
-// host messages sleep the scaled transfer time and then POST real XML.
-func (f *Fabric) send(inst *instance, ei int) {
+// send transfers one message from the server that executed the edge's
+// source: co-located deliveries are immediate; cross-host messages sleep
+// the scaled transfer time and then POST real XML. Injected losses,
+// down-host rejections and stale addresses are retried under the
+// fabric's RetryPolicy — timeout, exponential backoff with jitter —
+// re-resolving the destination each attempt so mid-flight re-placements
+// are followed.
+func (f *Fabric) send(inst *instance, ei, from int) {
 	edge := f.w.Edges[ei]
-	from, to := f.mp[edge.From], f.mp[edge.To]
-	if from == to {
-		f.deliver(inst, edge.To)
-		return
+	fc := f.cfg.Faults
+	scale := f.cfg.timeScale()
+	for attempt := 1; ; attempt++ {
+		if inst.ctx.Err() != nil {
+			return
+		}
+		to := f.serverOf(edge.To)
+		if from == to {
+			f.deliver(inst, edge.To)
+			return
+		}
+		if fc != nil && (fc.Unreachable(from, to) || fc.DropMessage(from, to)) {
+			// Lost in transit: the sender burns its ack timeout, backs
+			// off, and tries again.
+			f.addStat(func(st *Stats) { st.Drops++ })
+			if !f.retryWait(inst, attempt) {
+				return
+			}
+			continue
+		}
+		transfer := f.n.TransferTime(from, to, edge.SizeBits)
+		if fc != nil {
+			transfer *= fc.TransferFactor(from, to)
+		}
+		if !sleepVirtualCtx(inst.ctx, transfer, scale) {
+			return
+		}
+		env := NewEnvelope(f.w.Name, inst.id, ei, edge.SizeBits)
+		data, err := env.Encode()
+		if err != nil {
+			panic(fmt.Sprintf("fabric: encoding envelope: %v", err))
+		}
+		resp, err := http.Post(f.urlOf(edge.To), "application/xml", bytes.NewReader(data))
+		if err != nil {
+			// The fabric is in-process; a failed POST means the fabric
+			// was closed mid-run. Drop the message silently.
+			return
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusAccepted {
+			return // accounted by the receiving host
+		}
+		// Rejected: a down host (503) or a stale address after a remap
+		// (421). Back off and retry against the re-resolved placement.
+		f.addStat(func(st *Stats) { st.Rejections++ })
+		if !f.retryWait(inst, attempt) {
+			return
+		}
 	}
-	transfer := f.n.TransferTime(from, to, edge.SizeBits)
-	sleepVirtual(transfer, f.cfg.timeScale())
-	env := NewEnvelope(f.w.Name, inst.id, ei, edge.SizeBits)
-	data, err := env.Encode()
-	if err != nil {
-		panic(fmt.Sprintf("fabric: encoding envelope: %v", err))
+}
+
+// retryWait sleeps one ack timeout plus the policy backoff for the given
+// attempt and accounts the retry; it returns false when the message is
+// out of attempts or the instance was cancelled.
+func (f *Fabric) retryWait(inst *instance, attempt int) bool {
+	if attempt >= f.retry.MaxAttempts {
+		f.addStat(func(st *Stats) { st.GiveUps++ })
+		return false
 	}
-	resp, err := http.Post(f.urls[edge.To], "application/xml", bytes.NewReader(data))
-	if err != nil {
-		// The fabric is in-process; a failed POST means the fabric was
-		// closed mid-run. Drop the message silently.
-		return
-	}
-	resp.Body.Close()
 	f.mu.Lock()
-	f.messagesSent++
-	f.bytesOnWire += int64(len(data))
+	backoff := f.retry.Backoff(attempt, f.rng)
+	f.mu.Unlock()
+	if !sleepVirtualCtx(inst.ctx, f.retry.Timeout+backoff, f.cfg.timeScale()) {
+		return false
+	}
+	f.addStat(func(st *Stats) { st.Retries++ })
+	return true
+}
+
+func (f *Fabric) addStat(apply func(*Stats)) {
+	f.mu.Lock()
+	apply(&f.stats)
 	f.mu.Unlock()
 }
 
-// sleepVirtual sleeps virtualSeconds scaled by the configured time scale.
-func sleepVirtual(virtualSeconds float64, scale time.Duration) {
+// sleepVirtualCtx sleeps virtualSeconds scaled by the configured time
+// scale, returning false if ctx was cancelled first.
+func sleepVirtualCtx(ctx context.Context, virtualSeconds float64, scale time.Duration) bool {
 	if virtualSeconds <= 0 {
-		return
+		return ctx.Err() == nil
 	}
-	time.Sleep(time.Duration(virtualSeconds * float64(scale)))
+	return sleepCtx(ctx, time.Duration(virtualSeconds*float64(scale)))
+}
+
+// sleepCtx sleeps d, returning false if ctx was cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

@@ -1,0 +1,105 @@
+package fabric
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/workflow"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, failing the test if it never does. httptest keeps a few idle
+// connection goroutines alive briefly after Close, so we poll instead
+// of asserting immediately.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// slowFabric deploys a two-host pipeline whose operations take ~1s of
+// wall clock each, so a run is reliably in flight when we abort it.
+func slowFabric(t *testing.T) *Fabric {
+	t.Helper()
+	w, err := workflow.NewLine("slow",
+		[]float64{1e9, 1e9, 1e9}, []float64{8000, 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 1e9}, 1e8)
+	f, err := Deploy(w, n, deploy.Mapping{0, 1, 0}, Config{TimeScale: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunContextCancelReleasesGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f := slowFabric(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := f.RunContext(ctx)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the source start processing
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled run reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run never returned")
+	}
+	f.Close()
+	// Allow a couple of lingering httptest internals to wind down but
+	// insist the fabric's own workers are gone.
+	waitGoroutines(t, base+2)
+}
+
+func TestCloseAbortsInFlightRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f := slowFabric(t)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := f.Run()
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	f.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("run survived Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not abort the run")
+	}
+	waitGoroutines(t, base+2)
+}
+
+func TestRunContextHonoursPreCancelled(t *testing.T) {
+	f := slowFabric(t)
+	defer f.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.RunContext(ctx); err == nil {
+		t.Fatal("pre-cancelled context ran anyway")
+	}
+}

@@ -1,0 +1,98 @@
+package fabric
+
+import "wsdeploy/internal/stats"
+
+// RetryPolicy governs how the fabric's senders survive transient faults:
+// a per-attempt acknowledgement timeout and capped exponential backoff
+// with jitter. All durations are virtual seconds (the cost model's
+// unit), scaled by Config.TimeScale at runtime; the chaos simulator
+// applies the same policy on its virtual clock, so both backends retry
+// identically.
+type RetryPolicy struct {
+	// MaxAttempts is the number of delivery attempts before a message is
+	// abandoned (default 10).
+	MaxAttempts int
+	// Timeout is the virtual seconds a sender waits for an ack before
+	// declaring an attempt lost (default 0.05).
+	Timeout float64
+	// BaseBackoff is the virtual-seconds backoff before the first retry;
+	// it doubles per attempt (default 0.01).
+	BaseBackoff float64
+	// MaxBackoff caps the exponential growth (default 1).
+	MaxBackoff float64
+	// Jitter is the uniform jitter fraction added to each backoff
+	// (default 0.2): backoff × [0, Jitter) extra.
+	Jitter float64
+}
+
+// WithDefaults fills unset fields with the documented defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 10
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 0.05
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 0.01
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 1
+	}
+	if p.Jitter <= 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Backoff returns the virtual-seconds wait before retry attempt
+// `attempt` (counting from 1): BaseBackoff × 2^(attempt-1), capped at
+// MaxBackoff, plus a jitter drawn deterministically from r.
+func (p RetryPolicy) Backoff(attempt int, r *stats.RNG) float64 {
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if r != nil {
+		d += d * p.Jitter * r.Float64()
+	}
+	return d
+}
+
+// FaultController lets a chaos runtime perturb a running fabric. A nil
+// controller means a fault-free fabric. Hosts and senders consult the
+// controller from many goroutines, so implementations must be safe for
+// concurrent use.
+type FaultController interface {
+	// ServerDown reports whether server s is currently crashed: its host
+	// rejects inbound messages (503) and starts no new operations.
+	ServerDown(s int) bool
+	// Unreachable reports whether traffic between the two servers is
+	// currently blocked (network partition). Blocked attempts time out
+	// and retry.
+	Unreachable(from, to int) bool
+	// TransferFactor scales the transfer sleep of a message from→to
+	// (link degradation); 1 means no slowdown.
+	TransferFactor(from, to int) float64
+	// DropMessage reports whether this delivery attempt is lost in
+	// transit; the sender times out and retries.
+	DropMessage(from, to int) bool
+	// ProcFactor scales processing time on server s (latency spikes);
+	// 1 means no spike.
+	ProcFactor(s int) float64
+}
+
+// Stats counts the fabric's delivery traffic and fault handling across
+// all instances.
+type Stats struct {
+	MessagesSent int   // accepted cross-host messages
+	BytesOnWire  int64 // XML bytes of accepted cross-host messages
+	Retries      int   // delivery attempts beyond each message's first
+	Drops        int   // attempts lost in transit (injected loss/partition)
+	Rejections   int   // attempts rejected by a down or misdirected host
+	GiveUps      int   // messages abandoned after MaxAttempts
+	Remaps       int   // live operation re-placements
+}

@@ -14,6 +14,8 @@
 //	POST /v1/portfolio   — race a portfolio, report the leaderboard
 //	POST /v1/simulate    — Monte-Carlo simulate a given mapping
 //	POST /v1/failover    — recover a mapping from a server failure
+//	POST /v1/chaos       — chaos study: simulate a mapping under a fault
+//	                       plan with self-healing, report availability
 //	POST /v1/convert     — translate a workflow between JSON, WDL and DOT
 //	GET  /debug/vars     — expvar metrics (engine counters, latency)
 //
@@ -80,6 +82,7 @@ func NewHandler() *Handler {
 	h.mux.HandleFunc("POST /v1/portfolio", h.portfolio)
 	h.mux.HandleFunc("POST /v1/simulate", h.simulate)
 	h.mux.HandleFunc("POST /v1/failover", h.failover)
+	h.mux.HandleFunc("POST /v1/chaos", h.chaos)
 	h.mux.Handle("GET /debug/vars", expvar.Handler())
 	h.registerFleet()
 	h.registerConvert()

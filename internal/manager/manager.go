@@ -14,6 +14,7 @@ package manager
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"wsdeploy/internal/core"
@@ -30,7 +31,8 @@ type Manager struct {
 	net       *network.Network
 	workflows map[string]*workflow.Workflow
 	mappings  map[string]deploy.Mapping
-	order     []string // insertion order, for deterministic iteration
+	order     []string     // insertion order, for deterministic iteration
+	down      map[int]bool // servers failed in place (stable indices)
 }
 
 // New builds a manager over an initial network.
@@ -39,6 +41,7 @@ func New(net *network.Network) *Manager {
 		net:       net,
 		workflows: map[string]*workflow.Workflow{},
 		mappings:  map[string]deploy.Mapping{},
+		down:      map[int]bool{},
 	}
 }
 
@@ -59,6 +62,43 @@ func (m *Manager) Mapping(id string) (deploy.Mapping, bool) {
 	return mp.Clone(), true
 }
 
+// Adopt registers an existing workflow/mapping pair — typically one
+// computed by a planning algorithm or the portfolio engine — without
+// re-placing anything. The id must be unused and the mapping total over
+// the manager's network.
+func (m *Manager) Adopt(id string, w *workflow.Workflow, mp deploy.Mapping) error {
+	if _, dup := m.workflows[id]; dup {
+		return fmt.Errorf("manager: workflow %q already deployed", id)
+	}
+	if err := mp.Validate(w, m.net); err != nil {
+		return fmt.Errorf("manager: adopting %q: %w", id, err)
+	}
+	m.workflows[id] = w
+	m.mappings[id] = mp.Clone()
+	m.order = append(m.order, id)
+	return nil
+}
+
+// SetMapping replaces the live mapping of a deployed workflow, e.g. with
+// a globally re-optimized plan from the portfolio engine. The mapping
+// must be total and must not place anything on a down server.
+func (m *Manager) SetMapping(id string, mp deploy.Mapping) error {
+	w, ok := m.workflows[id]
+	if !ok {
+		return fmt.Errorf("manager: unknown workflow %q", id)
+	}
+	if err := mp.Validate(w, m.net); err != nil {
+		return fmt.Errorf("manager: setting mapping of %q: %w", id, err)
+	}
+	for op, s := range mp {
+		if m.down[s] {
+			return fmt.Errorf("manager: setting mapping of %q: operation %d targets down server %d", id, op, s)
+		}
+	}
+	m.mappings[id] = mp.Clone()
+	return nil
+}
+
 // combinedCycles returns the probability-amortised cycles each server
 // currently hosts across all workflows.
 func (m *Manager) combinedCycles() []float64 {
@@ -75,13 +115,24 @@ func (m *Manager) combinedCycles() []float64 {
 	return cycles
 }
 
+// maskDown overlays the down set onto per-server cycles: down servers
+// become +Inf, which GreedyPlace reads as "unavailable".
+func (m *Manager) maskDown(cycles []float64) []float64 {
+	for s := range cycles {
+		if m.down[s] {
+			cycles[s] = math.Inf(1)
+		}
+	}
+	return cycles
+}
+
 // Deploy places a new workflow into the valleys of the current combined
-// load. The id must be unused.
+// load, avoiding down servers. The id must be unused.
 func (m *Manager) Deploy(id string, w *workflow.Workflow) error {
 	if _, dup := m.workflows[id]; dup {
 		return fmt.Errorf("manager: workflow %q already deployed", id)
 	}
-	mp, err := core.GreedyPlace(w, m.net, m.combinedCycles())
+	mp, err := core.GreedyPlace(w, m.net, m.maskDown(m.combinedCycles()))
 	if err != nil {
 		return err
 	}
@@ -89,6 +140,70 @@ func (m *Manager) Deploy(id string, w *workflow.Workflow) error {
 	m.mappings[id] = mp
 	m.order = append(m.order, id)
 	return nil
+}
+
+// MarkDown fails server s in place: unlike ServerDown the server stays in
+// the network — indices remain stable, so a live execution substrate
+// (fabric hosts, sim placements) can follow the repair without
+// renumbering — but it is excluded from placement and every operation it
+// hosted is re-placed onto the survivors. Marking an already-down server
+// is a no-op, which makes duplicate crash detections harmless. Returns
+// the number of operations that moved.
+func (m *Manager) MarkDown(s int) (moved int, err error) {
+	if s < 0 || s >= m.net.N() {
+		return 0, fmt.Errorf("manager: MarkDown(%d) out of range", s)
+	}
+	if m.down[s] {
+		return 0, nil
+	}
+	if len(m.down)+1 >= m.net.N() {
+		return 0, fmt.Errorf("manager: cannot mark down server %d: no survivors would remain", s)
+	}
+	m.down[s] = true
+	for _, id := range m.order {
+		mp := m.mappings[id]
+		var orphans []int
+		for op, srv := range mp {
+			if srv == s {
+				mp[op] = deploy.Unassigned
+				orphans = append(orphans, op)
+			}
+		}
+		if len(orphans) == 0 {
+			continue
+		}
+		moved += len(orphans)
+		if err := m.placeOrphans(m.workflows[id], mp, orphans); err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// MarkUp rejoins a server previously failed with MarkDown. Existing
+// placements stay put — nothing is double-placed on the returning
+// machine; its capacity is used by subsequent arrivals, repairs and
+// rebalances. Rejoining an up server is a no-op.
+func (m *Manager) MarkUp(s int) error {
+	if s < 0 || s >= m.net.N() {
+		return fmt.Errorf("manager: MarkUp(%d) out of range", s)
+	}
+	delete(m.down, s)
+	return nil
+}
+
+// IsDown reports whether server s is currently marked down.
+func (m *Manager) IsDown(s int) bool { return m.down[s] }
+
+// DownServers returns the indices of servers currently marked down, in
+// ascending order.
+func (m *Manager) DownServers() []int {
+	var out []int
+	for s := range m.down {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Remove withdraws a workflow; its capacity is freed for future arrivals.
@@ -144,6 +259,14 @@ func (m *Manager) ServerDown(s int) (moved int, err error) {
 	}
 	m.net = degraded
 	m.mappings = newMappings
+	// In-place failures keep their mark under the new numbering.
+	newDown := map[int]bool{}
+	for olds := range m.down {
+		if ns := remap[olds]; ns >= 0 {
+			newDown[ns] = true
+		}
+	}
+	m.down = newDown
 
 	// Re-place orphans workflow by workflow against the evolving combined
 	// load: heaviest orphan first within each workflow.
@@ -168,7 +291,8 @@ func (m *Manager) ServerDown(s int) (moved int, err error) {
 }
 
 // placeOrphans assigns the given unplaced operations of one workflow,
-// worst-fit against the combined ideal budget with gain tie-breaks.
+// worst-fit against the combined ideal budget with gain tie-breaks. Down
+// servers receive no budget and are never candidates.
 func (m *Manager) placeOrphans(w *workflow.Workflow, mp deploy.Mapping, orphans []int) error {
 	model := cost.NewModel(w, m.net)
 	combined := m.combinedCycles()
@@ -180,8 +304,20 @@ func (m *Manager) placeOrphans(w *workflow.Workflow, mp deploy.Mapping, orphans 
 		total += model.NodeProb(op) * w.Nodes[op].Cycles
 	}
 	budget := make([]float64, m.net.N())
-	power := m.net.TotalPower()
+	var power float64
 	for s := range budget {
+		if !m.down[s] {
+			power += m.net.Servers[s].PowerHz
+		}
+	}
+	if power <= 0 {
+		return fmt.Errorf("manager: no surviving server to place orphans on")
+	}
+	for s := range budget {
+		if m.down[s] {
+			budget[s] = math.Inf(-1)
+			continue
+		}
 		budget[s] = total*m.net.Servers[s].PowerHz/power - combined[s]
 	}
 	// Heaviest orphan first.
@@ -196,6 +332,9 @@ func (m *Manager) placeOrphans(w *workflow.Workflow, mp deploy.Mapping, orphans 
 	for _, op := range orphans {
 		bestS, bestKey, bestGain := -1, 0.0, -1.0
 		for s := 0; s < m.net.N(); s++ {
+			if m.down[s] {
+				continue
+			}
 			gain := 0.0
 			for _, ei := range w.In(op) {
 				if mp[w.Edges[ei].From] == s {
@@ -238,7 +377,7 @@ func (m *Manager) Rebalance() (moved int, err error) {
 	sort.SliceStable(ids, func(a, b int) bool {
 		return m.workflows[ids[a]].ExpectedCycles() > m.workflows[ids[b]].ExpectedCycles()
 	})
-	cycles := make([]float64, m.net.N())
+	cycles := m.maskDown(make([]float64, m.net.N()))
 	newMappings := map[string]deploy.Mapping{}
 	for _, id := range ids {
 		w := m.workflows[id]
@@ -267,6 +406,7 @@ func (m *Manager) Rebalance() (moved int, err error) {
 // Status reports the portfolio's health.
 type Status struct {
 	Servers     int
+	Down        []int // servers currently failed in place
 	Workflows   int
 	Loads       []float64 // combined per-server load, seconds
 	TimePenalty float64
@@ -278,6 +418,7 @@ type Status struct {
 func (m *Manager) Status() Status {
 	st := Status{
 		Servers:     m.net.N(),
+		Down:        m.DownServers(),
 		Workflows:   len(m.order),
 		Loads:       make([]float64, m.net.N()),
 		PerWorkflow: map[string]float64{},

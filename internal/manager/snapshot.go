@@ -20,6 +20,7 @@ func (m *Manager) Snapshot() ([]byte, error) {
 		return nil, fmt.Errorf("manager: snapshotting network: %w", err)
 	}
 	snap.Network = nbuf.Bytes()
+	snap.Down = m.DownServers()
 	for _, id := range m.order {
 		var wbuf bytes.Buffer
 		if err := wfio.EncodeWorkflow(&wbuf, m.workflows[id]); err != nil {
@@ -46,6 +47,12 @@ func Restore(data []byte) (*Manager, error) {
 		return nil, fmt.Errorf("manager: restoring network: %w", err)
 	}
 	m := New(n)
+	for _, s := range snap.Down {
+		if s < 0 || s >= n.N() {
+			return nil, fmt.Errorf("manager: snapshot marks non-existent server %d down", s)
+		}
+		m.down[s] = true
+	}
 	for _, sw := range snap.Workflows {
 		w, err := wfio.DecodeWorkflow(bytes.NewReader(sw.Workflow))
 		if err != nil {
@@ -68,6 +75,7 @@ func Restore(data []byte) (*Manager, error) {
 // snapshot is the JSON shape of a manager checkpoint.
 type snapshot struct {
 	Network   json.RawMessage    `json:"network"`
+	Down      []int              `json:"down,omitempty"`
 	Workflows []snapshotWorkflow `json:"workflows"`
 }
 

@@ -41,9 +41,41 @@ type Config struct {
 	// InfiniteServers disables per-server FIFO queueing, yielding the pure
 	// critical path of the mapped workflow.
 	InfiniteServers bool
+	// Injector, when set, perturbs every execution with runtime faults
+	// (crashes, slow links, message loss) and self-healing re-placements.
+	// Implementations live in internal/chaos; the simulator only knows
+	// the call points.
+	Injector Injector
 
 	// onEvent, when set (via Trace), receives every simulation event.
 	onEvent func(Event)
+}
+
+// Injector is consulted by RunOnce to inject runtime faults into one
+// simulated execution. All times are virtual seconds; within one run the
+// simulator calls these with non-decreasing t (the event-heap time), so
+// an implementation can advance an internal fault timeline lazily.
+type Injector interface {
+	// Place returns the server node u runs on when it becomes ready at
+	// time t — a self-healing controller may have moved it off its
+	// original placement.
+	Place(u int, t float64) int
+	// OpStart is consulted when node u is about to start on server s at
+	// time t. It returns extra virtual seconds before processing begins
+	// (downtime waits, redeployment latency) and whether the operation
+	// can run at all; ok=false marks it lost (a dead server that never
+	// rejoins and no controller to move the work).
+	OpStart(u, s int, t float64) (delay float64, ok bool)
+	// ProcFactor scales node u's processing time on server s at time t
+	// (operation latency spikes).
+	ProcFactor(u, s int, t float64) float64
+	// Transfer perturbs the message on edge ei from server from to
+	// server to departing at time t with unperturbed transfer time base.
+	// It returns the effective transfer time — slowdowns, partition
+	// waits, loss-retry rounds — and whether the message is ultimately
+	// delivered; delivered=false (retry budget exhausted) loses the
+	// message and whatever depends on it.
+	Transfer(ei, from, to int, t, base float64) (effective float64, delivered bool)
 }
 
 // DefaultRuns is the Monte-Carlo run count used when Config.Runs is zero.
@@ -57,11 +89,15 @@ type RunResult struct {
 	BitsSent     float64   // bits that crossed the network
 	MessagesSent int       // inter-server messages
 	ExecutedOps  int       // operations that ran
+	Completed    bool      // the sink executed (always true without faults)
+	LostOps      int       // operations lost to unrecovered server failures
+	LostMessages int       // messages lost after exhausting retries
 }
 
 // Result aggregates a Monte-Carlo simulation.
 type Result struct {
 	Runs           int
+	Completed      int // runs whose sink executed (== Runs without faults)
 	Makespan       stats.Summary
 	SerialTime     stats.Summary
 	MeanBusy       []float64 // per-server mean busy time
@@ -86,6 +122,9 @@ func Simulate(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg C
 	serials := make([]float64, 0, runs)
 	for i := 0; i < runs; i++ {
 		rr := RunOnce(w, n, mp, r, cfg)
+		if rr.Completed {
+			res.Completed++
+		}
 		makespans = append(makespans, rr.Makespan)
 		serials = append(serials, rr.SerialTime)
 		for s, b := range rr.BusyTime {
@@ -171,6 +210,7 @@ func RunOnce(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, r *sta
 	}
 
 	started := make([]bool, w.M())
+	opServer := make([]int, w.M()) // server each started op actually ran on
 	var (
 		h        eventHeap
 		seq      int
@@ -185,14 +225,28 @@ func RunOnce(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, r *sta
 	}
 
 	// startOp schedules node u's processing on its server at readiness
-	// time t, respecting FIFO server occupancy.
+	// time t, respecting FIFO server occupancy. The injector, when
+	// present, may re-place the operation, delay its start or lose it.
 	startOp := func(u int, t float64) {
 		if started[u] {
 			return
 		}
 		started[u] = true
 		s := mp[u]
+		if cfg.Injector != nil {
+			s = cfg.Injector.Place(u, t)
+			delay, ok := cfg.Injector.OpStart(u, s, t)
+			if !ok {
+				rr.LostOps++
+				return
+			}
+			t += delay
+		}
+		opServer[u] = s
 		proc := w.Nodes[u].Cycles / n.Servers[s].PowerHz
+		if cfg.Injector != nil {
+			proc *= cfg.Injector.ProcFactor(u, s, t)
+		}
 		start := t
 		if !cfg.InfiniteServers && busyTill[s] > start {
 			start = busyTill[s]
@@ -218,18 +272,30 @@ func RunOnce(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, r *sta
 		case evOpDone:
 			if e.node == w.Sink() {
 				makespan = now
+				rr.Completed = true
 			}
 			for _, ei := range w.Out(e.node) {
 				if !ex.Edges[ei] {
 					continue
 				}
 				edge := w.Edges[ei]
-				from, to := mp[edge.From], mp[edge.To]
+				from, to := opServer[e.node], mp[edge.To]
+				if cfg.Injector != nil {
+					to = cfg.Injector.Place(edge.To, now)
+				}
 				if from == to {
 					push(now, evArrival, edge.To, ei)
 					continue
 				}
 				transfer := n.TransferTime(from, to, edge.SizeBits)
+				if cfg.Injector != nil {
+					eff, delivered := cfg.Injector.Transfer(ei, from, to, now, transfer)
+					if !delivered {
+						rr.LostMessages++
+						continue
+					}
+					transfer = eff
+				}
 				depart := now
 				if cfg.BusContention && n.Topology() == network.Bus {
 					if busFree > depart {
