@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -32,11 +33,20 @@ import (
 	"wsdeploy/internal/engine"
 	"wsdeploy/internal/gen"
 	"wsdeploy/internal/network"
+	"wsdeploy/internal/obs"
 	"wsdeploy/internal/sim"
 	"wsdeploy/internal/stats"
 	"wsdeploy/internal/wdl"
 	"wsdeploy/internal/wfio"
 	"wsdeploy/internal/workflow"
+)
+
+// cliTracer and cliFlightDump carry the -tracefile / -flightdump setup
+// to the subcommands. Both stay nil unless asked for, which keeps every
+// instrumented path at its zero-cost disabled state.
+var (
+	cliTracer     *obs.Tracer
+	cliFlightDump io.Writer
 )
 
 func main() {
@@ -60,8 +70,32 @@ func main() {
 		chaosBk  = flag.String("chaosbackend", "sim", "chaos backend: sim (virtual clock) or fabric (real HTTP hosts)")
 		chaosRt  = flag.Float64("chaosrate", 0.1, `per-server crash rate for -chaos gen, crashes per virtual second`)
 		chaosHl  = flag.Bool("chaosheal", true, "run the self-healing supervisor during the chaos episode")
+		traceOut = flag.String("tracefile", "", "write every finished span (engine, sim, chaos) to this file as JSONL")
+		dumpOut  = flag.String("flightdump", "", "write a flight-recorder dump (JSONL) here whenever a chaos incident is handled")
 	)
 	flag.Parse()
+	if *traceOut != "" || *dumpOut != "" {
+		var exps []obs.Exporter
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wsdeploy:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			exps = append(exps, obs.NewJSONLExporter(f))
+		}
+		if *dumpOut != "" {
+			f, err := os.Create(*dumpOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wsdeploy:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			cliFlightDump = f
+		}
+		cliTracer = obs.NewTracer(obs.NewFlightRecorder(obs.DefaultFlightSize), exps...)
+	}
 	if err := run(*wfPath, *netPath, *algoName, *all, *demo, *seed, *timeout, *parallel, *simulate, *simRuns, *outPath, *dotPath, *trace, *explain, *diffPath, *chaosArg, *chaosBk, *chaosRt, *chaosHl); err != nil {
 		fmt.Fprintln(os.Stderr, "wsdeploy:", err)
 		os.Exit(1)
@@ -117,7 +151,7 @@ func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, timeout 
 	}
 
 	if simulate {
-		sr, err := sim.Simulate(w, n, mp, sim.Config{Runs: simRuns, Seed: seed})
+		sr, err := sim.Simulate(w, n, mp, sim.Config{Runs: simRuns, Seed: seed, Tracer: cliTracer})
 		if err != nil {
 			return err
 		}
@@ -204,7 +238,7 @@ func runChaos(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, planS
 	fmt.Printf("\nchaos episode (%s backend, %d fault events, self-heal %v):\n",
 		backend, len(plan.Events), heal)
 
-	cfg := chaos.RunConfig{Seed: seed, SelfHeal: heal}
+	cfg := chaos.RunConfig{Seed: seed, SelfHeal: heal, Tracer: cliTracer, FlightDump: cliFlightDump}
 	var log *chaos.Log
 	switch backend {
 	case "sim":
@@ -293,7 +327,7 @@ func loadInputs(wfPath, netPath string, demo bool) (*workflow.Workflow, *network
 // runPortfolio races the whole registry through the portfolio engine and
 // prints the leaderboard before returning the winning mapping.
 func runPortfolio(ctx context.Context, w *workflow.Workflow, n *network.Network, seed uint64, parallel int) (deploy.Mapping, string, error) {
-	eng, err := engine.New(engine.Options{Parallelism: parallel})
+	eng, err := engine.New(engine.Options{Parallelism: parallel, Tracer: cliTracer})
 	if err != nil {
 		return nil, "", err
 	}

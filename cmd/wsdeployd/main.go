@@ -10,10 +10,15 @@
 //	  "network":  {...wfio schema...},
 //	  "algorithm": "portfolio"
 //	}'
-//	curl -s localhost:8080/debug/vars   # engine metrics (expvar)
+//	curl -s localhost:8080/metrics       # Prometheus text exposition
+//	curl -s localhost:8080/debug/trace   # recent spans (flight recorder)
+//	curl -s localhost:8080/debug/vars    # engine metrics (expvar)
+//	go tool pprof localhost:8080/debug/pprof/profile
 //
-// See internal/httpapi for the endpoint reference. The daemon traps
-// SIGINT/SIGTERM and drains in-flight plans before exiting.
+// See internal/httpapi for the endpoint reference. With -tracefile,
+// every finished span is additionally appended to the given file as
+// JSONL. The daemon traps SIGINT/SIGTERM and drains in-flight plans
+// before exiting.
 package main
 
 import (
@@ -23,20 +28,46 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"wsdeploy/internal/httpapi"
+	"wsdeploy/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
+	traceFile := flag.String("tracefile", "", "append finished spans to this file as JSONL")
 	flag.Parse()
+
+	api := httpapi.NewHandler()
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("open tracefile: %v", err)
+		}
+		defer f.Close()
+		api.Tracer().AddExporter(obs.NewJSONLExporter(f))
+	}
+
+	// The API handler serves /metrics, /debug/trace and /debug/vars
+	// itself; pprof needs explicit registration because the api mux,
+	// not http.DefaultServeMux, fronts the daemon.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewHandler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

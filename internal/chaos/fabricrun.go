@@ -33,17 +33,30 @@ type FabricOutcome struct {
 // scheduler always plays the plan to its end — even after the run
 // completes — so log coverage never depends on a wall-clock race.
 func RunFabric(ctx context.Context, w *workflow.Workflow, n *network.Network, mp deploy.Mapping, plan *Plan, cfg RunConfig) (*FabricOutcome, error) {
+	root := cfg.Tracer.StartSpan("chaos.episode")
+	root.SetAttr("backend", "fabric")
+	root.SetAttr("workflow", w.Name)
+	defer root.End()
+
+	psp := root.StartChild("chaos.plan")
+	psp.SetInt("events", int64(len(plan.Events)))
 	if err := plan.Validate(n.N()); err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.End()
+
+	dsp := root.StartChild("chaos.deploy")
 	ctrl := newController(plan.Seed)
 	f, err := fabric.Deploy(w, n, mp, fabric.Config{
 		TimeScale: cfg.TimeScale,
 		Seed:      cfg.Seed,
 		Retry:     cfg.Retry,
 		Faults:    ctrl,
+		Tracer:    cfg.Tracer,
 	})
 	if err != nil {
+		dsp.End()
 		return nil, err
 	}
 	defer f.Close()
@@ -52,11 +65,14 @@ func RunFabric(ctx context.Context, w *workflow.Workflow, n *network.Network, mp
 	if cfg.SelfHeal {
 		mgr := manager.New(n)
 		if err := mgr.Adopt(supervisedID, w, mp); err != nil {
+			dsp.End()
 			return nil, err
 		}
 		sv = NewSupervisor(mgr, supervisedID, cfg.Supervisor)
 		sv.AttachRemapper(f.Remap)
+		sv.AttachObs(root, cfg.incidentDumper())
 	}
+	dsp.End()
 
 	scale := cfg.TimeScale
 	if scale <= 0 {
@@ -92,8 +108,12 @@ func RunFabric(ctx context.Context, w *workflow.Workflow, n *network.Network, mp
 		}
 	}()
 
+	rsp := root.StartChild("chaos.run")
 	res, runErr := f.RunContext(ctx)
 	<-schedDone
+	rsp.SetInt("executed_ops", int64(res.ExecutedOps))
+	rsp.SetFloat("makespan_s", res.Makespan.Seconds())
+	rsp.End()
 
 	out := &FabricOutcome{
 		Run:          res,

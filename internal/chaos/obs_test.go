@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"testing"
+
+	"wsdeploy/internal/obs"
+)
+
+// decodeDump parses a flight-recorder JSONL dump. Dumps are cumulative
+// (one full ring snapshot per incident), so later lines repeat earlier
+// spans; the map keeps one record per span id.
+func decodeDump(t *testing.T, dump []byte) map[uint64]obs.SpanRecord {
+	t.Helper()
+	spans := map[uint64]obs.SpanRecord{}
+	sc := bufio.NewScanner(bytes.NewReader(dump))
+	for sc.Scan() {
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad dump line %q: %v", sc.Text(), err)
+		}
+		spans[rec.ID] = rec
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return spans
+}
+
+// TestSeededRunFlightDump pins the observability acceptance criterion:
+// a seeded chaos run with tracing on dumps a non-empty flight record
+// whose span tree covers plan → deploy → incident → remap, all nested
+// under one episode trace.
+func TestSeededRunFlightDump(t *testing.T) {
+	w, n, mp := fiveOpLine(t)
+	rec := obs.NewFlightRecorder(256)
+	var dump bytes.Buffer
+	out, err := RunSim(w, n, mp, crashRejoinPlan(), RunConfig{
+		Seed:       1,
+		SelfHeal:   true,
+		Tracer:     obs.NewTracer(rec),
+		FlightDump: &dump,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Log.Len() != 2 {
+		t.Fatalf("logged %d incidents, want 2", out.Log.Len())
+	}
+	if dump.Len() == 0 {
+		t.Fatal("flight dump is empty")
+	}
+
+	spans := decodeDump(t, dump.Bytes())
+	byName := map[string][]obs.SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	for _, name := range []string{"chaos.plan", "chaos.deploy", "chaos.incident", "chaos.remap"} {
+		if len(byName[name]) == 0 {
+			t.Errorf("dump has no %q span", name)
+		}
+	}
+	// The dump fires mid-episode, before the episode root ends, so the
+	// root itself is absent — but every dumped span belongs to its
+	// trace, and the tree edges hold: incidents parent remaps, the
+	// episode parents plan/deploy/incidents.
+	var traceID uint64
+	for _, sp := range spans {
+		if traceID == 0 {
+			traceID = sp.Trace
+		}
+		if sp.Trace != traceID {
+			t.Fatalf("span %s belongs to trace %d, want %d", sp.Name, sp.Trace, traceID)
+		}
+	}
+	var episodeID uint64
+	if len(byName["chaos.plan"]) > 0 {
+		episodeID = byName["chaos.plan"][0].Parent
+	}
+	if episodeID == 0 {
+		t.Fatal("plan span has no parent episode")
+	}
+	if len(byName["chaos.deploy"]) == 0 || byName["chaos.deploy"][0].Parent != episodeID {
+		t.Error("deploy span not under the episode root")
+	}
+	incidents := map[uint64]bool{}
+	for _, sp := range byName["chaos.incident"] {
+		if sp.Parent != episodeID {
+			t.Errorf("incident span parent %d, want episode %d", sp.Parent, episodeID)
+		}
+		incidents[sp.ID] = true
+	}
+	// The crash moved two operations; each move is a remap span under
+	// the crash incident.
+	if got := len(byName["chaos.remap"]); got != 2 {
+		t.Errorf("dump has %d remap spans, want 2", got)
+	}
+	for _, sp := range byName["chaos.remap"] {
+		if !incidents[sp.Parent] {
+			t.Errorf("remap span parent %d is not an incident", sp.Parent)
+		}
+		if _, ok := sp.Attr("to_server"); !ok {
+			t.Error("remap span missing to_server attr")
+		}
+	}
+	// Incident spans carry the handled fault's metadata.
+	var sawCrash bool
+	for _, sp := range byName["chaos.incident"] {
+		kind, _ := sp.Attr("kind")
+		if kind == string(ServerCrash) {
+			sawCrash = true
+			if moved, _ := sp.Attr("ops_moved"); moved != "2" {
+				t.Errorf("crash incident ops_moved = %q, want 2", moved)
+			}
+			if action, _ := sp.Attr("action"); action != "repair-orphans" {
+				t.Errorf("crash incident action = %q", action)
+			}
+		}
+	}
+	if !sawCrash {
+		t.Error("dump has no crash incident span")
+	}
+}
+
+// TestEpisodeSpanTree checks the full episode trace retained by the
+// recorder after the run: one chaos.episode root with plan, deploy and
+// run children, and the incident count attribute.
+func TestEpisodeSpanTree(t *testing.T) {
+	w, n, mp := fiveOpLine(t)
+	rec := obs.NewFlightRecorder(256)
+	out, err := RunSim(w, n, mp, crashRejoinPlan(), RunConfig{
+		Seed:     1,
+		SelfHeal: true,
+		Tracer:   obs.NewTracer(rec),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root obs.SpanRecord
+	children := map[string]int{}
+	for _, sp := range rec.Snapshot() {
+		if sp.Name == "chaos.episode" {
+			root = sp
+		}
+	}
+	if root.ID == 0 {
+		t.Fatal("no chaos.episode span recorded")
+	}
+	for _, sp := range rec.Snapshot() {
+		if sp.Parent == root.ID {
+			children[sp.Name]++
+		}
+	}
+	if children["chaos.plan"] != 1 || children["chaos.deploy"] != 1 || children["chaos.run"] != 1 {
+		t.Fatalf("episode children = %v", children)
+	}
+	if children["chaos.incident"] != 2 {
+		t.Fatalf("episode has %d incident spans, want 2", children["chaos.incident"])
+	}
+	if v, ok := root.Attr("incidents"); !ok || v != strconv.Itoa(out.Log.Len()) {
+		t.Errorf("episode incidents attr = %q, want %d", v, out.Log.Len())
+	}
+	if v, ok := root.Attr("backend"); !ok || v != "sim" {
+		t.Errorf("episode backend attr = %q", v)
+	}
+}

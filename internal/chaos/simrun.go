@@ -2,13 +2,16 @@ package chaos
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"sync"
 	"time"
 
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/fabric"
 	"wsdeploy/internal/manager"
 	"wsdeploy/internal/network"
+	"wsdeploy/internal/obs"
 	"wsdeploy/internal/sim"
 	"wsdeploy/internal/stats"
 	"wsdeploy/internal/workflow"
@@ -39,6 +42,33 @@ type RunConfig struct {
 	// TimeScale converts virtual seconds to wall-clock sleep (fabric
 	// backend only; zero = the fabric default of 1ms per virtual second).
 	TimeScale time.Duration
+	// Tracer, when set, traces the episode: a "chaos.episode" root with
+	// "chaos.plan", "chaos.deploy" and "chaos.run" children, plus one
+	// "chaos.incident" span (with "chaos.remap" children) per handled
+	// fault. Nil leaves tracing off at zero cost.
+	Tracer *obs.Tracer
+	// FlightDump, when non-nil and Tracer carries a FlightRecorder,
+	// receives a JSONL dump of the recorder's retained spans every time
+	// the supervisor logs an incident — automatic crash forensics. Each
+	// incident appends one full snapshot; the last one wins.
+	FlightDump io.Writer
+}
+
+// incidentDumper builds the supervisor's onIncident hook: it dumps the
+// tracer's flight recorder to cfg.FlightDump after every incident.
+// Returns nil when the config does not ask for dumps.
+func (cfg RunConfig) incidentDumper() func(Incident) {
+	rec := cfg.Tracer.Recorder()
+	if rec == nil || cfg.FlightDump == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(Incident) {
+		mu.Lock()
+		defer mu.Unlock()
+		// A sink failure only costs the dump; the episode must go on.
+		_, _ = rec.WriteJSONL(cfg.FlightDump)
+	}
 }
 
 // SimOutcome reports one simulated chaos episode.
@@ -54,19 +84,33 @@ type SimOutcome struct {
 // Everything is deterministic — the same plan and config replay to an
 // identical outcome and a byte-identical canonical incident log.
 func RunSim(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, plan *Plan, cfg RunConfig) (*SimOutcome, error) {
+	root := cfg.Tracer.StartSpan("chaos.episode")
+	root.SetAttr("backend", "sim")
+	root.SetAttr("workflow", w.Name)
+	defer root.End()
+
+	psp := root.StartChild("chaos.plan")
+	psp.SetInt("events", int64(len(plan.Events)))
 	if err := mp.Validate(w, n); err != nil {
+		psp.End()
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
 	if err := plan.Validate(n.N()); err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.End()
+
+	dsp := root.StartChild("chaos.deploy")
 	var sv *Supervisor
 	if cfg.SelfHeal {
 		mgr := manager.New(n)
 		if err := mgr.Adopt(supervisedID, w, mp); err != nil {
+			dsp.End()
 			return nil, err
 		}
 		sv = NewSupervisor(mgr, supervisedID, cfg.Supervisor)
+		sv.AttachObs(root, cfg.incidentDumper())
 	}
 	inj := &simInjector{
 		sorted:     plan.Sorted(),
@@ -77,15 +121,23 @@ func RunSim(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, plan *P
 		rng:        stats.NewRNG(plan.Seed),
 		retry:      cfg.Retry.WithDefaults(),
 	}
+	dsp.End()
+
+	rsp := root.StartChild("chaos.run")
 	rr := sim.RunOnce(w, n, mp, stats.NewRNG(cfg.Seed), sim.Config{Injector: inj})
 	// Flush the remaining plan events so the incident log always covers
 	// the whole plan, independent of how early the run completed — the
 	// fabric backend's scheduler does the same.
 	inj.advance(math.Inf(1))
+	rsp.SetFloat("makespan_vs", rr.Makespan)
+	rsp.SetInt("executed_ops", int64(rr.ExecutedOps))
+	rsp.End()
+
 	out := &SimOutcome{Run: rr, Log: &Log{}, FinalMapping: inj.live.Clone()}
 	if sv != nil {
 		out.Log = sv.Log()
 	}
+	root.SetInt("incidents", int64(out.Log.Len()))
 	return out, nil
 }
 

@@ -7,6 +7,17 @@ import (
 	"wsdeploy/internal/cost"
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/manager"
+	"wsdeploy/internal/obs"
+)
+
+// Process-wide chaos metrics on the shared obs registry, next to the
+// engine's and the fabric's series on /metrics and /debug/vars.
+var (
+	obsIncidents   = obs.Default().Counter("chaos.incidents")
+	obsOpsMoved    = obs.Default().Counter("chaos.ops_moved")
+	obsRepairHist  = obs.Default().Histogram("chaos.repair_virtual_seconds")
+	obsHandleHist  = obs.Default().Histogram("chaos.handle_wall_seconds")
+	obsRepairFails = obs.Default().Counter("chaos.repair_failures")
 )
 
 // SupervisorConfig sets the control loop's latency model, in virtual
@@ -50,6 +61,12 @@ type Supervisor struct {
 	mgr   *manager.Manager
 	id    string
 	remap func(op, s int) error // live substrate hook (e.g. fabric.Remap)
+
+	// parent is the span incidents nest under; onIncident fires (outside
+	// the lock) after each incident is logged — the chaos runner uses it
+	// to dump the flight recorder. Both are optional (see AttachObs).
+	parent     *obs.Span
+	onIncident func(Incident)
 }
 
 // NewSupervisor builds a supervisor over a manager and the id of the
@@ -65,6 +82,19 @@ func NewSupervisor(mgr *manager.Manager, id string, cfg SupervisorConfig) *Super
 func (sv *Supervisor) AttachRemapper(fn func(op, s int) error) {
 	sv.mu.Lock()
 	sv.remap = fn
+	sv.mu.Unlock()
+}
+
+// AttachObs wires the supervisor into the observability subsystem:
+// every handled fault becomes a "chaos.incident" span under parent with
+// one "chaos.remap" child per re-placed operation, and onIncident fires
+// after the incident lands in the log (outside the supervisor's lock) —
+// the chaos runners use it to dump the flight recorder automatically.
+// Either argument may be nil.
+func (sv *Supervisor) AttachObs(parent *obs.Span, onIncident func(Incident)) {
+	sv.mu.Lock()
+	sv.parent = parent
+	sv.onIncident = onIncident
 	sv.mu.Unlock()
 }
 
@@ -109,9 +139,21 @@ func (sv *Supervisor) combinedCost() float64 {
 // logged. A repair that cannot proceed (no survivors) is logged as
 // failed rather than crashing the run.
 func (sv *Supervisor) HandleCrash(t float64, s int) Repair {
+	rep := sv.handleCrash(t, s)
+	sv.notifyIncident(rep.Incident)
+	return rep
+}
+
+func (sv *Supervisor) handleCrash(t float64, s int) Repair {
 	start := time.Now()
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
+
+	sp := sv.parent.StartChild("chaos.incident")
+	sp.SetAttr("kind", string(ServerCrash))
+	sp.SetInt("server", int64(s))
+	sp.SetFloat("time_vs", t)
+	defer sp.End()
 
 	inc := Incident{
 		Time:     t,
@@ -133,6 +175,7 @@ func (sv *Supervisor) HandleCrash(t float64, s int) Repair {
 	case err != nil:
 		inc.Action = "failed: " + err.Error()
 		inc.Repaired = inc.Detected
+		obsRepairFails.Inc()
 	case moved == 0:
 		inc.Action = "none"
 		inc.Repaired = inc.Detected
@@ -141,15 +184,27 @@ func (sv *Supervisor) HandleCrash(t float64, s int) Repair {
 		for op := range after {
 			if before != nil && before[op] != after[op] {
 				movedOps = append(movedOps, op)
+				rsp := sp.StartChild("chaos.remap")
+				rsp.SetInt("op", int64(op))
+				rsp.SetInt("to_server", int64(after[op]))
 				if sv.remap != nil {
 					if rerr := sv.remap(op, after[op]); rerr != nil {
 						inc.Action = "failed: " + rerr.Error()
+						rsp.SetAttr("err", rerr.Error())
+						obsRepairFails.Inc()
 					}
 				}
+				rsp.End()
 			}
 		}
 	}
 	inc.Wall = time.Since(start)
+	obsIncidents.Inc()
+	obsOpsMoved.Add(int64(moved))
+	obsRepairHist.Observe(inc.Repaired - inc.Time)
+	obsHandleHist.ObserveDuration(inc.Wall)
+	sp.SetAttr("action", inc.Action)
+	sp.SetInt("ops_moved", int64(moved))
 	return Repair{Incident: sv.log.append(inc), Moved: movedOps, Mapping: after}
 }
 
@@ -158,9 +213,21 @@ func (sv *Supervisor) HandleCrash(t float64, s int) Repair {
 // them, so a rejoin can never double-place work — but the event is
 // logged and the capacity becomes available to subsequent repairs.
 func (sv *Supervisor) HandleRejoin(t float64, s int) Repair {
+	rep := sv.handleRejoin(t, s)
+	sv.notifyIncident(rep.Incident)
+	return rep
+}
+
+func (sv *Supervisor) handleRejoin(t float64, s int) Repair {
 	start := time.Now()
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
+
+	sp := sv.parent.StartChild("chaos.incident")
+	sp.SetAttr("kind", string(ServerRejoin))
+	sp.SetInt("server", int64(s))
+	sp.SetFloat("time_vs", t)
+	defer sp.End()
 
 	inc := Incident{
 		Time:     t,
@@ -173,10 +240,25 @@ func (sv *Supervisor) HandleRejoin(t float64, s int) Repair {
 	inc.CostAfter = inc.CostBefore
 	if err := sv.mgr.MarkUp(s); err != nil {
 		inc.Action = "failed: " + err.Error()
+		obsRepairFails.Inc()
 	} else {
 		inc.Action = "rejoin"
 	}
 	inc.Wall = time.Since(start)
+	obsIncidents.Inc()
+	obsHandleHist.ObserveDuration(inc.Wall)
+	sp.SetAttr("action", inc.Action)
 	mp, _ := sv.mgr.Mapping(sv.id)
 	return Repair{Incident: sv.log.append(inc), Mapping: mp}
+}
+
+// notifyIncident fires the AttachObs hook outside the supervisor's
+// lock, so a dump callback may freely call back into the supervisor.
+func (sv *Supervisor) notifyIncident(inc Incident) {
+	sv.mu.Lock()
+	fn := sv.onIncident
+	sv.mu.Unlock()
+	if fn != nil {
+		fn(inc)
+	}
 }

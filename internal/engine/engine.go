@@ -16,8 +16,11 @@
 //     found so far — with ErrDeadline — instead of hanging;
 //   - an LRU cache keyed by a content hash of (workflow, network,
 //     algorithm, seed) serves repeated requests without re-planning;
-//   - expvar metrics (see Metrics) expose plan counts, cache traffic and
-//     per-algorithm latency at /debug/vars.
+//   - metrics on the shared obs.Registry (see Metrics) expose plan
+//     counts, cache traffic and per-algorithm latency histograms at
+//     /metrics, with an expvar bridge keeping /debug/vars intact;
+//   - an optional obs.Tracer (Options.Tracer) records an "engine.run"
+//     span per portfolio with one "engine.plan" child per algorithm.
 package engine
 
 import (
@@ -33,6 +36,7 @@ import (
 	"wsdeploy/internal/cost"
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/network"
+	"wsdeploy/internal/obs"
 	"wsdeploy/internal/workflow"
 )
 
@@ -61,6 +65,10 @@ type Options struct {
 	// CacheSize is the LRU plan-cache capacity; zero means
 	// DefaultCacheSize, negative disables caching.
 	CacheSize int
+	// Tracer, when set, records one span per portfolio run
+	// ("engine.run") with a child span per algorithm ("engine.plan").
+	// Nil leaves tracing off at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Engine plans deployments by racing an algorithm portfolio. Construct
@@ -69,6 +77,7 @@ type Engine struct {
 	algorithms  []string
 	parallelism int
 	cache       *planCache
+	tracer      *obs.Tracer
 }
 
 // New validates the options and builds an engine.
@@ -89,6 +98,7 @@ func New(opts Options) (*Engine, error) {
 	e := &Engine{
 		algorithms:  append([]string(nil), algos...),
 		parallelism: par,
+		tracer:      opts.Tracer,
 	}
 	switch {
 	case opts.CacheSize == 0:
@@ -204,6 +214,14 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Result, error) {
 	res := &Result{Plans: make([]Plan, len(names))}
 	model := cost.NewModel(req.Workflow, req.Network)
 
+	sp := e.tracer.StartSpan("engine.run")
+	sp.SetAttr("workflow", req.Workflow.Name)
+	sp.SetInt("algorithms", int64(len(names)))
+	defer func() {
+		sp.SetInt("cache_hits", int64(res.CacheHits))
+		sp.End()
+	}()
+
 	// Serve cache hits inline; only misses go to the pool.
 	var misses []int
 	for i, name := range names {
@@ -242,7 +260,7 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Result, error) {
 				return
 			}
 			defer func() { <-sem }()
-			res.Plans[i] = e.runOne(ctx, names[i], algos[i], model, req)
+			res.Plans[i] = e.runOne(ctx, names[i], algos[i], model, req, sp)
 		}(i)
 	}
 	wg.Wait()
@@ -273,11 +291,14 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Result, error) {
 // runOne executes one algorithm under the context and classifies the
 // outcome: success (cached and counted as completed), truncated-with-
 // best-so-far, truncated-empty, or algorithm error.
-func (e *Engine) runOne(ctx context.Context, key string, algo core.Algorithm, model *cost.Model, req Request) Plan {
+func (e *Engine) runOne(ctx context.Context, key string, algo core.Algorithm, model *cost.Model, req Request, parent *obs.Span) Plan {
 	M.PlansStarted.Add(1)
+	psp := parent.StartChild("engine.plan")
+	psp.SetAttr("algo", key)
 	start := time.Now()
 	mp, err := core.DeployContext(ctx, algo, req.Workflow, req.Network)
 	elapsed := time.Since(start)
+	defer psp.End()
 
 	p := Plan{Key: key, Name: algo.Name(), Elapsed: elapsed}
 	truncated := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
@@ -310,6 +331,12 @@ func (e *Engine) runOne(ctx context.Context, key string, algo core.Algorithm, mo
 			// every repeat.
 			e.cache.put(planKey(req.Workflow, req.Network, key, req.Seed), p)
 		}
+	}
+	if p.Mapping != nil {
+		psp.SetFloat("combined", p.Combined)
+	}
+	if p.Err != "" {
+		psp.SetAttr("err", p.Err)
 	}
 	return p
 }

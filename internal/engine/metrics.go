@@ -2,15 +2,18 @@ package engine
 
 import (
 	"expvar"
-	"sync"
+	"strings"
 	"time"
+
+	"wsdeploy/internal/obs"
 )
 
-// Metrics instruments the engine with the stdlib expvar machinery, so a
-// plain `GET /debug/vars` on the daemon shows planner health without any
-// external dependency. All engines in a process share the single
-// package-level instance M — expvar names are process-global — and every
-// counter is registered once at init under these names:
+// Metrics instruments the engine through the shared obs.Registry, so
+// engine counters ride the same exposition path as the fabric's and the
+// chaos runtime's — the Prometheus-style /metrics endpoint and the
+// expvar bridge. All engines in a process share the single
+// package-level instance M, and every counter keeps its expvar-era name
+// on /debug/vars for backward compatibility:
 //
 //	engine.plans_started    plans dispatched to a worker
 //	engine.plans_completed  plans that ran to completion (success or
@@ -20,96 +23,71 @@ import (
 //	engine.cache_hits       plans served from the LRU plan cache
 //	engine.cache_misses     plans that had to be computed
 //	engine.latency          per-algorithm latency histograms (JSON)
+//
+// Per-algorithm latency lives in obs histograms named
+// "engine.plan_latency.<algo>" (seconds), with p50/p90/p99 summaries on
+// /metrics.
 type Metrics struct {
-	PlansStarted   *expvar.Int
-	PlansCompleted *expvar.Int
-	PlansCancelled *expvar.Int
-	CacheHits      *expvar.Int
-	CacheMisses    *expvar.Int
-
-	mu      sync.Mutex
-	latency map[string]*latencyHist
+	PlansStarted   *obs.Counter
+	PlansCompleted *obs.Counter
+	PlansCancelled *obs.Counter
+	CacheHits      *obs.Counter
+	CacheMisses    *obs.Counter
 }
+
+// latencyPrefix namespaces the per-algorithm planning-latency
+// histograms in the shared registry.
+const latencyPrefix = "engine.plan_latency."
 
 // M is the process-wide engine metrics instance.
 var M = newMetrics()
 
 func newMetrics() *Metrics {
+	reg := obs.Default()
 	m := &Metrics{
-		PlansStarted:   expvar.NewInt("engine.plans_started"),
-		PlansCompleted: expvar.NewInt("engine.plans_completed"),
-		PlansCancelled: expvar.NewInt("engine.plans_cancelled"),
-		CacheHits:      expvar.NewInt("engine.cache_hits"),
-		CacheMisses:    expvar.NewInt("engine.cache_misses"),
-		latency:        map[string]*latencyHist{},
+		PlansStarted:   reg.Counter("engine.plans_started"),
+		PlansCompleted: reg.Counter("engine.plans_completed"),
+		PlansCancelled: reg.Counter("engine.plans_cancelled"),
+		CacheHits:      reg.Counter("engine.cache_hits"),
+		CacheMisses:    reg.Counter("engine.cache_misses"),
 	}
+	// expvar bridge: the counters and the latency snapshot stay visible
+	// under their historical names on /debug/vars. obs.Counter implements
+	// expvar.Var, so the bridge shares the very same atomics.
+	expvar.Publish("engine.plans_started", m.PlansStarted)
+	expvar.Publish("engine.plans_completed", m.PlansCompleted)
+	expvar.Publish("engine.plans_cancelled", m.PlansCancelled)
+	expvar.Publish("engine.cache_hits", m.CacheHits)
+	expvar.Publish("engine.cache_misses", m.CacheMisses)
 	expvar.Publish("engine.latency", expvar.Func(m.latencySnapshot))
 	return m
-}
-
-// latencyBuckets is the number of exponential histogram buckets: bucket i
-// counts plans that finished in < 2^i microseconds, the last bucket is
-// the overflow. 2^19 µs ≈ 0.5 s covers every algorithm the registry ships
-// at the paper's scales; slower runs land in the overflow bucket.
-const latencyBuckets = 20
-
-// latencyHist is a fixed-bucket log₂ latency histogram for one algorithm.
-type latencyHist struct {
-	count   int64
-	totalNs int64
-	maxNs   int64
-	buckets [latencyBuckets]int64
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	h.count++
-	h.totalNs += ns
-	if ns > h.maxNs {
-		h.maxNs = ns
-	}
-	us := ns / 1e3
-	i := 0
-	for i < latencyBuckets-1 && us >= 1<<uint(i) {
-		i++
-	}
-	h.buckets[i]++
 }
 
 // Observe records one completed plan's latency under the algorithm's
 // registry key.
 func (m *Metrics) Observe(algorithm string, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h := m.latency[algorithm]
-	if h == nil {
-		h = &latencyHist{}
-		m.latency[algorithm] = h
-	}
-	h.observe(d)
+	obs.Default().Histogram(latencyPrefix + algorithm).ObserveDuration(d)
 }
 
-// latencySnapshot renders the histograms as a JSON-able map for expvar:
-// per algorithm the observation count, mean and max in milliseconds, and
-// the raw bucket counts (bucket i = finished in < 2^i µs, last bucket =
-// overflow).
+// latencySnapshot renders the per-algorithm histograms as a JSON-able
+// map for the expvar bridge: per algorithm the observation count, mean,
+// max and quantiles in milliseconds.
 func (m *Metrics) latencySnapshot() any {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]any, len(m.latency))
-	for name, h := range m.latency {
-		buckets := make([]int64, latencyBuckets)
-		copy(buckets, h.buckets[:])
-		mean := 0.0
-		if h.count > 0 {
-			mean = float64(h.totalNs) / float64(h.count) / 1e6
+	out := map[string]any{}
+	obs.Default().EachHistogram(func(name string, h *obs.Histogram) {
+		algo, ok := strings.CutPrefix(name, latencyPrefix)
+		if !ok {
+			return
 		}
-		out[name] = map[string]any{
-			"count":   h.count,
-			"mean_ms": mean,
-			"max_ms":  float64(h.maxNs) / 1e6,
-			"buckets": buckets,
+		s := h.Snapshot()
+		out[algo] = map[string]any{
+			"count":   s.Count,
+			"mean_ms": s.Mean * 1e3,
+			"max_ms":  s.Max * 1e3,
+			"p50_ms":  s.P50 * 1e3,
+			"p90_ms":  s.P90 * 1e3,
+			"p99_ms":  s.P99 * 1e3,
 		}
-	}
+	})
 	return out
 }

@@ -12,8 +12,26 @@ import (
 
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/network"
+	"wsdeploy/internal/obs"
 	"wsdeploy/internal/stats"
 	"wsdeploy/internal/workflow"
+)
+
+// Process-wide fabric metrics on the shared obs registry: every fabric
+// instance feeds the same counters and histograms, so /metrics and the
+// /debug/vars bridge show fleet-wide delivery traffic next to the
+// engine's and the chaos runtime's series. All are lock-free atomics —
+// cheap enough to leave on the send path.
+var (
+	obsMessages    = obs.Default().Counter("fabric.messages_sent")
+	obsBytes       = obs.Default().Counter("fabric.bytes_on_wire")
+	obsRetries     = obs.Default().Counter("fabric.retries")
+	obsDrops       = obs.Default().Counter("fabric.drops")
+	obsRejections  = obs.Default().Counter("fabric.rejections")
+	obsGiveUps     = obs.Default().Counter("fabric.giveups")
+	obsRemaps      = obs.Default().Counter("fabric.remaps")
+	obsAttemptHist = obs.Default().Histogram("fabric.send_attempt_seconds")
+	obsProcHist    = obs.Default().Histogram("fabric.op_proc_seconds")
 )
 
 // Config tunes the fabric.
@@ -32,6 +50,10 @@ type Config struct {
 	// (see FaultController). A chaos supervisor typically pairs it with
 	// Remap to heal what the faults break.
 	Faults FaultController
+	// Tracer, when set, records one span per instance ("fabric.run")
+	// with a child span per cross-host message ("fabric.send"). Nil
+	// leaves the send path allocation-free (see BenchmarkObsDisabled).
+	Tracer *obs.Tracer
 }
 
 func (c Config) timeScale() time.Duration {
@@ -58,6 +80,11 @@ type Fabric struct {
 	rootCtx context.Context
 	cancel  context.CancelFunc
 
+	// attemptHist records this fabric's per-attempt delivery latency
+	// (wall seconds); the process-wide histogram on the obs registry is
+	// fed in parallel.
+	attemptHist *obs.Histogram
+
 	mu        sync.Mutex
 	mp        deploy.Mapping // live placement; Remap rewrites it mid-run
 	urls      []string       // urls[op] = endpoint of the operation's current host
@@ -81,6 +108,7 @@ type instance struct {
 	id      int
 	ctx     context.Context
 	rng     *stats.RNG
+	span    *obs.Span // per-instance trace root; nil when tracing is off
 	mu      sync.Mutex
 	arrived map[int]int  // node -> executed-in-edge arrivals so far
 	started map[int]bool // node -> processing already triggered
@@ -99,12 +127,13 @@ func Deploy(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg Con
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Fabric{
 		w: w, n: n, mp: mp.Clone(), cfg: cfg,
-		retry:     cfg.Retry.WithDefaults(),
-		rootCtx:   ctx,
-		cancel:    cancel,
-		urls:      make([]string, w.M()),
-		rng:       stats.NewRNG(cfg.Seed),
-		instances: map[int]*instance{},
+		retry:       cfg.Retry.WithDefaults(),
+		rootCtx:     ctx,
+		cancel:      cancel,
+		urls:        make([]string, w.M()),
+		rng:         stats.NewRNG(cfg.Seed),
+		instances:   map[int]*instance{},
+		attemptHist: obs.NewHistogram(),
 	}
 	for s := range n.Servers {
 		h := &host{server: s, power: n.Servers[s].PowerHz, slot: make(chan struct{}, 1)}
@@ -137,11 +166,22 @@ func (f *Fabric) Mapping() deploy.Mapping {
 	return f.mp.Clone()
 }
 
-// Stats returns a snapshot of the delivery counters.
+// Stats returns a snapshot of the delivery counters. Attempts is
+// derived from the per-attempt latency histogram, so it is exact even
+// though it is not carried in the mutex-guarded struct.
 func (f *Fabric) Stats() Stats {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	st := f.stats
+	f.mu.Unlock()
+	st.Attempts = int(f.attemptHist.Count())
+	return st
+}
+
+// AttemptLatency summarizes this fabric's per-attempt delivery latency
+// (wall seconds): every cross-host delivery attempt — accepted,
+// dropped, or rejected — contributes one observation.
+func (f *Fabric) AttemptLatency() obs.HistogramSnapshot {
+	return f.attemptHist.Snapshot()
 }
 
 // Remap moves operation op to server s at runtime: subsequent starts and
@@ -163,6 +203,7 @@ func (f *Fabric) Remap(op, s int) error {
 	f.mp[op] = s
 	f.urls[op] = fmt.Sprintf("%s/op/%d", f.hosts[s].httpSrv.URL, op)
 	f.stats.Remaps++
+	obsRemaps.Inc()
 	return nil
 }
 
@@ -210,11 +251,13 @@ func (f *Fabric) RunContext(ctx context.Context) (RunResult, error) {
 		id:      id,
 		ctx:     runCtx,
 		rng:     f.rng.Split(),
+		span:    f.cfg.Tracer.StartSpan("fabric.run"),
 		arrived: map[int]int{},
 		started: map[int]bool{},
 		done:    make(chan struct{}),
 		start:   time.Now(),
 	}
+	inst.span.SetInt("instance", int64(id))
 	f.instances[id] = inst
 	msgs0, bytes0 := f.stats.MessagesSent, f.stats.BytesOnWire
 	f.mu.Unlock()
@@ -232,11 +275,19 @@ func (f *Fabric) RunContext(ctx context.Context) (RunResult, error) {
 	select {
 	case <-inst.done:
 	case <-runCtx.Done():
+		inst.span.SetAttr("outcome", "aborted")
+		inst.span.End()
 		return RunResult{}, fmt.Errorf("fabric: instance %d aborted: %w", id, context.Cause(runCtx))
 	case <-time.After(60 * time.Second):
 		cancelRun()
+		inst.span.SetAttr("outcome", "timeout")
+		inst.span.End()
 		return RunResult{}, fmt.Errorf("fabric: instance %d timed out", id)
 	}
+	inst.span.SetAttr("outcome", "completed")
+	inst.span.SetInt("executed_ops", int64(inst.execOps))
+	inst.span.SetFloat("makespan_s", inst.elapsed.Seconds())
+	inst.span.End()
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -288,6 +339,8 @@ func (f *Fabric) handleMessage(rw http.ResponseWriter, r *http.Request, s int) {
 		st.MessagesSent++
 		st.BytesOnWire += int64(len(body))
 	})
+	obsMessages.Inc()
+	obsBytes.Add(int64(len(body)))
 	rw.WriteHeader(http.StatusAccepted)
 	f.deliver(inst, node)
 }
@@ -365,8 +418,10 @@ func (f *Fabric) startOperation(inst *instance, node int) {
 	if fc != nil {
 		proc *= fc.ProcFactor(h.server)
 	}
+	procStart := time.Now()
 	ok := sleepVirtualCtx(inst.ctx, proc, scale)
 	<-h.slot // release
+	obsProcHist.Observe(time.Since(procStart).Seconds())
 	if !ok {
 		return
 	}
@@ -418,31 +473,65 @@ func (f *Fabric) pickBranch(inst *instance, node int) int {
 	return outs[len(outs)-1]
 }
 
+// beginSend opens the per-message trace span. With tracing off the
+// instance span is nil and so is the child — the call costs two nil
+// checks and zero allocations.
+func (f *Fabric) beginSend(inst *instance, ei int) *obs.Span {
+	sp := inst.span.StartChild("fabric.send")
+	sp.SetInt("edge", int64(ei))
+	return sp
+}
+
+// observeAttempt records one cross-host delivery attempt's wall latency
+// into the fabric's own histogram and the process-wide one. Lock-free
+// atomics; zero allocations.
+func (f *Fabric) observeAttempt(start time.Time) {
+	d := time.Since(start).Seconds()
+	f.attemptHist.Observe(d)
+	obsAttemptHist.Observe(d)
+}
+
+// endSend closes the per-message span with its outcome and attempt
+// count. No-op (and allocation-free) on a nil span.
+func endSend(sp *obs.Span, outcome string, attempts int) {
+	sp.SetAttr("outcome", outcome)
+	sp.SetInt("attempts", int64(attempts))
+	sp.End()
+}
+
 // send transfers one message from the server that executed the edge's
 // source: co-located deliveries are immediate; cross-host messages sleep
 // the scaled transfer time and then POST real XML. Injected losses,
 // down-host rejections and stale addresses are retried under the
 // fabric's RetryPolicy — timeout, exponential backoff with jitter —
 // re-resolving the destination each attempt so mid-flight re-placements
-// are followed.
+// are followed. Every cross-host attempt contributes one observation to
+// the per-attempt latency histograms, whatever its outcome.
 func (f *Fabric) send(inst *instance, ei, from int) {
 	edge := f.w.Edges[ei]
 	fc := f.cfg.Faults
 	scale := f.cfg.timeScale()
+	sp := f.beginSend(inst, ei)
 	for attempt := 1; ; attempt++ {
 		if inst.ctx.Err() != nil {
+			endSend(sp, "aborted", attempt-1)
 			return
 		}
 		to := f.serverOf(edge.To)
 		if from == to {
 			f.deliver(inst, edge.To)
+			endSend(sp, "local", 0)
 			return
 		}
+		attemptStart := time.Now()
 		if fc != nil && (fc.Unreachable(from, to) || fc.DropMessage(from, to)) {
 			// Lost in transit: the sender burns its ack timeout, backs
 			// off, and tries again.
 			f.addStat(func(st *Stats) { st.Drops++ })
+			obsDrops.Inc()
+			f.observeAttempt(attemptStart)
 			if !f.retryWait(inst, attempt) {
+				endSend(sp, "gave-up", attempt)
 				return
 			}
 			continue
@@ -452,6 +541,8 @@ func (f *Fabric) send(inst *instance, ei, from int) {
 			transfer *= fc.TransferFactor(from, to)
 		}
 		if !sleepVirtualCtx(inst.ctx, transfer, scale) {
+			f.observeAttempt(attemptStart)
+			endSend(sp, "aborted", attempt)
 			return
 		}
 		env := NewEnvelope(f.w.Name, inst.id, ei, edge.SizeBits)
@@ -463,17 +554,23 @@ func (f *Fabric) send(inst *instance, ei, from int) {
 		if err != nil {
 			// The fabric is in-process; a failed POST means the fabric
 			// was closed mid-run. Drop the message silently.
+			f.observeAttempt(attemptStart)
+			endSend(sp, "closed", attempt)
 			return
 		}
 		code := resp.StatusCode
 		resp.Body.Close()
+		f.observeAttempt(attemptStart)
 		if code == http.StatusAccepted {
+			endSend(sp, "accepted", attempt)
 			return // accounted by the receiving host
 		}
 		// Rejected: a down host (503) or a stale address after a remap
 		// (421). Back off and retry against the re-resolved placement.
 		f.addStat(func(st *Stats) { st.Rejections++ })
+		obsRejections.Inc()
 		if !f.retryWait(inst, attempt) {
+			endSend(sp, "gave-up", attempt)
 			return
 		}
 	}
@@ -485,6 +582,7 @@ func (f *Fabric) send(inst *instance, ei, from int) {
 func (f *Fabric) retryWait(inst *instance, attempt int) bool {
 	if attempt >= f.retry.MaxAttempts {
 		f.addStat(func(st *Stats) { st.GiveUps++ })
+		obsGiveUps.Inc()
 		return false
 	}
 	f.mu.Lock()
@@ -494,6 +592,7 @@ func (f *Fabric) retryWait(inst *instance, attempt int) bool {
 		return false
 	}
 	f.addStat(func(st *Stats) { st.Retries++ })
+	obsRetries.Inc()
 	return true
 }
 

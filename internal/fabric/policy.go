@@ -86,10 +86,15 @@ type FaultController interface {
 }
 
 // Stats counts the fabric's delivery traffic and fault handling across
-// all instances.
+// all instances. Beyond the counts, every cross-host delivery attempt's
+// wall latency is recorded — whatever its outcome — in per-attempt
+// histograms: Fabric.AttemptLatency summarizes this fabric's, and the
+// process-wide "fabric.send_attempt_seconds" histogram on the obs
+// registry aggregates all fabrics for /metrics.
 type Stats struct {
 	MessagesSent int   // accepted cross-host messages
 	BytesOnWire  int64 // XML bytes of accepted cross-host messages
+	Attempts     int   // cross-host delivery attempts, any outcome
 	Retries      int   // delivery attempts beyond each message's first
 	Drops        int   // attempts lost in transit (injected loss/partition)
 	Rejections   int   // attempts rejected by a down or misdirected host

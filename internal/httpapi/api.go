@@ -17,6 +17,8 @@
 //	POST /v1/chaos       — chaos study: simulate a mapping under a fault
 //	                       plan with self-healing, report availability
 //	POST /v1/convert     — translate a workflow between JSON, WDL and DOT
+//	GET  /metrics        — Prometheus text exposition of the obs registry
+//	GET  /debug/trace    — recent spans from the flight recorder (JSON)
 //	GET  /debug/vars     — expvar metrics (engine counters, latency)
 //
 // plus the stateful fleet-manager endpoints under /v1/fleet (see
@@ -45,10 +47,16 @@ import (
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/engine"
 	"wsdeploy/internal/network"
+	"wsdeploy/internal/obs"
 	"wsdeploy/internal/sim"
 	"wsdeploy/internal/wfio"
 	"wsdeploy/internal/workflow"
 )
+
+// obsRequests times every API request; one histogram per process, so
+// the daemon's /metrics shows end-to-end service latency next to the
+// engine's per-algorithm planning series.
+var obsRequests = obs.Default().Histogram("httpapi.request_seconds")
 
 // MaxRequestBytes bounds request bodies; workflows and networks are
 // small, so anything bigger is a client error (or abuse).
@@ -63,13 +71,22 @@ const PortfolioAlgorithm = "portfolio"
 type Handler struct {
 	mux    *http.ServeMux
 	engine *engine.Engine
+	tracer *obs.Tracer
+	flight *obs.FlightRecorder
 }
 
-// NewHandler builds the API handler.
+// NewHandler builds the API handler. It owns a tracer backed by a
+// flight recorder: every request becomes an "http.request" span whose
+// children (engine runs, chaos episodes) land in the recorder, and
+// GET /debug/trace serves the retained window.
 func NewHandler() *Handler {
+	flight := obs.NewFlightRecorder(obs.DefaultFlightSize)
+	tracer := obs.NewTracer(flight)
 	h := &Handler{
 		mux:    http.NewServeMux(),
-		engine: engine.MustNew(engine.Options{}),
+		engine: engine.MustNew(engine.Options{Tracer: tracer}),
+		tracer: tracer,
+		flight: flight,
 	}
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -83,15 +100,47 @@ func NewHandler() *Handler {
 	h.mux.HandleFunc("POST /v1/simulate", h.simulate)
 	h.mux.HandleFunc("POST /v1/failover", h.failover)
 	h.mux.HandleFunc("POST /v1/chaos", h.chaos)
+	h.mux.Handle("GET /metrics", obs.MetricsHandler(obs.Default()))
+	h.mux.Handle("GET /debug/trace", obs.TraceHandler(flight))
 	h.mux.Handle("GET /debug/vars", expvar.Handler())
 	h.registerFleet()
 	h.registerConvert()
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// Tracer returns the handler's tracer, for callers that want to attach
+// extra exporters or inspect the flight recorder in tests.
+func (h *Handler) Tracer() *obs.Tracer { return h.tracer }
+
+// statusWriter captures the response code for the request span.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler. Every request is timed into the
+// "httpapi.request_seconds" histogram and traced as an "http.request"
+// span (metrics/debug endpoints excluded — scrapers would drown the
+// flight recorder's window of actual planning work).
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	if r.Method == http.MethodGet {
+		h.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	sp := h.tracer.StartSpan("http.request")
+	sp.SetAttr("method", r.Method)
+	sp.SetAttr("path", r.URL.Path)
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	h.mux.ServeHTTP(sw, r)
+	sp.SetInt("status", int64(sw.code))
+	sp.End()
+	obsRequests.ObserveDuration(time.Since(start))
 }
 
 // apiError is the uniform error envelope.

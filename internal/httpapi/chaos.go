@@ -28,7 +28,7 @@ type chaosRequest struct {
 	// twice the deployment's fault-free makespan.
 	Horizon float64 `json:"horizon,omitempty"`
 	// Episodes is the number of executions (default 20).
-	Episodes int `json:"episodes,omitempty"`
+	Episodes int    `json:"episodes,omitempty"`
 	Seed     uint64 `json:"seed,omitempty"`
 	// SelfHeal runs the supervisor (default true).
 	SelfHeal *bool `json:"selfHeal,omitempty"`
@@ -56,7 +56,7 @@ func (h *Handler) chaos(w http.ResponseWriter, r *http.Request) {
 	}
 	heal := req.SelfHeal == nil || *req.SelfHeal
 
-	base, err := chaos.RunSim(wf, n, mp, &chaos.Plan{}, chaos.RunConfig{Seed: req.Seed})
+	base, err := chaos.RunSim(wf, n, mp, &chaos.Plan{}, chaos.RunConfig{Seed: req.Seed, Tracer: h.tracer})
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -88,6 +88,7 @@ func (h *Handler) chaos(w http.ResponseWriter, r *http.Request) {
 		out, err := chaos.RunSim(wf, n, mp, plan, chaos.RunConfig{
 			Seed:     req.Seed + uint64(ep),
 			SelfHeal: heal,
+			Tracer:   h.tracer,
 		})
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err)

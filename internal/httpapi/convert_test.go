@@ -1,0 +1,169 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/wfio"
+	"wsdeploy/internal/workflow"
+)
+
+// TestConvertJSONRoundTrip pushes the paper's motivating example —
+// splits, joins and weighted branches included — through JSON → WDL →
+// JSON and checks the workflow survives structurally intact.
+func TestConvertJSONRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+
+	orig := gen.MotivatingExample()
+	var wbuf bytes.Buffer
+	if err := wfio.EncodeWorkflow(&wbuf, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON -> WDL.
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/convert",
+		fmt.Sprintf(`{"workflow": %s, "to": "wdl"}`, wbuf.String()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json->wdl status %d: %v", resp.StatusCode, out)
+	}
+	src, ok := out["workflowWdl"].(string)
+	if !ok || src == "" {
+		t.Fatalf("no WDL in response: %v", out)
+	}
+
+	// WDL -> JSON.
+	resp, out = do(t, http.MethodPost, srv.URL+"/v1/convert",
+		fmt.Sprintf(`{"workflowWdl": %q, "to": "json"}`, src))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wdl->json status %d: %v", resp.StatusCode, out)
+	}
+	wfJSON, err := json.Marshal(out["workflow"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wfio.DecodeWorkflow(bytes.NewReader(wfJSON))
+	if err != nil {
+		t.Fatalf("round-tripped workflow does not decode: %v", err)
+	}
+
+	if got.M() != orig.M() {
+		t.Fatalf("round trip changed op count: %d -> %d", orig.M(), got.M())
+	}
+	if len(got.Edges) != len(orig.Edges) {
+		t.Fatalf("round trip changed edge count: %d -> %d", len(orig.Edges), len(got.Edges))
+	}
+	// The WDL printer renumbers nodes by its own construction order, so
+	// compare the graphs by name: per-node kind and cycles, per-edge
+	// endpoints, size and weight.
+	type nodeKey struct {
+		kind   workflow.Kind
+		cycles float64
+	}
+	origNodes := map[string]nodeKey{}
+	for _, nd := range orig.Nodes {
+		origNodes[nd.Name] = nodeKey{nd.Kind, nd.Cycles}
+	}
+	gotNodes := map[string]nodeKey{}
+	for _, nd := range got.Nodes {
+		gotNodes[nd.Name] = nodeKey{nd.Kind, nd.Cycles}
+	}
+	if !reflect.DeepEqual(origNodes, gotNodes) {
+		t.Errorf("round trip changed nodes:\nwant %v\ngot  %v", origNodes, gotNodes)
+	}
+	origEdges := map[string]int{}
+	for _, e := range orig.Edges {
+		k := fmt.Sprintf("%s->%s size=%g w=%g", orig.Nodes[e.From].Name, orig.Nodes[e.To].Name, e.SizeBits, e.Weight)
+		origEdges[k]++
+	}
+	gotEdges := map[string]int{}
+	for _, e := range got.Edges {
+		k := fmt.Sprintf("%s->%s size=%g w=%g", got.Nodes[e.From].Name, got.Nodes[e.To].Name, e.SizeBits, e.Weight)
+		gotEdges[k]++
+	}
+	if !reflect.DeepEqual(origEdges, gotEdges) {
+		t.Errorf("round trip changed edges:\nwant %v\ngot  %v", origEdges, gotEdges)
+	}
+}
+
+// TestConvertJSONIdentity checks the default target: JSON in, JSON out,
+// byte-equal after normalization.
+func TestConvertJSONIdentity(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+
+	var wbuf bytes.Buffer
+	if err := wfio.EncodeWorkflow(&wbuf, gen.MotivatingExample()); err != nil {
+		t.Fatal(err)
+	}
+	// "to" omitted defaults to json.
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/convert",
+		fmt.Sprintf(`{"workflow": %s}`, wbuf.String()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	var want, got any
+	if err := json.Unmarshal(wbuf.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(out["workflow"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(gotJSON, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("identity conversion changed the workflow:\nwant %v\ngot  %v", want, got)
+	}
+}
+
+// TestConvertDOTCarriesStructure checks the DOT target names every
+// operation and draws every edge.
+func TestConvertDOTCarriesStructure(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/convert",
+		`{"workflowWdl": "workflow w op A 20M msg 7581B op B 30M msg 100B op C 10M", "to": "dot"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	dot, _ := out["dot"].(string)
+	for _, want := range []string{"digraph", "A", "B", "C", "->"} {
+		if !bytes.Contains([]byte(dot), []byte(want)) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestConvertErrors checks the endpoint's failure envelope.
+func TestConvertErrors(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"no workflow at all", `{"to": "json"}`, http.StatusBadRequest},
+		{"both representations", `{"workflow": {}, "workflowWdl": "workflow w op A 1M", "to": "json"}`, http.StatusBadRequest},
+		{"malformed wdl", `{"workflowWdl": "not a workflow", "to": "json"}`, http.StatusBadRequest},
+		{"unknown field", `{"workflowWdl": "workflow w op A 1M", "fmt": "dot"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, out := do(t, http.MethodPost, srv.URL+"/v1/convert", c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%v)", c.name, resp.StatusCode, c.status, out)
+		}
+		if _, ok := out["error"]; !ok {
+			t.Errorf("%s: no error envelope: %v", c.name, out)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/wfio"
+
+	"bytes"
+)
+
+// TestMetricsEndpoint checks that a planning request shows up on the
+// Prometheus exposition: the engine counters and the request histogram
+// share the one obs registry.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+
+	var wbuf, nbuf bytes.Buffer
+	if err := wfio.EncodeWorkflow(&wbuf, gen.MotivatingExample()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.NewBus("b", []float64{1e9, 2e9}, 1e8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wfio.EncodeNetwork(&nbuf, n); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/deploy",
+		fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithm": "fairload"}`, wbuf.String(), nbuf.String()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status %d: %v", resp.StatusCode, out)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"engine_plans_started",
+		"engine_plan_latency_fairload_count",
+		"httpapi_request_seconds_count",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDebugTraceEndpoint checks that planning requests leave spans in
+// the handler's flight recorder, served on /debug/trace.
+func TestDebugTraceEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+
+	var wbuf, nbuf bytes.Buffer
+	if err := wfio.EncodeWorkflow(&wbuf, gen.MotivatingExample()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.NewBus("b", []float64{1e9, 2e9}, 1e8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wfio.EncodeNetwork(&nbuf, n); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/deploy",
+		fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithm": "fairload"}`, wbuf.String(), nbuf.String()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status %d: %v", resp.StatusCode, out)
+	}
+
+	tresp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var trace struct {
+		Total uint64 `json:"total"`
+		Spans []struct {
+			Name   string `json:"name"`
+			Parent uint64 `json:"parent"`
+			ID     uint64 `json:"id"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Total == 0 {
+		t.Fatal("no spans recorded")
+	}
+	names := map[string]int{}
+	for _, sp := range trace.Spans {
+		names[sp.Name]++
+	}
+	if names["http.request"] == 0 {
+		t.Errorf("no http.request span: %v", names)
+	}
+	if names["engine.run"] == 0 || names["engine.plan"] == 0 {
+		t.Errorf("engine spans missing: %v", names)
+	}
+}

@@ -21,7 +21,19 @@ import (
 	"wsdeploy/internal/cost"
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/network"
+	"wsdeploy/internal/obs"
 	"wsdeploy/internal/workflow"
+)
+
+// Process-wide fleet-controller metrics on the shared obs registry:
+// /metrics shows repair traffic next to the engine's planning series
+// and the fabric's delivery series. The down-server gauge tracks the
+// fleet's current degradation.
+var (
+	obsMarkDowns   = obs.Default().Counter("manager.markdowns")
+	obsMarkUps     = obs.Default().Counter("manager.markups")
+	obsOrphanMoves = obs.Default().Counter("manager.orphans_replaced")
+	obsDownServers = obs.Default().Gauge("manager.down_servers")
 )
 
 // Manager holds the live state. It is not safe for concurrent use; wrap
@@ -160,6 +172,9 @@ func (m *Manager) MarkDown(s int) (moved int, err error) {
 		return 0, fmt.Errorf("manager: cannot mark down server %d: no survivors would remain", s)
 	}
 	m.down[s] = true
+	obsMarkDowns.Inc()
+	obsDownServers.Set(float64(len(m.down)))
+	defer func() { obsOrphanMoves.Add(int64(moved)) }()
 	for _, id := range m.order {
 		mp := m.mappings[id]
 		var orphans []int
@@ -188,7 +203,11 @@ func (m *Manager) MarkUp(s int) error {
 	if s < 0 || s >= m.net.N() {
 		return fmt.Errorf("manager: MarkUp(%d) out of range", s)
 	}
+	if m.down[s] {
+		obsMarkUps.Inc()
+	}
 	delete(m.down, s)
+	obsDownServers.Set(float64(len(m.down)))
 	return nil
 }
 

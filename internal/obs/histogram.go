@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log₂ histogram buckets. With histBias
+// below, bucket i counts observations in [2^(i-1-histBias),
+// 2^(i-histBias)), spanning ~2.3e-10 to ~2.1e9 — nanoseconds to
+// decades when values are seconds, single bytes to exabytes when they
+// are sizes. Out-of-range values clamp into the edge buckets.
+const (
+	histBuckets = 64
+	histBias    = 32
+)
+
+// Histogram is a lock-free log-bucketed histogram for latencies and
+// sizes. Observe costs a few atomic operations and never allocates, so
+// it is safe to leave on the hottest paths; Snapshot estimates p50,
+// p90 and p99 by interpolating within the matched bucket.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+	max     atomic.Uint64 // float64 bits, CAS-updated
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram builds a standalone histogram (one not owned by a
+// Registry), e.g. a per-instance latency record.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	_, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	i := exp + histBias
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.count.Add(1)
+	h.buckets[bucketOf(v)].Add(1)
+	addFloat(&h.sum, v)
+	maxFloat(&h.max, v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// addFloat atomically adds v to the float64 stored as bits in a.
+func addFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// maxFloat atomically raises the float64 stored as bits in a to v.
+func maxFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Concurrent Observes may land
+// between the atomic reads; the summary is consistent enough for
+// monitoring (counts never decrease, quantiles are bucket-accurate).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	s := HistogramSnapshot{
+		Count: total,
+		Sum:   math.Float64frombits(h.sum.Load()),
+		Max:   math.Float64frombits(h.max.Load()),
+	}
+	if total == 0 {
+		return s
+	}
+	s.Mean = s.Sum / float64(total)
+	s.P50 = quantile(counts[:], total, 0.50, s.Max)
+	s.P90 = quantile(counts[:], total, 0.90, s.Max)
+	s.P99 = quantile(counts[:], total, 0.99, s.Max)
+	return s
+}
+
+// quantile estimates the q-quantile by linear interpolation inside the
+// bucket where the cumulative count crosses q×total, clamped to the
+// observed maximum.
+func quantile(counts []int64, total int64, q, observedMax float64) float64 {
+	target := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			upper := math.Ldexp(1, i-histBias)
+			lower := 0.0
+			if i > 0 {
+				lower = upper / 2
+			}
+			frac := (target - cum) / float64(c)
+			v := lower + frac*(upper-lower)
+			if v > observedMax {
+				v = observedMax
+			}
+			return v
+		}
+		cum = next
+	}
+	return observedMax
+}

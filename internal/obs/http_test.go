@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.hits").Add(5)
+	r.Histogram("test.latency_seconds").Observe(0.1)
+
+	rr := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rr.Body.String()
+	if !strings.Contains(body, "test_hits 5") {
+		t.Errorf("missing counter in:\n%s", body)
+	}
+	if !strings.Contains(body, "test_latency_seconds_count 1") {
+		t.Errorf("missing histogram in:\n%s", body)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	rec := NewFlightRecorder(8)
+	tr := NewTracer(rec)
+	for i := 0; i < 5; i++ {
+		tr.StartSpan("req").End()
+	}
+
+	rr := httptest.NewRecorder()
+	TraceHandler(rec).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace", nil))
+	var resp struct {
+		Total uint64       `json:"total"`
+		Spans []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 5 || len(resp.Spans) != 5 {
+		t.Fatalf("total=%d spans=%d, want 5/5", resp.Total, len(resp.Spans))
+	}
+
+	// ?n= limits to the most recent spans.
+	rr = httptest.NewRecorder()
+	TraceHandler(rec).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace?n=2", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Spans) != 2 {
+		t.Fatalf("n=2 returned %d spans", len(resp.Spans))
+	}
+	if resp.Spans[1].ID != 5 {
+		t.Errorf("last span id = %d, want the newest (5)", resp.Spans[1].ID)
+	}
+}
+
+func TestTraceHandlerNilRecorder(t *testing.T) {
+	rr := httptest.NewRecorder()
+	TraceHandler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace", nil))
+	var resp struct {
+		Total uint64       `json:"total"`
+		Spans []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 0 || len(resp.Spans) != 0 {
+		t.Fatalf("nil recorder served %+v", resp)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultFlightSize is the span capacity used by callers that do not
+// care to tune the flight recorder.
+const DefaultFlightSize = 2048
+
+// FlightRecorder is a bounded ring buffer over the most recently
+// completed spans. It implements Exporter, so it plugs straight into a
+// Tracer; when something goes wrong — a chaos incident, a crash report
+// — Snapshot or WriteJSONL dump the retained window for forensics
+// without having persisted every span ever produced.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder builds a recorder retaining the last n spans
+// (n <= 0 takes DefaultFlightSize).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightSize
+	}
+	return &FlightRecorder{buf: make([]SpanRecord, 0, n)}
+}
+
+// ExportSpan implements Exporter: the record lands in the ring,
+// overwriting the oldest span once the buffer is full.
+func (r *FlightRecorder) ExportSpan(rec SpanRecord) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of spans currently retained.
+func (r *FlightRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns the number of spans ever recorded (including ones the
+// ring has since overwritten).
+func (r *FlightRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained spans oldest-first.
+func (r *FlightRecorder) Snapshot() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// WriteJSONL dumps the retained spans oldest-first, one JSON object per
+// line, and reports the number of spans written.
+func (r *FlightRecorder) WriteJSONL(w io.Writer) (int, error) {
+	snap := r.Snapshot()
+	enc := json.NewEncoder(w)
+	for i, rec := range snap {
+		if err := enc.Encode(rec); err != nil {
+			return i, err
+		}
+	}
+	return len(snap), nil
+}

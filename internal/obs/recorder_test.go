@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	rec := NewFlightRecorder(4)
+	for i := 1; i <= 10; i++ {
+		rec.ExportSpan(SpanRecord{ID: uint64(i), Name: fmt.Sprintf("s%d", i)})
+	}
+	if got := rec.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	if got := rec.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	snap := rec.Snapshot()
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if snap[i].ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (oldest-first)", i, snap[i].ID, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	rec := NewFlightRecorder(8)
+	rec.ExportSpan(SpanRecord{ID: 1})
+	rec.ExportSpan(SpanRecord{ID: 2})
+	snap := rec.Snapshot()
+	if len(snap) != 2 || snap[0].ID != 1 || snap[1].ID != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestFlightRecorderWriteJSONL(t *testing.T) {
+	rec := NewFlightRecorder(3)
+	for i := 1; i <= 5; i++ {
+		rec.ExportSpan(SpanRecord{ID: uint64(i), Name: "x"})
+	}
+	var buf bytes.Buffer
+	n, err := rec.WriteJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d spans, want 3", n)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("output has %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[0], `"id":3`) {
+		t.Errorf("first line should be oldest retained span (id 3): %s", lines[0])
+	}
+}
+
+func TestFlightRecorderDefaultSize(t *testing.T) {
+	rec := NewFlightRecorder(0)
+	for i := 0; i < DefaultFlightSize+10; i++ {
+		rec.ExportSpan(SpanRecord{ID: uint64(i)})
+	}
+	if got := rec.Len(); got != DefaultFlightSize {
+		t.Fatalf("len = %d, want %d", got, DefaultFlightSize)
+	}
+}

@@ -23,8 +23,24 @@ import (
 
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/network"
+	"wsdeploy/internal/obs"
 	"wsdeploy/internal/stats"
 	"wsdeploy/internal/workflow"
+)
+
+// Process-wide simulator metrics on the shared obs registry. The
+// histograms record *virtual* seconds — the cost model's unit — so
+// /metrics splits simulated time into execution cost per operation and
+// communication cost per message hop, the two quantities the paper's
+// evaluation turns on. Lock-free atomics, safe to leave on in the
+// event loop.
+var (
+	obsSimRuns     = obs.Default().Counter("sim.runs")
+	obsSimOpsHist  = obs.Default().Histogram("sim.op_proc_virtual_seconds")
+	obsSimMsgHist  = obs.Default().Histogram("sim.transfer_virtual_seconds")
+	obsSimMsgBits  = obs.Default().Counter("sim.message_bits")
+	obsSimLostOps  = obs.Default().Counter("sim.lost_ops")
+	obsSimLostMsgs = obs.Default().Counter("sim.lost_messages")
 )
 
 // Config controls a simulation.
@@ -46,9 +62,15 @@ type Config struct {
 	// Implementations live in internal/chaos; the simulator only knows
 	// the call points.
 	Injector Injector
+	// Tracer, when set, records one "sim.run" span per execution (and a
+	// "sim.simulate" root around Monte-Carlo batches) with makespan and
+	// event counts. Nil leaves tracing off at zero cost.
+	Tracer *obs.Tracer
 
 	// onEvent, when set (via Trace), receives every simulation event.
 	onEvent func(Event)
+	// parent nests per-run spans under a batch root (set by Simulate).
+	parent *obs.Span
 }
 
 // Injector is consulted by RunOnce to inject runtime faults into one
@@ -118,6 +140,11 @@ func Simulate(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg C
 	}
 	r := stats.NewRNG(cfg.Seed)
 	res := &Result{Runs: runs, MeanBusy: make([]float64, n.N())}
+	root := cfg.Tracer.StartSpan("sim.simulate")
+	root.SetAttr("workflow", w.Name)
+	root.SetInt("runs", int64(runs))
+	defer root.End()
+	cfg.parent = root
 	makespans := make([]float64, 0, runs)
 	serials := make([]float64, 0, runs)
 	for i := 0; i < runs; i++ {
@@ -181,6 +208,12 @@ func (h *eventHeap) Pop() interface{} {
 // RunOnce executes the mapped workflow a single time, drawing XOR branches
 // from r.
 func RunOnce(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, r *stats.RNG, cfg Config) RunResult {
+	obsSimRuns.Inc()
+	sp := cfg.parent.StartChild("sim.run")
+	if sp == nil {
+		// Direct RunOnce calls (no Simulate batch) still get a root span.
+		sp = cfg.Tracer.StartSpan("sim.run")
+	}
 	ex := w.SampleExecution(r)
 
 	// need[u]: how many message arrivals node u requires before it can
@@ -256,6 +289,7 @@ func RunOnce(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, r *sta
 		rr.BusyTime[s] += proc
 		rr.SerialTime += proc
 		rr.ExecutedOps++
+		obsSimOpsHist.Observe(proc)
 		if cfg.onEvent != nil {
 			cfg.onEvent(Event{Time: start, Kind: EvStart, Node: u, Edge: -1})
 			cfg.onEvent(Event{Time: done, Kind: EvFinish, Node: u, Edge: -1})
@@ -306,6 +340,8 @@ func RunOnce(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, r *sta
 				rr.SerialTime += transfer
 				rr.BitsSent += edge.SizeBits
 				rr.MessagesSent++
+				obsSimMsgHist.Observe(transfer)
+				obsSimMsgBits.Add(int64(edge.SizeBits))
 				if cfg.onEvent != nil {
 					cfg.onEvent(Event{Time: depart, Kind: EvSend, Node: edge.From, Edge: ei})
 				}
@@ -323,6 +359,16 @@ func RunOnce(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, r *sta
 		}
 	}
 	rr.Makespan = makespan
+	if rr.LostOps > 0 {
+		obsSimLostOps.Add(int64(rr.LostOps))
+	}
+	if rr.LostMessages > 0 {
+		obsSimLostMsgs.Add(int64(rr.LostMessages))
+	}
+	sp.SetFloat("makespan_vs", rr.Makespan)
+	sp.SetInt("executed_ops", int64(rr.ExecutedOps))
+	sp.SetInt("messages", int64(rr.MessagesSent))
+	sp.End()
 	return rr
 }
 
