@@ -83,7 +83,7 @@ func run(which string, o exp.Options, scatter bool, csvDir, htmlOut string) erro
 		"table6", "fig6", "fig7", "fig8", "lineline", "quality",
 		"classA", "classB",
 		"ksweep", "topologies", "refiners", "flmme-quantile", "weights", "failure", "makespan",
-		"throughput", "portfolio", "chaos",
+		"throughput", "portfolio", "chaos", "autopilot",
 	}
 
 	selected := []string{which}
@@ -138,6 +138,12 @@ func run(which string, o exp.Options, scatter bool, csvDir, htmlOut string) erro
 				return err
 			}
 			fmt.Println(exp.RenderChaos(rows))
+		case "autopilot":
+			rows, err := exp.RunAutopilot(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(exp.RenderAutopilot(rows))
 		default:
 			runner, ok := figures[name]
 			if !ok {

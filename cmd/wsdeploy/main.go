@@ -10,6 +10,8 @@
 //	wsdeploy -demo -algo holm -simulate # Monte-Carlo simulate the chosen mapping
 //	wsdeploy -demo -algo portfolio -timeout 2s -parallel 4
 //	                                    # race the whole registry, keep the winner
+//	wsdeploy -autopilot -traffic skew:6:120
+//	                                    # closed-loop drift study, off vs on
 //
 // Workflow and network files use the JSON schema of internal/wfio (see
 // `wfgen` to generate examples).
@@ -22,10 +24,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
 
+	"wsdeploy/internal/autopilot"
 	"wsdeploy/internal/chaos"
 	"wsdeploy/internal/core"
 	"wsdeploy/internal/cost"
@@ -72,6 +76,8 @@ func main() {
 		chaosHl  = flag.Bool("chaosheal", true, "run the self-healing supervisor during the chaos episode")
 		traceOut = flag.String("tracefile", "", "write every finished span (engine, sim, chaos) to this file as JSONL")
 		dumpOut  = flag.String("flightdump", "", "write a flight-recorder dump (JSONL) here whenever a chaos incident is handled")
+		autoRun  = flag.Bool("autopilot", false, "run the closed-loop drift study (seeded traffic, autopilot off vs on) instead of planning once")
+		traffic  = flag.String("traffic", "skew", "traffic for -autopilot as shape[:rate[:horizon]], shape steady|diurnal|skew")
 	)
 	flag.Parse()
 	if *traceOut != "" || *dumpOut != "" {
@@ -95,6 +101,13 @@ func main() {
 			cliFlightDump = f
 		}
 		cliTracer = obs.NewTracer(obs.NewFlightRecorder(obs.DefaultFlightSize), exps...)
+	}
+	if *autoRun {
+		if err := runAutopilot(*wfPath, *netPath, *demo, *traffic, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "wsdeploy:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*wfPath, *netPath, *algoName, *all, *demo, *seed, *timeout, *parallel, *simulate, *simRuns, *outPath, *dotPath, *trace, *explain, *diffPath, *chaosArg, *chaosBk, *chaosRt, *chaosHl); err != nil {
 		fmt.Fprintln(os.Stderr, "wsdeploy:", err)
@@ -210,6 +223,86 @@ func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, timeout 
 		}
 		fmt.Printf("DOT written to %s\n", dotPath)
 	}
+	return nil
+}
+
+// parseTraffic parses the -traffic spec: shape[:rate[:horizon]], with
+// defaults from the demo drift study.
+func parseTraffic(spec string) (autopilot.TrafficConfig, error) {
+	parts := strings.Split(spec, ":")
+	shape, err := autopilot.ParseShape(parts[0])
+	if err != nil {
+		return autopilot.TrafficConfig{}, err
+	}
+	cfg := autopilot.DemoTraffic(shape)
+	if len(parts) > 1 {
+		if cfg.Rate, err = strconv.ParseFloat(parts[1], 64); err != nil || cfg.Rate <= 0 {
+			return cfg, fmt.Errorf("bad traffic rate %q", parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		if cfg.Horizon, err = strconv.ParseFloat(parts[2], 64); err != nil || cfg.Horizon <= 0 {
+			return cfg, fmt.Errorf("bad traffic horizon %q", parts[2])
+		}
+	}
+	if len(parts) > 3 {
+		return cfg, fmt.Errorf("traffic spec %q has too many fields (want shape[:rate[:horizon]])", spec)
+	}
+	return cfg, nil
+}
+
+// runAutopilot runs the closed-loop drift study on the simulator: the
+// same seeded traffic with the autopilot off (baseline) and on, printed
+// window by window. With -demo, or when no workflow is given, the
+// built-in three-class drift scenario runs; otherwise the loaded
+// workflow is driven as a single class on the loaded network.
+func runAutopilot(wfPath, netPath string, demo bool, trafficSpec string, seed uint64) error {
+	tc, err := parseTraffic(trafficSpec)
+	if err != nil {
+		return err
+	}
+	var classes []autopilot.ClassSpec
+	var n *network.Network
+	if demo || wfPath == "" {
+		if classes, n, err = autopilot.DemoScenario(); err != nil {
+			return err
+		}
+	} else {
+		w, loaded, err := loadInputs(wfPath, netPath, false)
+		if err != nil {
+			return err
+		}
+		classes, n = []autopilot.ClassSpec{{ID: w.Name, Workflow: w}}, loaded
+	}
+	lc := autopilot.LoopConfig{Traffic: tc, Pilot: autopilot.Config{Tracer: cliTracer}, Seed: seed}
+
+	baseline, err := autopilot.RunSim(classes, n, lc)
+	if err != nil {
+		return err
+	}
+	lc.Enabled = true
+	res, err := autopilot.RunSim(classes, n, lc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("closed-loop drift study: %d classes on %d servers, %s traffic at %g/s over %gs (seed %d)\n\n",
+		len(classes), n.N(), tc.Shape, tc.Rate, tc.Horizon, seed)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "t\tarrivals\tdrift off\tdrift on\tpenalty off\tpenalty on\taction")
+	for i, w := range res.Windows {
+		action := "-"
+		if w.Level != autopilot.LevelNone {
+			action = fmt.Sprintf("%s (%d moves)", w.Level, w.Moves)
+		}
+		fmt.Fprintf(tw, "%.0f\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%s\n",
+			w.Time, w.Arrivals, baseline.Windows[i].Drift, w.Drift,
+			baseline.Windows[i].Penalty, w.Penalty, action)
+	}
+	tw.Flush()
+	fmt.Printf("\narrivals %d  actions %d  migrations %d\n", res.Arrivals, len(res.Actions), res.Migrations)
+	fmt.Printf("tail time penalty: %.4f s/window disabled vs %.4f enabled\n", baseline.TailPenalty, res.TailPenalty)
+	fmt.Printf("tail drift:        %.4f disabled vs %.4f enabled\n", baseline.TailDrift, res.TailDrift)
 	return nil
 }
 

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	wsdeployd -addr :8080
+//	wsdeployd -addr :8080 -autopilot -traffic skew   # drift self-check at startup
 //
 //	curl -s localhost:8080/v1/algorithms
 //	curl -s -X POST localhost:8080/v1/deploy -d '{
@@ -34,15 +35,54 @@ import (
 	"syscall"
 	"time"
 
+	"wsdeploy/internal/autopilot"
 	"wsdeploy/internal/httpapi"
 	"wsdeploy/internal/obs"
 )
+
+// autopilotSelfCheck runs the built-in seeded drift study on the
+// simulator — baseline vs closed loop — and logs the one-line summary.
+// It exercises the whole control path (traffic generator, drift
+// detector, bounded migration planning, fleet application) in well
+// under a second, so a misbuilt controller fails the daemon fast
+// instead of failing the first /v1/autopilot request.
+func autopilotSelfCheck(shapeName string) error {
+	shape, err := autopilot.ParseShape(shapeName)
+	if err != nil {
+		return err
+	}
+	classes, n, err := autopilot.DemoScenario()
+	if err != nil {
+		return err
+	}
+	lc := autopilot.LoopConfig{Traffic: autopilot.DemoTraffic(shape), Seed: 7}
+	baseline, err := autopilot.RunSim(classes, n, lc)
+	if err != nil {
+		return err
+	}
+	lc.Enabled = true
+	res, err := autopilot.RunSim(classes, n, lc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("autopilot self-check (%s traffic): tail time penalty %.4f disabled vs %.4f enabled; %d actions, %d migrations\n",
+		shape, baseline.TailPenalty, res.TailPenalty, len(res.Actions), res.Migrations)
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	traceFile := flag.String("tracefile", "", "append finished spans to this file as JSONL")
+	autoCheck := flag.Bool("autopilot", false, "run the seeded closed-loop drift self-check before serving and log its summary")
+	traffic := flag.String("traffic", "skew", "traffic shape for the -autopilot self-check: steady|diurnal|skew")
 	flag.Parse()
+
+	if *autoCheck {
+		if err := autopilotSelfCheck(*traffic); err != nil {
+			log.Fatalf("autopilot self-check: %v", err)
+		}
+	}
 
 	api := httpapi.NewHandler()
 	if *traceFile != "" {

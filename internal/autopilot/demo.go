@@ -1,0 +1,38 @@
+package autopilot
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// DemoScenario builds the canonical drift study the binaries and the
+// experiment runner share: three line workflows whose single dominant
+// operation (60M cycles among 5M ones) rotates per class — so balanced
+// placements are lumpy and a skewing class mix concentrates load — on a
+// four-server bus with one server 3× as fast.
+func DemoScenario() ([]ClassSpec, *network.Network, error) {
+	var classes []ClassSpec
+	for i, id := range []string{"wf-a", "wf-b", "wf-c"} {
+		cycles := []float64{5e6, 5e6, 5e6, 5e6}
+		cycles[i%len(cycles)] = 60e6
+		w, err := workflow.NewLine(id, cycles, []float64{4e3, 4e3, 4e3})
+		if err != nil {
+			return nil, nil, fmt.Errorf("autopilot: demo workflow %s: %w", id, err)
+		}
+		classes = append(classes, ClassSpec{ID: id, Workflow: w})
+	}
+	n, err := network.NewBus("drift-demo", []float64{1e9, 1e9, 1e9, 3e9}, 100e6, 1e-4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("autopilot: demo network: %w", err)
+	}
+	return classes, n, nil
+}
+
+// DemoTraffic is the demo scenario's traffic: skew toward the first
+// class at the given shape, matching the seeded drift study in the
+// repo's results.
+func DemoTraffic(shape Shape) TrafficConfig {
+	return TrafficConfig{Rate: 6, Shape: shape, HotShare: 0.85, Horizon: 120, Seed: 9}
+}

@@ -1,0 +1,127 @@
+package autopilot
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wsdeploy/internal/cost"
+
+	"wsdeploy/internal/fabric"
+	"wsdeploy/internal/network"
+)
+
+// RunFabric drives the closed loop against the wall-clock fabric: one
+// emulated host fleet per class, each generated arrival executed as a
+// real HTTP workflow instance, per-server *virtual* busy seconds
+// (RunResult.Busy) accumulated into observation windows. Applied
+// migrations reach the substrate through fabric.Remap, so the fleet's
+// mappings and the live fabrics never diverge. Instances run
+// sequentially and all reported quantities are virtual, which keeps
+// the run deterministic given the seeds. Fleet scaling is forced off:
+// the fabric cannot renumber live hosts.
+func RunFabric(classes []ClassSpec, net *network.Network, cfg LoopConfig, timeScale time.Duration) (*LoopResult, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("autopilot: RunFabric needs at least one class")
+	}
+	if len(cfg.Chaos) > 0 {
+		return nil, fmt.Errorf("autopilot: the fabric loop does not replay chaos events; use RunSim")
+	}
+	cfg.Traffic.Classes = len(classes)
+	cfg.Traffic = cfg.Traffic.WithDefaults()
+	cfg.Pilot.AllowScale = false
+	cfg.Pilot = cfg.Pilot.WithDefaults()
+
+	fleet, err := deployFleet(classes, net)
+	if err != nil {
+		return nil, err
+	}
+	pilot := New(fleet, cfg.Pilot)
+
+	fabrics := make(map[string]*fabric.Fabric, len(classes))
+	defer func() {
+		for _, f := range fabrics {
+			f.Close()
+		}
+	}()
+	for i, c := range classes {
+		mp, _ := fleet.Mapping(c.ID)
+		f, err := fabric.Deploy(c.Workflow, net, mp, fabric.Config{
+			TimeScale: timeScale,
+			Seed:      cfg.Seed + uint64(i)*1e6,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("autopilot: fabric for %s: %w", c.ID, err)
+		}
+		fabrics[c.ID] = f
+	}
+	pilot.AttachRemapper(func(class string, op, s int) error {
+		f, ok := fabrics[class]
+		if !ok {
+			return fmt.Errorf("autopilot: no fabric for class %s", class)
+		}
+		return f.Remap(op, s)
+	})
+
+	res := &LoopResult{PerClass: map[string]int{}}
+	gen := NewGenerator(cfg.Traffic)
+
+	window := cfg.Pilot.Window
+	wEnd := window
+	winLoads := make([]float64, net.N())
+	winArrivals := map[string]int{}
+
+	closeWindow := func() {
+		ws := WindowStat{
+			Time: wEnd, Drift: Drift(winLoads),
+			Penalty: cost.PenaltyOfLoads(winLoads), Arrivals: sumArrivals(winArrivals),
+		}
+		if cfg.Enabled {
+			if act, fired := pilot.ObserveWindow(wEnd, winLoads, winArrivals); fired {
+				ws.Level, ws.Moves = act.Level, act.Moves
+			}
+		} else {
+			pilot.observeOnly(winLoads, winArrivals)
+		}
+		res.Windows = append(res.Windows, ws)
+		for s := range winLoads {
+			winLoads[s] = 0
+		}
+		for k := range winArrivals {
+			delete(winArrivals, k)
+		}
+		wEnd += window
+	}
+
+	ctx := context.Background()
+	for {
+		arr, ok := gen.Next()
+		if !ok {
+			break
+		}
+		for wEnd <= arr.Time {
+			closeWindow()
+		}
+		spec := classes[arr.Class]
+		one, err := fabrics[spec.ID].RunContext(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("autopilot: instance of %s at t=%.2f: %w", spec.ID, arr.Time, err)
+		}
+		for s, b := range one.Busy {
+			if s < len(winLoads) {
+				winLoads[s] += b
+			}
+		}
+		res.Arrivals++
+		res.PerClass[spec.ID]++
+		winArrivals[spec.ID]++
+	}
+	for wEnd <= cfg.Traffic.Horizon {
+		closeWindow()
+	}
+
+	res.Actions = pilot.Actions()
+	res.Migrations = pilot.Migrations()
+	res.tally()
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package autopilot
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParseShape(t *testing.T) {
+	for _, s := range []string{"steady", "diurnal", "skew"} {
+		got, err := ParseShape(s)
+		if err != nil || string(got) != s {
+			t.Fatalf("ParseShape(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseShape("sawtooth"); err == nil {
+		t.Fatal("ParseShape should reject unknown shapes")
+	}
+}
+
+func TestTrafficDefaults(t *testing.T) {
+	cfg := TrafficConfig{}.WithDefaults()
+	if cfg.Rate != 4 || cfg.Shape != Steady || cfg.Classes != 3 ||
+		cfg.HotClass != 0 || cfg.HotShare != 0.8 || cfg.Horizon != 100 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.Amplitude != 0 {
+		t.Fatalf("steady shape must not modulate, amplitude=%v", cfg.Amplitude)
+	}
+	if d := (TrafficConfig{Shape: Diurnal}).WithDefaults(); d.Amplitude != 0.6 {
+		t.Fatalf("diurnal default amplitude = %v, want 0.6", d.Amplitude)
+	}
+}
+
+// drain collects a generator's full arrival stream.
+func drain(g *Generator) []Arrival {
+	var out []Arrival
+	for {
+		a, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+func TestGeneratorDeterministicAndBounded(t *testing.T) {
+	cfg := TrafficConfig{Rate: 5, Shape: Skew, Horizon: 50, Seed: 11}
+	a := drain(NewGenerator(cfg))
+	b := drain(NewGenerator(cfg))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must yield the same stream")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+	prev := 0.0
+	for _, arr := range a {
+		if arr.Time < prev || arr.Time >= 50 {
+			t.Fatalf("arrival out of order or past horizon: %+v", arr)
+		}
+		prev = arr.Time
+		if arr.Class < 0 || arr.Class >= 3 {
+			t.Fatalf("class out of range: %+v", arr)
+		}
+	}
+	if c := drain(NewGenerator(TrafficConfig{Rate: 5, Shape: Skew, Horizon: 50, Seed: 12})); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should yield different streams")
+	}
+}
+
+func TestGeneratorPoissonRate(t *testing.T) {
+	// Long steady run: the empirical rate concentrates around Rate.
+	cfg := TrafficConfig{Rate: 8, Shape: Steady, Horizon: 2000, Seed: 3}
+	n := float64(len(drain(NewGenerator(cfg))))
+	got := n / cfg.Horizon
+	if math.Abs(got-8) > 0.5 {
+		t.Fatalf("empirical rate %v, want ≈8", got)
+	}
+}
+
+func TestDiurnalModulatesRateNotMix(t *testing.T) {
+	g := NewGenerator(TrafficConfig{Rate: 4, Shape: Diurnal, Period: 40, Horizon: 40, Seed: 5})
+	peakRate := g.RateAt(10) // sin peak of a 40s period
+	offRate := g.RateAt(30)  // sin trough
+	if peakRate <= 4 || offRate >= 4 {
+		t.Fatalf("diurnal modulation broken: peak=%v trough=%v", peakRate, offRate)
+	}
+	// The mix stays uniform: hot share is 1/Classes at every t.
+	for _, tt := range []float64{0, 10, 39} {
+		if s := g.hotShareAt(tt); math.Abs(s-1.0/3) > 1e-12 {
+			t.Fatalf("diurnal shifted the mix at t=%v: %v", tt, s)
+		}
+	}
+}
+
+func TestSkewRampsHotShare(t *testing.T) {
+	cfg := TrafficConfig{Rate: 10, Shape: Skew, HotShare: 0.9, Horizon: 400, Seed: 7}
+	g := NewGenerator(cfg)
+	if s := g.hotShareAt(0); math.Abs(s-1.0/3) > 1e-12 {
+		t.Fatalf("skew must start uniform, got %v", s)
+	}
+	if s := g.hotShareAt(400); math.Abs(s-0.9) > 1e-12 {
+		t.Fatalf("skew must end at HotShare, got %v", s)
+	}
+	// Empirically, the hot class dominates the second half of the stream.
+	hot := g.Config().HotClass
+	var early, late, earlyHot, lateHot int
+	for _, a := range drain(g) {
+		if a.Time < 200 {
+			early++
+			if a.Class == hot {
+				earlyHot++
+			}
+		} else {
+			late++
+			if a.Class == hot {
+				lateHot++
+			}
+		}
+	}
+	earlyShare := float64(earlyHot) / float64(early)
+	lateShare := float64(lateHot) / float64(late)
+	if lateShare <= earlyShare || lateShare < 0.6 {
+		t.Fatalf("hot share did not ramp: early=%.3f late=%.3f", earlyShare, lateShare)
+	}
+}

@@ -6,9 +6,23 @@ import (
 
 	"wsdeploy/internal/cost"
 	"wsdeploy/internal/deploy"
-	"wsdeploy/internal/manager"
+	"wsdeploy/internal/network"
 	"wsdeploy/internal/obs"
+	"wsdeploy/internal/workflow"
 )
+
+// Fleet is the slice of fleet-manager behaviour the supervisor drives.
+// Both *manager.Manager and the concurrency-safe *manager.Locked
+// satisfy it, so a supervisor can either own a private manager (the
+// chaos runners) or share one fleet with other controllers such as the
+// autopilot loop and the HTTP API.
+type Fleet interface {
+	Workflow(id string) (*workflow.Workflow, bool)
+	Mapping(id string) (deploy.Mapping, bool)
+	Network() *network.Network
+	MarkDown(s int) (int, error)
+	MarkUp(s int) error
+}
 
 // Process-wide chaos metrics on the shared obs registry, next to the
 // engine's and the fabric's series on /metrics and /debug/vars.
@@ -58,7 +72,7 @@ type Supervisor struct {
 	log *Log
 
 	mu    sync.Mutex
-	mgr   *manager.Manager
+	mgr   Fleet
 	id    string
 	remap func(op, s int) error // live substrate hook (e.g. fabric.Remap)
 
@@ -69,10 +83,10 @@ type Supervisor struct {
 	onIncident func(Incident)
 }
 
-// NewSupervisor builds a supervisor over a manager and the id of the
-// workflow whose execution it protects. The manager may hold other
+// NewSupervisor builds a supervisor over a fleet and the id of the
+// workflow whose execution it protects. The fleet may hold other
 // workflows; their placements participate in load budgets as usual.
-func NewSupervisor(mgr *manager.Manager, id string, cfg SupervisorConfig) *Supervisor {
+func NewSupervisor(mgr Fleet, id string, cfg SupervisorConfig) *Supervisor {
 	return &Supervisor{cfg: cfg.WithDefaults(), log: &Log{}, mgr: mgr, id: id}
 }
 

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// This file adds bounded-migration delta planning on top of the
+// portfolio engine. A full replan is free on paper but not in
+// production: every operation that changes servers must ship its state
+// (its inbound message sizes) across the substrate while the workflow
+// keeps serving. The delta planner therefore treats the portfolio's
+// winning mapping as a *direction*, not an order: it walks greedily
+// from the live mapping toward the target, one operation at a time,
+// keeping only moves whose cost-model improvement outweighs a
+// migration-cost term, and stops after at most maxMoves steps.
+
+// DeltaPlan is a bounded-migration replan: the moves worth making now,
+// the mapping they produce, and the cost-model account for both ends.
+type DeltaPlan struct {
+	// Target is the unconstrained portfolio winner the delta walks
+	// toward; Target.Mapping is where the fleet would land with an
+	// unlimited budget.
+	Target *Plan
+	// Mapping is the live mapping after applying Moves — between the
+	// current mapping (no affordable moves) and Target.Mapping (budget
+	// covered the whole diff).
+	Mapping deploy.Mapping
+	// Moves is the selected migration plan, in application order, with
+	// len(Moves) <= the maxMoves budget.
+	Moves []deploy.Move
+	// Before and After evaluate the current mapping and Mapping under
+	// the cost model.
+	Before, After cost.Result
+	// FullDiff is the number of moves an unconstrained jump to the
+	// target would need; Moves may be shorter because of the budget or
+	// because some moves don't pay for their migration cost.
+	FullDiff int
+}
+
+// migrationCost prices one move: the virtual seconds needed to ship the
+// operation's state between the two servers, weighted by migWeight.
+// Co-resident moves (same server, distinct slots) and zero-state moves
+// are free.
+func migrationCost(n *network.Network, mv deploy.Move, migWeight float64) float64 {
+	if mv.From == mv.To || mv.StateBits == 0 {
+		return 0
+	}
+	return migWeight * n.TransferTime(mv.From, mv.To, mv.StateBits)
+}
+
+// BoundedDelta selects at most maxMoves operations to migrate from
+// current toward target, greedily picking the move with the largest
+// positive marginal score at each step:
+//
+//	score(move) = combined(working) - combined(working+move)
+//	            - migWeight × TransferTime(From, To, StateBits)
+//
+// Selection stops when the budget is spent or no remaining move has a
+// positive score — a delta plan never makes the combined cost worse
+// net of migration. maxMoves <= 0 means an unlimited budget (but the
+// positive-score filter still applies); migWeight <= 0 disables the
+// migration-cost term.
+func BoundedDelta(w *workflow.Workflow, n *network.Network, current, target deploy.Mapping, maxMoves int, migWeight float64) (deploy.Mapping, []deploy.Move, error) {
+	full, err := deploy.Diff(w, current, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	model := cost.NewModel(w, n)
+	working := current.Clone()
+	workingCost := model.Evaluate(working).Combined
+	remaining := append([]deploy.Move(nil), full...)
+	var selected []deploy.Move
+	for maxMoves <= 0 || len(selected) < maxMoves {
+		bestIdx, bestScore, bestCost := -1, 0.0, 0.0
+		for i, mv := range remaining {
+			working[mv.Op] = mv.To
+			cand := model.Evaluate(working).Combined
+			working[mv.Op] = mv.From
+			score := (workingCost - cand) - migrationCost(n, mv, migWeight)
+			if score > bestScore ||
+				(bestIdx >= 0 && score == bestScore && mv.Op < remaining[bestIdx].Op) {
+				bestIdx, bestScore, bestCost = i, score, cand
+			}
+		}
+		if bestIdx < 0 {
+			break // nothing left that pays for itself
+		}
+		mv := remaining[bestIdx]
+		working[mv.Op] = mv.To
+		workingCost = bestCost
+		selected = append(selected, mv)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return working, selected, nil
+}
+
+// PlanDelta runs the portfolio for req, takes the winning mapping as
+// the target, and returns the bounded-migration plan from current
+// toward it. A truncated portfolio run (ErrDeadline) still yields a
+// delta over the best mapping found so far; with no mapping at all the
+// error is returned. The request's workflow/network also parameterize
+// the cost and migration models, so rate-weighted replans (workflows
+// with observed-rate-scaled cycles) price their moves consistently.
+func (e *Engine) PlanDelta(ctx context.Context, req Request, current deploy.Mapping, maxMoves int, migWeight float64) (*DeltaPlan, error) {
+	res, err := e.Run(ctx, req)
+	if err != nil && res == nil {
+		return nil, err
+	}
+	if res.Best == nil || res.Best.Mapping == nil {
+		if err == nil {
+			err = fmt.Errorf("engine: portfolio produced no mapping")
+		}
+		return nil, err
+	}
+	full, derr := deploy.Diff(req.Workflow, current, res.Best.Mapping)
+	if derr != nil {
+		return nil, derr
+	}
+	after, moves, derr := BoundedDelta(req.Workflow, req.Network, current, res.Best.Mapping, maxMoves, migWeight)
+	if derr != nil {
+		return nil, derr
+	}
+	model := cost.NewModel(req.Workflow, req.Network)
+	return &DeltaPlan{
+		Target:   res.Best,
+		Mapping:  after,
+		Moves:    moves,
+		Before:   model.Evaluate(current),
+		After:    model.Evaluate(after),
+		FullDiff: len(full),
+	}, nil
+}

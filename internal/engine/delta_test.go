@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/fabric"
+)
+
+// worstMapping piles every operation onto the slowest server — the
+// farthest live state from any sensible target, so full diffs are big.
+func worstMapping(t *testing.T, m int) deploy.Mapping {
+	t.Helper()
+	return deploy.Uniform(m, 0)
+}
+
+func TestBoundedDeltaRespectsBudget(t *testing.T) {
+	w, n := fig1Pair(t)
+	e := newEngine(t, Options{Algorithms: []string{"fairload"}})
+	res, err := e.Run(context.Background(), Request{Workflow: w, Network: n, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := worstMapping(t, w.M())
+	full, err := deploy.Diff(w, current, res.Best.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 4 {
+		t.Fatalf("test premise broken: full diff only %d moves", len(full))
+	}
+	for _, k := range []int{1, 2, 3, len(full), len(full) + 5} {
+		after, moves, err := BoundedDelta(w, n, current, res.Best.Mapping, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) > k {
+			t.Fatalf("budget %d: delta plan has %d moves", k, len(moves))
+		}
+		// The returned mapping must be exactly current + the selected moves.
+		check := current.Clone()
+		for _, mv := range moves {
+			if check[mv.Op] != mv.From {
+				t.Fatalf("budget %d: move %+v does not start from the live mapping", k, mv)
+			}
+			check[mv.Op] = mv.To
+		}
+		for op := range check {
+			if check[op] != after[op] {
+				t.Fatalf("budget %d: mapping[%d] = %d, replaying moves gives %d",
+					k, op, after[op], check[op])
+			}
+		}
+	}
+}
+
+func TestBoundedDeltaNeverWorsensCombinedCost(t *testing.T) {
+	w, n := fig1Pair(t)
+	e := newEngine(t, Options{Algorithms: []string{"fairload", "sampling"}})
+	res, err := e.Run(context.Background(), Request{Workflow: w, Network: n, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.NewModel(w, n)
+	current := worstMapping(t, w.M())
+	before := model.Evaluate(current).Combined
+	prev := before
+	for k := 1; k <= w.M(); k++ {
+		after, _, err := BoundedDelta(w, n, current, res.Best.Mapping, k, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := model.Evaluate(after).Combined
+		if got > before {
+			t.Fatalf("budget %d: delta worsened combined cost %.6f -> %.6f", k, before, got)
+		}
+		if got > prev+1e-12 {
+			t.Fatalf("budget %d: larger budget worsened cost %.6f -> %.6f", k, prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestBoundedDeltaMigrationWeightSuppressesMarginalMoves(t *testing.T) {
+	w, n := fig1Pair(t)
+	e := newEngine(t, Options{Algorithms: []string{"fairload"}})
+	res, err := e.Run(context.Background(), Request{Workflow: w, Network: n, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := worstMapping(t, w.M())
+	_, free, err := BoundedDelta(w, n, current, res.Best.Mapping, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An absurd migration weight prices every state-carrying move out.
+	after, none, err := BoundedDelta(w, n, current, res.Best.Mapping, 0, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) >= len(free) {
+		t.Fatalf("migration weight did not suppress moves: %d vs %d", len(none), len(free))
+	}
+	for _, mv := range none {
+		if mv.StateBits != 0 {
+			t.Fatalf("state-carrying move %+v survived an absurd migration weight", mv)
+		}
+	}
+	for op := range current {
+		if after[op] != current[op] {
+			found := false
+			for _, mv := range none {
+				if mv.Op == op {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("mapping changed at op %d without a corresponding move", op)
+			}
+		}
+	}
+}
+
+// TestDeltaMovesMatchFabricRemaps is the migration-budget contract the
+// autopilot relies on: every move in a K-bounded delta plan lands as
+// exactly one fabric.Remap, so the substrate's Remaps counter advances
+// by len(moves) — no hidden or dropped migrations.
+func TestDeltaMovesMatchFabricRemaps(t *testing.T) {
+	w, n := fig1Pair(t)
+	e := newEngine(t, Options{Algorithms: []string{"fairload"}})
+	current := worstMapping(t, w.M())
+	plan, err := e.PlanDelta(context.Background(),
+		Request{Workflow: w, Network: n, Seed: 3}, current, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 || len(plan.Moves) > 4 {
+		t.Fatalf("delta plan has %d moves, want 1..4", len(plan.Moves))
+	}
+	if plan.FullDiff < len(plan.Moves) {
+		t.Fatalf("full diff %d smaller than selected %d", plan.FullDiff, len(plan.Moves))
+	}
+	if plan.After.Combined > plan.Before.Combined {
+		t.Fatalf("delta worsened cost %.6f -> %.6f", plan.Before.Combined, plan.After.Combined)
+	}
+
+	f, err := fabric.Deploy(w, n, current, fabric.Config{TimeScale: time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	remaps0 := f.Stats().Remaps
+	for _, mv := range plan.Moves {
+		if err := f.Remap(mv.Op, mv.To); err != nil {
+			t.Fatalf("remap %+v: %v", mv, err)
+		}
+	}
+	if got := f.Stats().Remaps - remaps0; got != len(plan.Moves) {
+		t.Fatalf("fabric applied %d remaps, delta plan had %d moves", got, len(plan.Moves))
+	}
+	// And the diff between live and planned mappings must now be empty.
+	left, err := deploy.Diff(w, f.Mapping(), plan.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("after applying the plan the fabric still differs: %v", left)
+	}
+}

@@ -116,6 +116,7 @@ type instance struct {
 	start   time.Time
 	elapsed time.Duration
 	execOps int
+	busy    []float64 // per-server virtual CPU-seconds burned by this instance
 }
 
 // Deploy builds hosts for every network server and registers the mapped
@@ -227,6 +228,13 @@ type RunResult struct {
 	ExecutedOps  int
 	MessagesSent int   // HTTP messages between distinct hosts (cumulative delta)
 	BytesOnWire  int64 // XML bytes between distinct hosts (cumulative delta)
+	// Busy holds per-server virtual CPU-seconds (Cycles/PowerHz, scaled by
+	// any active fault ProcFactor but NOT by TimeScale) burned by this
+	// instance. It is the fabric twin of sim.RunResult.BusyTime: the
+	// observed-load signal the autopilot's drift detector samples, and it
+	// is deterministic given the seed because it counts virtual rather
+	// than wall time.
+	Busy []float64
 }
 
 // Run executes one workflow instance end to end and blocks until the
@@ -256,6 +264,7 @@ func (f *Fabric) RunContext(ctx context.Context) (RunResult, error) {
 		started: map[int]bool{},
 		done:    make(chan struct{}),
 		start:   time.Now(),
+		busy:    make([]float64, len(f.hosts)),
 	}
 	inst.span.SetInt("instance", int64(id))
 	f.instances[id] = inst
@@ -296,6 +305,7 @@ func (f *Fabric) RunContext(ctx context.Context) (RunResult, error) {
 		ExecutedOps:  inst.execOps,
 		MessagesSent: f.stats.MessagesSent - msgs0,
 		BytesOnWire:  f.stats.BytesOnWire - bytes0,
+		Busy:         append([]float64(nil), inst.busy...),
 	}, nil
 }
 
@@ -428,6 +438,7 @@ func (f *Fabric) startOperation(inst *instance, node int) {
 
 	inst.mu.Lock()
 	inst.execOps++
+	inst.busy[h.server] += proc
 	inst.mu.Unlock()
 
 	if node == f.w.Sink() {

@@ -244,3 +244,34 @@ func TestSequentialInstancesIndependent(t *testing.T) {
 		}
 	}
 }
+
+func TestBusyAccountsVirtualCPUSeconds(t *testing.T) {
+	// Three ops split across two hosts of different power: Busy must hold
+	// exactly Cycles/PowerHz per server, independent of TimeScale — it is
+	// the virtual load signal the drift detector samples.
+	w, err := workflow.NewLine("w",
+		[]float64{4e6, 6e6, 2e6},
+		[]float64{8000, 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 2e9}, 1e8)
+	f, err := Deploy(w, n, deploy.Mapping{0, 1, 0}, Config{TimeScale: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{(4e6 + 2e6) / 1e9, 6e6 / 2e9}
+	if len(res.Busy) != len(want) {
+		t.Fatalf("Busy has %d servers, want %d", len(res.Busy), len(want))
+	}
+	for s := range want {
+		if diff := res.Busy[s] - want[s]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("Busy[%d] = %g, want %g", s, res.Busy[s], want[s])
+		}
+	}
+}

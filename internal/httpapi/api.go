@@ -17,6 +17,9 @@
 //	POST /v1/chaos       — chaos study: simulate a mapping under a fault
 //	                       plan with self-healing, report availability
 //	POST /v1/convert     — translate a workflow between JSON, WDL and DOT
+//	POST /v1/autopilot   — closed-loop drift study: seeded traffic over
+//	                       a fleet with the autopilot on or off
+//	GET  /v1/autopilot   — controller defaults and the last run summary
 //	GET  /metrics        — Prometheus text exposition of the obs registry
 //	GET  /debug/trace    — recent spans from the flight recorder (JSON)
 //	GET  /debug/vars     — expvar metrics (engine counters, latency)
@@ -105,6 +108,7 @@ func NewHandler() *Handler {
 	h.mux.Handle("GET /debug/vars", expvar.Handler())
 	h.registerFleet()
 	h.registerConvert()
+	h.registerAutopilot()
 	return h
 }
 

@@ -1,0 +1,257 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"wsdeploy/internal/autopilot"
+	"wsdeploy/internal/wfio"
+)
+
+// Autopilot endpoints expose the closed-loop drift study as a service:
+//
+//	POST /v1/autopilot — run one seeded closed-loop study: workflow
+//	                     classes + network + traffic shape, autopilot
+//	                     on or off, sim or fabric backend; responds
+//	                     with the per-window drift trace, the action
+//	                     log, and the tail Time Penalty.
+//	GET  /v1/autopilot — the normalized controller defaults, known
+//	                     traffic shapes, and the last run's summary.
+//
+// Runs are synchronous and deterministic: the same request body yields
+// byte-identical responses, so the endpoint doubles as a remote
+// experiment runner.
+
+// autopilotState keeps the last run for GET.
+type autopilotState struct {
+	mu   sync.Mutex
+	last any
+}
+
+// registerAutopilot wires the autopilot endpoints onto the handler's mux.
+func (h *Handler) registerAutopilot() {
+	st := &autopilotState{}
+	h.mux.HandleFunc("POST /v1/autopilot", func(w http.ResponseWriter, r *http.Request) { st.run(h, w, r) })
+	h.mux.HandleFunc("GET /v1/autopilot", st.get)
+}
+
+// autopilotRequest describes one closed-loop run.
+type autopilotRequest struct {
+	Network json.RawMessage `json:"network"`
+	Classes []struct {
+		ID          string          `json:"id"`
+		Workflow    json.RawMessage `json:"workflow,omitempty"`
+		WorkflowWDL string          `json:"workflowWdl,omitempty"`
+	} `json:"classes"`
+	Traffic struct {
+		Rate      float64 `json:"rate,omitempty"`
+		Shape     string  `json:"shape,omitempty"`
+		Amplitude float64 `json:"amplitude,omitempty"`
+		Period    float64 `json:"period,omitempty"`
+		HotClass  int     `json:"hotClass,omitempty"`
+		HotShare  float64 `json:"hotShare,omitempty"`
+		Horizon   float64 `json:"horizon,omitempty"`
+		Seed      uint64  `json:"seed,omitempty"`
+	} `json:"traffic"`
+	Pilot struct {
+		Window          float64 `json:"window,omitempty"`
+		MaxMoves        int     `json:"maxMoves,omitempty"`
+		MigrationWeight float64 `json:"migrationWeight,omitempty"`
+		Cooldown        float64 `json:"cooldown,omitempty"`
+		ReArm           float64 `json:"rearm,omitempty"`
+		SettleDelay     float64 `json:"settleDelay,omitempty"`
+		EWMAAlpha       float64 `json:"ewmaAlpha,omitempty"`
+		AllowScale      bool    `json:"allowScale,omitempty"`
+	} `json:"pilot"`
+	Enabled bool   `json:"enabled"`
+	Seed    uint64 `json:"seed,omitempty"`
+	// Backend selects the substrate: "sim" (default) or "fabric".
+	Backend string `json:"backend,omitempty"`
+	// TimeScaleUs is the fabric's microseconds of wall time per virtual
+	// second; default 200.
+	TimeScaleUs int64 `json:"timeScaleUs,omitempty"`
+}
+
+// autopilotWindow is one observation window of the response.
+type autopilotWindow struct {
+	Time     float64 `json:"t"`
+	Drift    float64 `json:"drift"`
+	Penalty  float64 `json:"penalty"`
+	Level    string  `json:"level,omitempty"`
+	Moves    int     `json:"moves,omitempty"`
+	Arrivals int     `json:"arrivals"`
+}
+
+// autopilotAction is one ladder firing of the response.
+type autopilotAction struct {
+	Time   float64 `json:"t"`
+	Level  string  `json:"level"`
+	Drift  float64 `json:"drift"`
+	Moves  int     `json:"moves"`
+	Scaled int     `json:"scaled,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// loopSummary converts a LoopResult into the response shape.
+func loopSummary(res *autopilot.LoopResult, enabled bool, backend string) map[string]any {
+	windows := make([]autopilotWindow, len(res.Windows))
+	for i, w := range res.Windows {
+		aw := autopilotWindow{
+			Time: w.Time, Drift: w.Drift, Penalty: w.Penalty,
+			Moves: w.Moves, Arrivals: w.Arrivals,
+		}
+		if w.Level != autopilot.LevelNone {
+			aw.Level = w.Level.String()
+		}
+		windows[i] = aw
+	}
+	actions := make([]autopilotAction, len(res.Actions))
+	for i, a := range res.Actions {
+		actions[i] = autopilotAction{
+			Time: a.Time, Level: a.Level.String(), Drift: a.Drift,
+			Moves: a.Moves, Scaled: a.Scaled, Detail: a.Detail,
+		}
+	}
+	return map[string]any{
+		"enabled":     enabled,
+		"backend":     backend,
+		"arrivals":    res.Arrivals,
+		"perClass":    res.PerClass,
+		"windows":     windows,
+		"actions":     actions,
+		"migrations":  res.Migrations,
+		"incidents":   res.Incidents,
+		"meanDrift":   res.MeanDrift,
+		"tailDrift":   res.TailDrift,
+		"meanPenalty": res.MeanPenalty,
+		"tailPenalty": res.TailPenalty,
+	}
+}
+
+func (st *autopilotState) run(h *Handler, w http.ResponseWriter, r *http.Request) {
+	var req autopilotRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Network) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("autopilot run needs a network"))
+		return
+	}
+	n, err := wfio.DecodeNetwork(bytes.NewReader(req.Network))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Classes) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("autopilot run needs at least one workflow class"))
+		return
+	}
+	classes := make([]autopilot.ClassSpec, 0, len(req.Classes))
+	for i, c := range req.Classes {
+		if c.ID == "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("class %d needs an id", i))
+			return
+		}
+		wf, err := decodeWorkflowField(c.Workflow, c.WorkflowWDL)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("class %s: %w", c.ID, err))
+			return
+		}
+		classes = append(classes, autopilot.ClassSpec{ID: c.ID, Workflow: wf})
+	}
+
+	shape := autopilot.Shape(req.Traffic.Shape)
+	if req.Traffic.Shape != "" {
+		if shape, err = autopilot.ParseShape(req.Traffic.Shape); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	lc := autopilot.LoopConfig{
+		Traffic: autopilot.TrafficConfig{
+			Rate:      req.Traffic.Rate,
+			Shape:     shape,
+			Amplitude: req.Traffic.Amplitude,
+			Period:    req.Traffic.Period,
+			HotClass:  req.Traffic.HotClass,
+			HotShare:  req.Traffic.HotShare,
+			Horizon:   req.Traffic.Horizon,
+			Seed:      req.Traffic.Seed,
+		},
+		Pilot: autopilot.Config{
+			Window: req.Pilot.Window,
+			Detector: autopilot.DetectorConfig{
+				Cooldown: req.Pilot.Cooldown,
+				ReArm:    req.Pilot.ReArm,
+			},
+			MaxMoves:        req.Pilot.MaxMoves,
+			MigrationWeight: req.Pilot.MigrationWeight,
+			EWMAAlpha:       req.Pilot.EWMAAlpha,
+			SettleDelay:     req.Pilot.SettleDelay,
+			AllowScale:      req.Pilot.AllowScale,
+			Tracer:          h.tracer,
+		},
+		Enabled: req.Enabled,
+		Seed:    req.Seed,
+	}
+
+	backend := req.Backend
+	if backend == "" {
+		backend = "sim"
+	}
+	var res *autopilot.LoopResult
+	switch backend {
+	case "sim":
+		res, err = autopilot.RunSim(classes, n, lc)
+	case "fabric":
+		scale := time.Duration(req.TimeScaleUs) * time.Microsecond
+		if scale <= 0 {
+			scale = 200 * time.Microsecond
+		}
+		res, err = autopilot.RunFabric(classes, n, lc, scale)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown backend %q (sim|fabric)", backend))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := loopSummary(res, req.Enabled, backend)
+	st.mu.Lock()
+	st.last = out
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (st *autopilotState) get(w http.ResponseWriter, _ *http.Request) {
+	cfg := autopilot.Config{}.WithDefaults()
+	out := map[string]any{
+		"shapes": []autopilot.Shape{autopilot.Steady, autopilot.Diurnal, autopilot.Skew},
+		"defaults": map[string]any{
+			"window":          cfg.Window,
+			"maxMoves":        cfg.MaxMoves,
+			"migrationWeight": cfg.MigrationWeight,
+			"ewmaAlpha":       cfg.EWMAAlpha,
+			"settleDelay":     cfg.SettleDelay,
+			"cooldown":        cfg.Detector.Cooldown,
+			"rearm":           cfg.Detector.ReArm,
+			"bands": map[string]any{
+				"touchup":   cfg.Detector.TouchUp,
+				"delta":     cfg.Detector.Delta,
+				"rebalance": cfg.Detector.Rebalance,
+			},
+		},
+	}
+	st.mu.Lock()
+	if st.last != nil {
+		out["lastRun"] = st.last
+	}
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,159 @@
+package manager
+
+import (
+	"sync"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// Locked is a concurrency-safe wrapper around a Manager: every method
+// takes one mutex, exactly the synchronization the Manager doc comment
+// prescribes. It exists so several controllers — the autopilot's control
+// loop, the chaos supervisor's repair path and the HTTP fleet endpoints
+// — can share one live fleet without each inventing its own locking
+// (and without two lock domains racing over the same state).
+//
+// Compound read-modify-write sequences that must be atomic as a whole
+// go through Do, which runs a closure under the same mutex.
+type Locked struct {
+	mu sync.Mutex
+	m  *Manager
+}
+
+// NewLocked builds a concurrency-safe manager over an initial network.
+func NewLocked(net *network.Network) *Locked { return &Locked{m: New(net)} }
+
+// Wrap protects an existing Manager. The caller must hand over
+// ownership: every subsequent access has to go through the wrapper.
+func Wrap(m *Manager) *Locked { return &Locked{m: m} }
+
+// Do runs fn with the underlying manager under the wrapper's mutex —
+// the escape hatch for compound operations (e.g. read the status,
+// decide, then apply a batch of SetMapping calls atomically). fn must
+// not retain the *Manager beyond the call.
+func (l *Locked) Do(fn func(*Manager) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fn(l.m)
+}
+
+// Network returns the current fleet.
+func (l *Locked) Network() *network.Network {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Network()
+}
+
+// Workflows returns the deployed workflow ids in arrival order.
+func (l *Locked) Workflows() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Workflows()
+}
+
+// Workflow returns the deployed workflow for an id (read-only).
+func (l *Locked) Workflow(id string) (*workflow.Workflow, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Workflow(id)
+}
+
+// Mapping returns the live mapping of a workflow id.
+func (l *Locked) Mapping(id string) (deploy.Mapping, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Mapping(id)
+}
+
+// Adopt registers an existing workflow/mapping pair.
+func (l *Locked) Adopt(id string, w *workflow.Workflow, mp deploy.Mapping) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Adopt(id, w, mp)
+}
+
+// SetMapping replaces the live mapping of a deployed workflow.
+func (l *Locked) SetMapping(id string, mp deploy.Mapping) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.SetMapping(id, mp)
+}
+
+// Deploy places a new workflow into the valleys of the combined load.
+func (l *Locked) Deploy(id string, w *workflow.Workflow) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Deploy(id, w)
+}
+
+// MarkDown fails a server in place and re-places its orphans.
+func (l *Locked) MarkDown(s int) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.MarkDown(s)
+}
+
+// MarkUp rejoins a server previously failed with MarkDown.
+func (l *Locked) MarkUp(s int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.MarkUp(s)
+}
+
+// IsDown reports whether server s is currently marked down.
+func (l *Locked) IsDown(s int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.IsDown(s)
+}
+
+// DownServers returns the indices of servers currently marked down.
+func (l *Locked) DownServers() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.DownServers()
+}
+
+// Remove withdraws a workflow.
+func (l *Locked) Remove(id string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Remove(id)
+}
+
+// ServerDown removes a failed server and repairs every mapping.
+func (l *Locked) ServerDown(s int) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.ServerDown(s)
+}
+
+// ServerUp joins a fresh server to a bus fleet.
+func (l *Locked) ServerUp(name string, powerHz float64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.ServerUp(name, powerHz)
+}
+
+// Rebalance redeploys the whole portfolio from scratch.
+func (l *Locked) Rebalance() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Rebalance()
+}
+
+// Status reports the portfolio's health.
+func (l *Locked) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Status()
+}
+
+// Snapshot serializes the fleet state.
+func (l *Locked) Snapshot() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Snapshot()
+}

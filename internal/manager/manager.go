@@ -245,11 +245,18 @@ func (m *Manager) Remove(id string) error {
 // mapping, moving only the orphaned operations (core.RepairOrphans
 // semantics across the whole portfolio). It returns the number of
 // operations that had to move.
+//
+// Like MarkDown, the removal feeds the fleet metrics on the shared obs
+// registry: the markdown counter ticks once and the down-server gauge is
+// recomputed under the surviving numbering (a permanently removed server
+// does not linger in the gauge).
 func (m *Manager) ServerDown(s int) (moved int, err error) {
 	degraded, remap, err := m.net.RemoveServer(s)
 	if err != nil {
 		return 0, err
 	}
+	obsMarkDowns.Inc()
+	defer func() { obsOrphanMoves.Add(int64(moved)) }()
 	// Remap survivors first so that the per-workflow repairs see the
 	// combined surviving load.
 	newMappings := map[string]deploy.Mapping{}
@@ -286,6 +293,7 @@ func (m *Manager) ServerDown(s int) (moved int, err error) {
 		}
 	}
 	m.down = newDown
+	obsDownServers.Set(float64(len(m.down)))
 
 	// Re-place orphans workflow by workflow against the evolving combined
 	// load: heaviest orphan first within each workflow.
@@ -377,13 +385,16 @@ func (m *Manager) placeOrphans(w *workflow.Workflow, mp deploy.Mapping, orphans 
 
 // ServerUp joins a fresh server to a bus fleet and returns its index.
 // Existing placements stay put; subsequent arrivals and rebalances use
-// the capacity.
+// the capacity. The join counts on the markup counter and refreshes the
+// down-server gauge, mirroring MarkUp on the obs fleet metrics.
 func (m *Manager) ServerUp(name string, powerHz float64) (int, error) {
 	grown, err := m.net.AddBusServer(name, powerHz)
 	if err != nil {
 		return -1, err
 	}
 	m.net = grown
+	obsMarkUps.Inc()
+	obsDownServers.Set(float64(len(m.down)))
 	return grown.N() - 1, nil
 }
 
