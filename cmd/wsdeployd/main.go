@@ -3,6 +3,7 @@
 // Usage:
 //
 //	wsdeployd -addr :8080
+//	wsdeployd -addr :8080 -data /var/lib/wsdeploy    # crash-safe durable state
 //	wsdeployd -addr :8080 -autopilot -traffic skew   # drift self-check at startup
 //
 //	curl -s localhost:8080/v1/algorithms
@@ -20,6 +21,17 @@
 // every finished span is additionally appended to the given file as
 // JSONL. The daemon traps SIGINT/SIGTERM and drains in-flight plans
 // before exiting.
+//
+// With -data, every state mutation (fleet operations, acknowledged
+// deployments, autopilot runs) is journaled to a write-ahead log in
+// the given directory before it is acknowledged; on boot the daemon
+// replays snapshot+log — truncating a torn tail from a mid-write crash
+// — and on graceful shutdown it folds the state into a snapshot so the
+// next boot replays nothing. kill -9 at any point loses no
+// acknowledged mutation. -fsync picks the WAL fsync discipline:
+// "always" survives power loss per record, "interval" (default) syncs
+// roughly once a second, "none" leaves flushing to the OS — all three
+// survive a process crash.
 package main
 
 import (
@@ -38,6 +50,7 @@ import (
 	"wsdeploy/internal/autopilot"
 	"wsdeploy/internal/httpapi"
 	"wsdeploy/internal/obs"
+	"wsdeploy/internal/store"
 )
 
 // autopilotSelfCheck runs the built-in seeded drift study on the
@@ -74,6 +87,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	traceFile := flag.String("tracefile", "", "append finished spans to this file as JSONL")
+	dataDir := flag.String("data", "", "durable state directory (empty: in-memory only)")
+	fsyncMode := flag.String("fsync", "interval", "WAL fsync discipline with -data: always|interval|none")
 	autoCheck := flag.Bool("autopilot", false, "run the seeded closed-loop drift self-check before serving and log its summary")
 	traffic := flag.String("traffic", "skew", "traffic shape for the -autopilot self-check: steady|diurnal|skew")
 	flag.Parse()
@@ -84,7 +99,28 @@ func main() {
 		}
 	}
 
-	api := httpapi.NewHandler()
+	var api *httpapi.Handler
+	if *dataDir != "" {
+		mode, err := store.ParseSyncMode(*fsyncMode)
+		if err != nil {
+			log.Fatalf("-fsync: %v", err)
+		}
+		st, rec, err := store.Open(*dataDir, store.Options{Sync: mode})
+		if err != nil {
+			log.Fatalf("opening data dir %s: %v", *dataDir, err)
+		}
+		defer st.Close()
+		fmt.Printf("wsdeployd: recovered %s: snapshot seq %d + %d log records (fsync %s)\n",
+			*dataDir, rec.SnapshotSeq, len(rec.Records), mode)
+		if rec.TornBytes > 0 {
+			fmt.Printf("wsdeployd: truncated %d bytes of torn WAL tail (%s)\n", rec.TornBytes, rec.TornNote)
+		}
+		if api, err = httpapi.NewHandlerWith(httpapi.Options{Store: st, Recovery: rec}); err != nil {
+			log.Fatalf("replaying recovered state: %v", err)
+		}
+	} else {
+		api = httpapi.NewHandler()
+	}
 	if *traceFile != "" {
 		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -111,6 +147,7 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -136,6 +173,14 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	// With the listener drained, fold the final state into a snapshot so
+	// the next boot replays nothing. A failure here is not fatal: the
+	// WAL already holds every mutation.
+	if err := api.SnapshotNow(); err != nil {
+		log.Printf("final state snapshot: %v", err)
+	} else if *dataDir != "" {
+		fmt.Println("wsdeployd: state snapshot written")
 	}
 	fmt.Println("wsdeployd stopped")
 }

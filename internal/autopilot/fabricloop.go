@@ -37,6 +37,9 @@ func RunFabric(classes []ClassSpec, net *network.Network, cfg LoopConfig, timeSc
 		return nil, err
 	}
 	pilot := New(fleet, cfg.Pilot)
+	if cfg.Resume != nil {
+		pilot.det.Restore(*cfg.Resume)
+	}
 
 	fabrics := make(map[string]*fabric.Fabric, len(classes))
 	defer func() {
@@ -122,6 +125,7 @@ func RunFabric(classes []ClassSpec, net *network.Network, cfg LoopConfig, timeSc
 
 	res.Actions = pilot.Actions()
 	res.Migrations = pilot.Migrations()
+	res.Detector = pilot.det.State()
 	res.tally()
 	return res, nil
 }

@@ -39,6 +39,11 @@ type LoopConfig struct {
 	Chaos []chaos.Event
 	// ChaosCfg tunes the supervisor's latency model.
 	ChaosCfg chaos.SupervisorConfig
+	// Resume, when set, restores the drift detector's persisted
+	// hysteresis state instead of starting with every level armed — a
+	// restarted controller keeps its cooldowns and disarmed rungs, so a
+	// reboot does not re-fire on drift it already acted on.
+	Resume *DetectorState
 }
 
 // WindowStat is one closed observation window.
@@ -73,6 +78,10 @@ type LoopResult struct {
 	TailDrift   float64
 	MeanPenalty float64
 	TailPenalty float64
+	// Detector is the drift detector's final hysteresis state — persist
+	// it and feed it back through LoopConfig.Resume to continue the
+	// controller across a restart.
+	Detector DetectorState
 }
 
 // tally derives the aggregate drift figures from the recorded windows.
@@ -132,6 +141,9 @@ func RunSim(classes []ClassSpec, net *network.Network, cfg LoopConfig) (*LoopRes
 		return nil, err
 	}
 	pilot := New(fleet, cfg.Pilot)
+	if cfg.Resume != nil {
+		pilot.det.Restore(*cfg.Resume)
+	}
 
 	var sv *chaos.Supervisor
 	events := append([]chaos.Event(nil), cfg.Chaos...)
@@ -230,6 +242,7 @@ func RunSim(classes []ClassSpec, net *network.Network, cfg LoopConfig) (*LoopRes
 
 	res.Actions = pilot.Actions()
 	res.Migrations = pilot.Migrations()
+	res.Detector = pilot.det.State()
 	res.tally()
 	return res, nil
 }

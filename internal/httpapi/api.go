@@ -43,6 +43,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"wsdeploy/internal/core"
@@ -52,6 +53,7 @@ import (
 	"wsdeploy/internal/network"
 	"wsdeploy/internal/obs"
 	"wsdeploy/internal/sim"
+	"wsdeploy/internal/store"
 	"wsdeploy/internal/wfio"
 	"wsdeploy/internal/workflow"
 )
@@ -70,26 +72,77 @@ const MaxRequestBytes = 4 << 20
 // algorithm.
 const PortfolioAlgorithm = "portfolio"
 
-// Handler serves the planning API. Construct with NewHandler.
+// Handler serves the planning API. Construct with NewHandler (purely
+// in-memory) or NewHandlerWith (durable, backed by a store).
 type Handler struct {
 	mux    *http.ServeMux
 	engine *engine.Engine
 	tracer *obs.Tracer
 	flight *obs.FlightRecorder
+
+	// Durable state (see durable.go). store is nil for an in-memory
+	// handler. snapMu coordinates mutations against composite snapshots:
+	// every state mutation (and its journal append) runs under RLock,
+	// SnapshotNow takes the write lock so it captures a quiesced state
+	// together with the covered sequence number. Lock order: snapMu →
+	// per-domain mutex (fleetState.mu / autopilotState.mu / ledger.mu) →
+	// manager.Locked's mutex → the store's internal mutex.
+	store     *store.Store
+	snapMu    sync.RWMutex
+	snapIOMu  sync.Mutex // serializes whole SnapshotNow calls
+	snapEvery uint64
+	snapErrMu sync.Mutex
+	snapErr   string
+
+	fleet *fleetState
+	pilot *autopilotState
+	deps  *deployLedger
 }
 
-// NewHandler builds the API handler. It owns a tracer backed by a
-// flight recorder: every request becomes an "http.request" span whose
-// children (engine runs, chaos episodes) land in the recorder, and
-// GET /debug/trace serves the retained window.
+// Options configures a durable handler. A nil Store yields the same
+// stateless/in-memory behavior as NewHandler.
+type Options struct {
+	// Store receives a typed record for every state mutation and the
+	// periodic composite snapshots. The handler does not own it: the
+	// caller closes it after the server drains.
+	Store *store.Store
+	// Recovery is the store's recovered state, replayed into the fleet,
+	// deployment ledger and autopilot endpoints before serving.
+	Recovery *store.Recovery
+	// SnapshotEvery bounds replay: once the WAL holds this many records
+	// past the last snapshot, a mutation triggers a composite snapshot
+	// and compaction. 0 means the default (256).
+	SnapshotEvery uint64
+}
+
+// NewHandler builds an in-memory API handler. It owns a tracer backed
+// by a flight recorder: every request becomes an "http.request" span
+// whose children (engine runs, chaos episodes) land in the recorder,
+// and GET /debug/trace serves the retained window.
 func NewHandler() *Handler {
+	h, err := NewHandlerWith(Options{})
+	if err != nil {
+		// Unreachable: only recovery replay can fail, and there is none.
+		panic(err)
+	}
+	return h
+}
+
+// NewHandlerWith builds the API handler and, when a store is given,
+// replays its recovered state and journals every subsequent mutation.
+func NewHandlerWith(opts Options) (*Handler, error) {
 	flight := obs.NewFlightRecorder(obs.DefaultFlightSize)
 	tracer := obs.NewTracer(flight)
 	h := &Handler{
-		mux:    http.NewServeMux(),
-		engine: engine.MustNew(engine.Options{Tracer: tracer}),
-		tracer: tracer,
-		flight: flight,
+		mux:       http.NewServeMux(),
+		engine:    engine.MustNew(engine.Options{Tracer: tracer}),
+		tracer:    tracer,
+		flight:    flight,
+		store:     opts.Store,
+		snapEvery: opts.SnapshotEvery,
+	}
+	if h.snapEvery == 0 {
+		h.snapEvery = DefaultSnapshotEvery
 	}
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -103,13 +156,20 @@ func NewHandler() *Handler {
 	h.mux.HandleFunc("POST /v1/simulate", h.simulate)
 	h.mux.HandleFunc("POST /v1/failover", h.failover)
 	h.mux.HandleFunc("POST /v1/chaos", h.chaos)
+	h.mux.HandleFunc("GET /v1/store/status", h.storeStatus)
 	h.mux.Handle("GET /metrics", obs.MetricsHandler(obs.Default()))
 	h.mux.Handle("GET /debug/trace", obs.TraceHandler(flight))
 	h.mux.Handle("GET /debug/vars", expvar.Handler())
 	h.registerFleet()
 	h.registerConvert()
 	h.registerAutopilot()
-	return h
+	h.registerDeployments()
+	if opts.Store != nil && opts.Recovery != nil {
+		if err := h.restoreFromRecovery(opts.Recovery); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
 }
 
 // Tracer returns the handler's tracer, for callers that want to attach
@@ -167,14 +227,23 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 // decodeBody decodes a bounded JSON body into v, rejecting unknown
-// fields.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+// fields. On failure it writes the error response itself — 413 with
+// the standard JSON envelope when the body exceeds MaxRequestBytes,
+// 400 otherwise — and returns false.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("decoding request: %w", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
 	}
-	return nil
+	return true
 }
 
 // pair decodes the workflow and network specs shared by every request.
@@ -225,6 +294,9 @@ func metricsOf(model *cost.Model, mp deploy.Mapping) Metrics {
 // on expiry the best mapping found so far is returned with truncated set.
 type deployRequest struct {
 	pairSpec
+	// ID names the deployment in the durable ledger (GET
+	// /v1/deployments). Empty auto-assigns "dep-<n>".
+	ID          string  `json:"id,omitempty"`
 	WorkflowWDL string  `json:"workflowWdl,omitempty"`
 	Algorithm   string  `json:"algorithm"`
 	Seed        uint64  `json:"seed"`
@@ -237,6 +309,7 @@ type deployRequest struct {
 
 // deployResponse is the planning result.
 type deployResponse struct {
+	ID        string  `json:"id,omitempty"`
 	Algorithm string  `json:"algorithm"`
 	Mapping   []int   `json:"mapping"`
 	Metrics   Metrics `json:"metrics"`
@@ -255,8 +328,7 @@ func planContext(r *http.Request, timeoutMs int64) (context.Context, context.Can
 
 func (h *Handler) deploy(w http.ResponseWriter, r *http.Request) {
 	var req deployRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	wf, err := decodeWorkflowField(req.Workflow, req.WorkflowWDL)
@@ -314,13 +386,20 @@ func (h *Handler) deploy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, deployResponse{
+	resp := deployResponse{
 		Algorithm: best.Name,
 		Mapping:   best.Mapping,
 		Metrics:   metricsOf(model, best.Mapping),
 		Cached:    best.FromCache,
 		Truncated: res.Truncated,
-	})
+	}
+	id, err := h.deps.commit(h, req.ID, resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.ID = id
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // compareRequest runs the whole registry.
@@ -340,8 +419,7 @@ type compareRow struct {
 
 func (h *Handler) compare(w http.ResponseWriter, r *http.Request) {
 	var req compareRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	wf, n, err := req.build()
@@ -398,8 +476,7 @@ type portfolioRow struct {
 
 func (h *Handler) portfolio(w http.ResponseWriter, r *http.Request) {
 	var req portfolioRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	wf, err := decodeWorkflowField(req.Workflow, req.WorkflowWDL)
@@ -479,8 +556,7 @@ type simulateRequest struct {
 
 func (h *Handler) simulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	wf, n, err := req.build()
@@ -519,8 +595,7 @@ type failoverRequest struct {
 
 func (h *Handler) failover(w http.ResponseWriter, r *http.Request) {
 	var req failoverRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	wf, n, err := req.build()

@@ -25,16 +25,25 @@ import (
 // Runs are synchronous and deterministic: the same request body yields
 // byte-identical responses, so the endpoint doubles as a remote
 // experiment runner.
+//
+// With a durable handler every run appends one "autopilot.run" record
+// carrying the summary and the drift detector's final hysteresis
+// state; after a restart GET still serves the last run, and a POST
+// with "resume": true feeds the persisted detector state back in so a
+// rebooted controller keeps its cooldowns instead of re-firing on
+// drift it already acted on.
 
-// autopilotState keeps the last run for GET.
+// autopilotState keeps the last run and the persisted detector state.
 type autopilotState struct {
 	mu   sync.Mutex
-	last any
+	last json.RawMessage
+	det  *autopilot.DetectorState
 }
 
 // registerAutopilot wires the autopilot endpoints onto the handler's mux.
 func (h *Handler) registerAutopilot() {
 	st := &autopilotState{}
+	h.pilot = st
 	h.mux.HandleFunc("POST /v1/autopilot", func(w http.ResponseWriter, r *http.Request) { st.run(h, w, r) })
 	h.mux.HandleFunc("GET /v1/autopilot", st.get)
 }
@@ -69,6 +78,10 @@ type autopilotRequest struct {
 	} `json:"pilot"`
 	Enabled bool   `json:"enabled"`
 	Seed    uint64 `json:"seed,omitempty"`
+	// Resume restores the drift detector's persisted hysteresis state
+	// from the last run (surviving daemon restarts when durable), so a
+	// continued study does not re-fire on drift it already acted on.
+	Resume bool `json:"resume,omitempty"`
 	// Backend selects the substrate: "sim" (default) or "fabric".
 	Backend string `json:"backend,omitempty"`
 	// TimeScaleUs is the fabric's microseconds of wall time per virtual
@@ -134,8 +147,7 @@ func loopSummary(res *autopilot.LoopResult, enabled bool, backend string) map[st
 
 func (st *autopilotState) run(h *Handler, w http.ResponseWriter, r *http.Request) {
 	var req autopilotRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Network) == 0 {
@@ -199,6 +211,14 @@ func (st *autopilotState) run(h *Handler, w http.ResponseWriter, r *http.Request
 		Enabled: req.Enabled,
 		Seed:    req.Seed,
 	}
+	if req.Resume {
+		st.mu.Lock()
+		if st.det != nil {
+			det := *st.det
+			lc.Resume = &det
+		}
+		st.mu.Unlock()
+	}
 
 	backend := req.Backend
 	if backend == "" {
@@ -223,10 +243,26 @@ func (st *autopilotState) run(h *Handler, w http.ResponseWriter, r *http.Request
 		return
 	}
 	out := loopSummary(res, req.Enabled, backend)
-	st.mu.Lock()
-	st.last = out
-	st.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
+	raw, err := json.Marshal(out)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	det := res.Detector
+	h.mutate(func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if h.store != nil {
+			if _, err := h.store.Append(recAutopilotRun, apRunRecord{Summary: raw, Detector: det}); err != nil {
+				writeErr(w, http.StatusInternalServerError,
+					fmt.Errorf("autopilot run finished but journaling failed: %w", err))
+				return
+			}
+		}
+		st.last = raw
+		st.det = &det
+		writeJSON(w, http.StatusOK, json.RawMessage(raw))
+	})
 }
 
 func (st *autopilotState) get(w http.ResponseWriter, _ *http.Request) {
@@ -251,6 +287,9 @@ func (st *autopilotState) get(w http.ResponseWriter, _ *http.Request) {
 	st.mu.Lock()
 	if st.last != nil {
 		out["lastRun"] = st.last
+	}
+	if st.det != nil {
+		out["detector"] = *st.det
 	}
 	st.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)

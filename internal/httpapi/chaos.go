@@ -36,8 +36,7 @@ type chaosRequest struct {
 
 func (h *Handler) chaos(w http.ResponseWriter, r *http.Request) {
 	var req chaosRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	wf, n, err := req.build()

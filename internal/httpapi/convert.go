@@ -30,8 +30,7 @@ type convertRequest struct {
 
 func (h *Handler) convert(w http.ResponseWriter, r *http.Request) {
 	var req convertRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	wf, err := decodeWorkflowField(req.Workflow, req.WorkflowWDL)

@@ -1,0 +1,86 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// The deployment ledger is the durable history of POST /v1/deploy:
+// every successful plan appends one entry (and, with a store, one
+// "deployment.created" record), so after a kill -9 the daemon can
+// list exactly the deployments it acknowledged.
+//
+//	GET /v1/deployments — the full ledger, oldest first
+
+// deployEntry is one acknowledged planning result. It must round-trip
+// byte-identically through the WAL: GET /v1/deployments after a crash
+// lists exactly what the pre-crash daemon acknowledged.
+type deployEntry struct {
+	ID        string  `json:"id"`
+	Algorithm string  `json:"algorithm"`
+	Mapping   []int   `json:"mapping"`
+	Metrics   Metrics `json:"metrics"`
+}
+
+// deployLedger guards the acknowledged-deployment history.
+type deployLedger struct {
+	mu      sync.Mutex
+	entries []deployEntry
+	nextID  int // counter behind auto-assigned "dep-<n>" ids
+}
+
+// registerDeployments wires the ledger endpoints onto the handler's mux.
+func (h *Handler) registerDeployments() {
+	h.deps = &deployLedger{}
+	h.mux.HandleFunc("GET /v1/deployments", h.deps.list)
+}
+
+// commit appends one acknowledged deployment — assigning "dep-<n>"
+// when the client did not name it — and journals it. The entry only
+// becomes visible (and the response only reports the id) if the
+// journal append succeeds: the ledger never acknowledges a deployment
+// the log could lose.
+func (d *deployLedger) commit(h *Handler, id string, resp deployResponse) (string, error) {
+	h.snapMu.RLock()
+	defer func() {
+		h.snapMu.RUnlock()
+		h.maybeSnapshot()
+	}()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id == "" {
+		d.nextID++
+		id = fmt.Sprintf("dep-%d", d.nextID)
+	}
+	e := deployEntry{ID: id, Algorithm: resp.Algorithm, Mapping: resp.Mapping, Metrics: resp.Metrics}
+	if h.store != nil {
+		if _, err := h.store.Append(recDeploymentCreated, e); err != nil {
+			return "", fmt.Errorf("planned %s but journaling failed: %w", id, err)
+		}
+	}
+	d.entries = append(d.entries, e)
+	return id, nil
+}
+
+// replay re-appends a recovered entry without re-journaling it.
+func (d *deployLedger) replay(e deployEntry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries = append(d.entries, e)
+	// Auto-ids count committed entries, so recovery keeps the counter
+	// ahead of every replayed "dep-<n>".
+	if d.nextID < len(d.entries) {
+		d.nextID = len(d.entries)
+	}
+}
+
+func (d *deployLedger) list(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	entries := append([]deployEntry(nil), d.entries...)
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":       len(entries),
+		"deployments": entries,
+	})
+}

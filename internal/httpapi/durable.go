@@ -1,0 +1,248 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"wsdeploy/internal/autopilot"
+	"wsdeploy/internal/manager"
+	"wsdeploy/internal/obs"
+	"wsdeploy/internal/store"
+)
+
+// Durable state plumbing. A handler built with Options.Store journals
+// every state mutation — fleet operations (the manager's typed fleet.*
+// records), deployment-ledger appends ("deployment.created") and
+// autopilot runs ("autopilot.run") — into one write-ahead log, and
+// periodically folds the whole state into a composite snapshot so
+// replay stays bounded. After a crash the daemon reopens the store and
+// NewHandlerWith replays snapshot+tail back into the same endpoints.
+
+// DefaultSnapshotEvery is the replay bound: a composite snapshot and
+// WAL compaction trigger once this many records accumulate past the
+// last snapshot.
+const DefaultSnapshotEvery = 256
+
+// Record types owned by the HTTP layer (fleet.* belong to manager).
+const (
+	recDeploymentCreated = "deployment.created"
+	recAutopilotRun      = "autopilot.run"
+)
+
+var obsSnapErrs = obs.Default().Counter("httpapi.snapshot_errors")
+
+// handlerJournal adapts the handler's store to manager.Journal. The
+// fleet mutation that triggers a record runs under snapMu.RLock (see
+// Handler.mutate), so appends never interleave with a composite
+// snapshot capture.
+type handlerJournal struct{ h *Handler }
+
+func (j handlerJournal) Record(typ string, data any) error {
+	_, err := j.h.store.Append(typ, data)
+	return err
+}
+
+// mutate runs one state mutation (including its journal appends) under
+// the snapshot read-lock, then triggers a composite snapshot if the
+// WAL has outgrown the replay bound. fn writes the HTTP response
+// itself.
+func (h *Handler) mutate(fn func()) {
+	h.snapMu.RLock()
+	fn()
+	h.snapMu.RUnlock()
+	h.maybeSnapshot()
+}
+
+// maybeSnapshot compacts once the log holds snapEvery records past the
+// last snapshot. Failures are recorded (metrics + /v1/store/status) but
+// do not fail the request that tripped the threshold: the WAL itself
+// is intact, only replay stays long.
+func (h *Handler) maybeSnapshot() {
+	if h.store == nil {
+		return
+	}
+	if h.store.LastSeq()-h.store.SnapshotSeq() < h.snapEvery {
+		return
+	}
+	if err := h.SnapshotNow(); err != nil {
+		obsSnapErrs.Inc()
+		h.snapErrMu.Lock()
+		h.snapErr = err.Error()
+		h.snapErrMu.Unlock()
+	}
+}
+
+// composite is the durable image of every stateful endpoint, stored as
+// the opaque payload of a store snapshot.
+type composite struct {
+	Fleet       json.RawMessage `json:"fleet,omitempty"`
+	Deployments []deployEntry   `json:"deployments,omitempty"`
+	NextDepID   int             `json:"nextDepId,omitempty"`
+	Autopilot   *apRunRecord    `json:"autopilot,omitempty"`
+}
+
+// SnapshotNow captures a quiesced composite snapshot of the fleet,
+// deployment ledger and autopilot state and hands it to the store,
+// which compacts the WAL down to the uncovered tail. No-op without a
+// store. The daemon calls this on graceful shutdown so the next boot
+// replays (almost) nothing.
+func (h *Handler) SnapshotNow() error {
+	if h.store == nil {
+		return nil
+	}
+	h.snapIOMu.Lock()
+	defer h.snapIOMu.Unlock()
+
+	h.snapMu.Lock()
+	var c composite
+	var err error
+	h.fleet.mu.Lock()
+	if h.fleet.l != nil {
+		c.Fleet, err = h.fleet.l.Snapshot()
+	}
+	h.fleet.mu.Unlock()
+	if err != nil {
+		h.snapMu.Unlock()
+		return fmt.Errorf("httpapi: snapshotting fleet: %w", err)
+	}
+	h.deps.mu.Lock()
+	c.Deployments = append([]deployEntry(nil), h.deps.entries...)
+	c.NextDepID = h.deps.nextID
+	h.deps.mu.Unlock()
+	h.pilot.mu.Lock()
+	if h.pilot.last != nil {
+		rec := apRunRecord{Summary: h.pilot.last}
+		if h.pilot.det != nil {
+			rec.Detector = *h.pilot.det
+		}
+		c.Autopilot = &rec
+	}
+	h.pilot.mu.Unlock()
+	covered := h.store.LastSeq()
+	h.snapMu.Unlock()
+
+	state, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("httpapi: encoding composite snapshot: %w", err)
+	}
+	return h.store.Snapshot(state, covered)
+}
+
+// restoreFromRecovery replays a store's recovered state — composite
+// snapshot first, then the log tail record by record — into the
+// handler's stateful endpoints, and attaches the journal so subsequent
+// mutations keep the log current.
+func (h *Handler) restoreFromRecovery(rec *store.Recovery) error {
+	var m *manager.Manager
+	if rec.Snapshot != nil {
+		var c composite
+		if err := json.Unmarshal(rec.Snapshot, &c); err != nil {
+			return fmt.Errorf("httpapi: decoding composite snapshot: %w", err)
+		}
+		if len(c.Fleet) > 0 {
+			var err error
+			if m, err = manager.Restore(c.Fleet); err != nil {
+				return fmt.Errorf("httpapi: restoring fleet snapshot: %w", err)
+			}
+		}
+		h.deps.entries = c.Deployments
+		h.deps.nextID = c.NextDepID
+		if c.Autopilot != nil {
+			h.pilot.last = c.Autopilot.Summary
+			det := c.Autopilot.Detector
+			h.pilot.det = &det
+		}
+	}
+	for _, r := range rec.Records {
+		switch {
+		case manager.IsFleetRecord(r.Type):
+			var err error
+			if m, err = manager.ApplyRecord(m, r.Type, r.Data); err != nil {
+				return fmt.Errorf("httpapi: replaying seq %d: %w", r.Seq, err)
+			}
+		case r.Type == recDeploymentCreated:
+			var e deployEntry
+			if err := json.Unmarshal(r.Data, &e); err != nil {
+				return fmt.Errorf("httpapi: replaying seq %d (%s): %w", r.Seq, r.Type, err)
+			}
+			h.deps.replay(e)
+		case r.Type == recAutopilotRun:
+			var ar apRunRecord
+			if err := json.Unmarshal(r.Data, &ar); err != nil {
+				return fmt.Errorf("httpapi: replaying seq %d (%s): %w", r.Seq, r.Type, err)
+			}
+			h.pilot.last = ar.Summary
+			det := ar.Detector
+			h.pilot.det = &det
+		default:
+			return fmt.Errorf("httpapi: replaying seq %d: unknown record type %q", r.Seq, r.Type)
+		}
+	}
+	if m != nil {
+		fleet := manager.Wrap(m)
+		fleet.AttachJournal(handlerJournal{h})
+		h.fleet.l = fleet
+	}
+	return nil
+}
+
+// journalFleetCreate writes the genesis record for a freshly created
+// fleet and attaches the journal. No-op without a store.
+func (h *Handler) journalFleetCreate(fleet *manager.Locked) error {
+	if h.store == nil {
+		return nil
+	}
+	genesis, err := manager.CreateRecord(fleet)
+	if err != nil {
+		return err
+	}
+	if _, err := h.store.Append(manager.RecFleetCreate, genesis); err != nil {
+		return err
+	}
+	fleet.AttachJournal(handlerJournal{h})
+	return nil
+}
+
+// journalFleetRestore records a snapshot-restore as a single record
+// carrying the full snapshot, and attaches the journal. No-op without
+// a store.
+func (h *Handler) journalFleetRestore(fleet *manager.Locked, snapshot []byte) error {
+	if h.store == nil {
+		return nil
+	}
+	if _, err := h.store.Append(manager.RecFleetRestore, manager.RestoreRecord(snapshot)); err != nil {
+		return err
+	}
+	fleet.AttachJournal(handlerJournal{h})
+	return nil
+}
+
+// apRunRecord is the durable image of one autopilot run: the response
+// summary GET replays, plus the drift detector's hysteresis state so a
+// restarted controller resumes its cooldowns (see autopilot.DetectorState).
+type apRunRecord struct {
+	Summary  json.RawMessage         `json:"summary"`
+	Detector autopilot.DetectorState `json:"detector"`
+}
+
+// storeStatus serves GET /v1/store/status: durability off/on, the
+// store's counters, and the last composite-snapshot error if any.
+func (h *Handler) storeStatus(w http.ResponseWriter, _ *http.Request) {
+	if h.store == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"durable": false})
+		return
+	}
+	h.snapErrMu.Lock()
+	snapErr := h.snapErr
+	h.snapErrMu.Unlock()
+	out := map[string]any{
+		"durable":       true,
+		"snapshotEvery": h.snapEvery,
+		"store":         h.store.Status(),
+	}
+	if snapErr != "" {
+		out["lastSnapshotError"] = snapErr
+	}
+	writeJSON(w, http.StatusOK, out)
+}

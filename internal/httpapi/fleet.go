@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,18 +27,24 @@ import (
 //	DELETE /v1/fleet/servers/{index}    — fail a server (repairs orphans)
 //	POST   /v1/fleet/rebalance          — globally rebalance the portfolio
 //
-// All fleet state lives behind one mutex; operations are fast, pure
-// computations.
+// The fleet lives in a manager.Locked; with a durable handler every
+// mutation additionally appends one typed record to the write-ahead
+// log under the same mutex hold, so the log order is the mutation
+// order and replay reconstructs the fleet byte-identically.
 
-// fleetState guards the single managed fleet.
+// fleetState guards the single managed fleet. mu protects the l
+// pointer (create/restore swap it) and serializes fleet requests;
+// the Locked's own mutex makes the fleet safe to share beyond HTTP.
 type fleetState struct {
 	mu sync.Mutex
-	m  *manager.Manager
+	h  *Handler
+	l  *manager.Locked
 }
 
 // registerFleet wires the fleet endpoints onto the handler's mux.
 func (h *Handler) registerFleet() {
-	fs := &fleetState{}
+	fs := &fleetState{h: h}
+	h.fleet = fs
 	h.mux.HandleFunc("PUT /v1/fleet", fs.create)
 	h.mux.HandleFunc("GET /v1/fleet/status", fs.status)
 	h.mux.HandleFunc("POST /v1/fleet/workflows", fs.deployWorkflow)
@@ -49,21 +56,31 @@ func (h *Handler) registerFleet() {
 	h.mux.HandleFunc("PUT /v1/fleet/snapshot", fs.restore)
 }
 
-// requireFleet returns the manager or writes a 409.
-func (fs *fleetState) requireFleet(w http.ResponseWriter) *manager.Manager {
-	if fs.m == nil {
+// requireFleet returns the fleet or writes a 409.
+func (fs *fleetState) requireFleet(w http.ResponseWriter) *manager.Locked {
+	if fs.l == nil {
 		writeErr(w, http.StatusConflict, fmt.Errorf("no fleet created yet; PUT /v1/fleet first"))
 		return nil
 	}
-	return fs.m
+	return fs.l
+}
+
+// mutationStatus maps a fleet-mutation error to a status code: a
+// journal failure is a 500 (the mutation applied but did not persist —
+// the store is the problem, not the request), anything else keeps the
+// endpoint's domain code.
+func mutationStatus(err error, fallback int) int {
+	if errors.Is(err, manager.ErrJournal) {
+		return http.StatusInternalServerError
+	}
+	return fallback
 }
 
 func (fs *fleetState) create(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Network json.RawMessage `json:"network"`
 	}
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Network) == 0 {
@@ -75,20 +92,27 @@ func (fs *fleetState) create(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.m = manager.New(n)
-	writeJSON(w, http.StatusOK, map[string]any{"servers": n.N()})
+	fs.h.mutate(func() {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		fleet := manager.NewLocked(n)
+		if err := fs.h.journalFleetCreate(fleet); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		fs.l = fleet
+		writeJSON(w, http.StatusOK, map[string]any{"servers": n.N()})
+	})
 }
 
 func (fs *fleetState) status(w http.ResponseWriter, _ *http.Request) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	m := fs.requireFleet(w)
-	if m == nil {
+	l := fs.requireFleet(w)
+	if l == nil {
 		return
 	}
-	st := m.Status()
+	st := l.Status()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"servers":     st.Servers,
 		"workflows":   st.Workflows,
@@ -119,8 +143,7 @@ func (fs *fleetState) deployWorkflow(w http.ResponseWriter, r *http.Request) {
 		Workflow    json.RawMessage `json:"workflow"`
 		WorkflowWDL string          `json:"workflowWdl"`
 	}
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.ID == "" {
@@ -132,32 +155,36 @@ func (fs *fleetState) deployWorkflow(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	m := fs.requireFleet(w)
-	if m == nil {
-		return
-	}
-	if err := m.Deploy(req.ID, wf); err != nil {
-		writeErr(w, http.StatusConflict, err)
-		return
-	}
-	mp, _ := m.Mapping(req.ID)
-	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "mapping": mp})
+	fs.h.mutate(func() {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		l := fs.requireFleet(w)
+		if l == nil {
+			return
+		}
+		if err := l.Deploy(req.ID, wf); err != nil {
+			writeErr(w, mutationStatus(err, http.StatusConflict), err)
+			return
+		}
+		mp, _ := l.Mapping(req.ID)
+		writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "mapping": mp})
+	})
 }
 
 func (fs *fleetState) removeWorkflow(w http.ResponseWriter, r *http.Request) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	m := fs.requireFleet(w)
-	if m == nil {
-		return
-	}
-	if err := m.Remove(r.PathValue("id")); err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": r.PathValue("id")})
+	fs.h.mutate(func() {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		l := fs.requireFleet(w)
+		if l == nil {
+			return
+		}
+		if err := l.Remove(r.PathValue("id")); err != nil {
+			writeErr(w, mutationStatus(err, http.StatusNotFound), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"removed": r.PathValue("id")})
+	})
 }
 
 func (fs *fleetState) serverUp(w http.ResponseWriter, r *http.Request) {
@@ -165,22 +192,23 @@ func (fs *fleetState) serverUp(w http.ResponseWriter, r *http.Request) {
 		Name    string  `json:"name"`
 		PowerHz float64 `json:"powerHz"`
 	}
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	m := fs.requireFleet(w)
-	if m == nil {
-		return
-	}
-	idx, err := m.ServerUp(req.Name, req.PowerHz)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"index": idx, "servers": m.Network().N()})
+	fs.h.mutate(func() {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		l := fs.requireFleet(w)
+		if l == nil {
+			return
+		}
+		idx, err := l.ServerUp(req.Name, req.PowerHz)
+		if err != nil {
+			writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"index": idx, "servers": l.Network().N()})
+	})
 }
 
 func (fs *fleetState) serverDown(w http.ResponseWriter, r *http.Request) {
@@ -189,29 +217,31 @@ func (fs *fleetState) serverDown(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad server index %q", r.PathValue("index")))
 		return
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	m := fs.requireFleet(w)
-	if m == nil {
-		return
-	}
-	moved, err := m.ServerDown(idx)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"moved": moved, "servers": m.Network().N()})
+	fs.h.mutate(func() {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		l := fs.requireFleet(w)
+		if l == nil {
+			return
+		}
+		moved, err := l.ServerDown(idx)
+		if err != nil {
+			writeErr(w, mutationStatus(err, http.StatusUnprocessableEntity), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"moved": moved, "servers": l.Network().N()})
+	})
 }
 
 // snapshot serializes the whole fleet state for backup or replication.
 func (fs *fleetState) snapshot(w http.ResponseWriter, _ *http.Request) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	m := fs.requireFleet(w)
-	if m == nil {
+	l := fs.requireFleet(w)
+	if l == nil {
 		return
 	}
-	data, err := m.Snapshot()
+	data, err := l.Snapshot()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -221,10 +251,18 @@ func (fs *fleetState) snapshot(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(data)
 }
 
-// restore replaces the fleet with a previously captured snapshot.
+// restore replaces the fleet with a previously captured snapshot. The
+// whole snapshot becomes one WAL record, so replay rebuilds the fleet
+// from it without needing the history that preceded the restore.
 func (fs *fleetState) restore(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -233,24 +271,33 @@ func (fs *fleetState) restore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.m = m
-	st := m.Status()
-	writeJSON(w, http.StatusOK, map[string]any{"servers": st.Servers, "workflows": st.Workflows})
+	fs.h.mutate(func() {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		fleet := manager.Wrap(m)
+		if err := fs.h.journalFleetRestore(fleet, data); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		fs.l = fleet
+		st := fleet.Status()
+		writeJSON(w, http.StatusOK, map[string]any{"servers": st.Servers, "workflows": st.Workflows})
+	})
 }
 
 func (fs *fleetState) rebalance(w http.ResponseWriter, _ *http.Request) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	m := fs.requireFleet(w)
-	if m == nil {
-		return
-	}
-	moved, err := m.Rebalance()
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"moved": moved})
+	fs.h.mutate(func() {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		l := fs.requireFleet(w)
+		if l == nil {
+			return
+		}
+		moved, err := l.Rebalance()
+		if err != nil {
+			writeErr(w, mutationStatus(err, http.StatusInternalServerError), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"moved": moved})
+	})
 }

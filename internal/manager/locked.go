@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"fmt"
 	"sync"
 
 	"wsdeploy/internal/deploy"
@@ -17,9 +18,16 @@ import (
 //
 // Compound read-modify-write sequences that must be atomic as a whole
 // go through Do, which runs a closure under the same mutex.
+//
+// With a Journal attached, every committed mutation emits one typed
+// record under the same mutex hold, so the log's order is the
+// mutation order — the property replay depends on. Do bypasses the
+// journal (its closure is opaque); durable deployments must go through
+// the named methods.
 type Locked struct {
-	mu sync.Mutex
-	m  *Manager
+	mu      sync.Mutex
+	m       *Manager
+	journal Journal
 }
 
 // NewLocked builds a concurrency-safe manager over an initial network.
@@ -29,10 +37,36 @@ func NewLocked(net *network.Network) *Locked { return &Locked{m: New(net)} }
 // ownership: every subsequent access has to go through the wrapper.
 func Wrap(m *Manager) *Locked { return &Locked{m: m} }
 
+// AttachJournal starts journaling every subsequent mutation. A nil
+// journal detaches. The caller is responsible for having captured the
+// current state first (a genesis record or a snapshot): the journal
+// only sees mutations from now on.
+func (l *Locked) AttachJournal(j Journal) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journal = j
+}
+
+// record emits one journal record; the caller holds l.mu and the
+// mutation has already been applied. A journal error is returned to the
+// caller as a persistence failure — the in-memory state is ahead of the
+// log, so the owner should stop trusting the store (the daemon treats
+// it as fatal).
+func (l *Locked) record(typ string, data any) error {
+	if l.journal == nil {
+		return nil
+	}
+	if err := l.journal.Record(typ, data); err != nil {
+		return fmt.Errorf("manager: applied %s but %w: %v", typ, ErrJournal, err)
+	}
+	return nil
+}
+
 // Do runs fn with the underlying manager under the wrapper's mutex —
 // the escape hatch for compound operations (e.g. read the status,
 // decide, then apply a batch of SetMapping calls atomically). fn must
-// not retain the *Manager beyond the call.
+// not retain the *Manager beyond the call. Mutations made inside fn are
+// NOT journaled.
 func (l *Locked) Do(fn func(*Manager) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -71,35 +105,66 @@ func (l *Locked) Mapping(id string) (deploy.Mapping, bool) {
 func (l *Locked) Adopt(id string, w *workflow.Workflow, mp deploy.Mapping) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.m.Adopt(id, w, mp)
+	if err := l.m.Adopt(id, w, mp); err != nil {
+		return err
+	}
+	return l.recordPlacement(RecAdopt, id, w)
 }
 
 // SetMapping replaces the live mapping of a deployed workflow.
 func (l *Locked) SetMapping(id string, mp deploy.Mapping) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.m.SetMapping(id, mp)
+	if err := l.m.SetMapping(id, mp); err != nil {
+		return err
+	}
+	committed, _ := l.m.Mapping(id)
+	return l.record(RecSetMapping, recSetMapping{ID: id, Mapping: committed})
 }
 
 // Deploy places a new workflow into the valleys of the combined load.
 func (l *Locked) Deploy(id string, w *workflow.Workflow) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.m.Deploy(id, w)
+	if err := l.m.Deploy(id, w); err != nil {
+		return err
+	}
+	return l.recordPlacement(RecDeploy, id, w)
+}
+
+// recordPlacement journals a deploy/adopt with the mapping the
+// placement committed; the caller holds l.mu.
+func (l *Locked) recordPlacement(typ, id string, w *workflow.Workflow) error {
+	if l.journal == nil {
+		return nil
+	}
+	wjson, err := encodeWorkflowJSON(w)
+	if err != nil {
+		return fmt.Errorf("manager: applied %s but %w: encoding its workflow: %v", typ, ErrJournal, err)
+	}
+	mp, _ := l.m.Mapping(id)
+	return l.record(typ, recDeploy{ID: id, Workflow: wjson, Mapping: mp})
 }
 
 // MarkDown fails a server in place and re-places its orphans.
 func (l *Locked) MarkDown(s int) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.m.MarkDown(s)
+	moved, err := l.m.MarkDown(s)
+	if err != nil {
+		return moved, err
+	}
+	return moved, l.record(RecMarkDown, recIndex{Index: s})
 }
 
 // MarkUp rejoins a server previously failed with MarkDown.
 func (l *Locked) MarkUp(s int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.m.MarkUp(s)
+	if err := l.m.MarkUp(s); err != nil {
+		return err
+	}
+	return l.record(RecMarkUp, recIndex{Index: s})
 }
 
 // IsDown reports whether server s is currently marked down.
@@ -120,28 +185,43 @@ func (l *Locked) DownServers() []int {
 func (l *Locked) Remove(id string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.m.Remove(id)
+	if err := l.m.Remove(id); err != nil {
+		return err
+	}
+	return l.record(RecRemove, recID{ID: id})
 }
 
 // ServerDown removes a failed server and repairs every mapping.
 func (l *Locked) ServerDown(s int) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.m.ServerDown(s)
+	moved, err := l.m.ServerDown(s)
+	if err != nil {
+		return moved, err
+	}
+	return moved, l.record(RecServerDown, recIndex{Index: s})
 }
 
 // ServerUp joins a fresh server to a bus fleet.
 func (l *Locked) ServerUp(name string, powerHz float64) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.m.ServerUp(name, powerHz)
+	idx, err := l.m.ServerUp(name, powerHz)
+	if err != nil {
+		return idx, err
+	}
+	return idx, l.record(RecServerUp, recServerUp{Name: name, PowerHz: powerHz})
 }
 
 // Rebalance redeploys the whole portfolio from scratch.
 func (l *Locked) Rebalance() (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.m.Rebalance()
+	moved, err := l.m.Rebalance()
+	if err != nil {
+		return moved, err
+	}
+	return moved, l.record(RecRebalance, struct{}{})
 }
 
 // Status reports the portfolio's health.

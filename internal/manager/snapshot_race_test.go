@@ -1,0 +1,129 @@
+package manager
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSnapshotRestoreUnderConcurrentChurn round-trips Locked snapshots
+// through Restore while two goroutines churn the fleet — one cycling
+// permanent server removals/arrivals, one rewriting a workflow's
+// mapping. Under -race this proves three things at once: Snapshot is
+// internally consistent even when taken mid-churn (Restore never
+// rejects it), the restored bytes are a fixed point (re-snapshotting
+// the restored fleet reproduces them exactly), and the restored fleet
+// shares no mutable state with the live one (mutating the copy races
+// with nothing).
+func TestSnapshotRestoreUnderConcurrentChurn(t *testing.T) {
+	w, n := lineAndBus(t, 5, []float64{1e9, 2e9, 2e9, 3e9})
+	l := NewLocked(n)
+	if err := l.Deploy("wf", w); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		stop   = make(chan struct{})
+		wg     sync.WaitGroup
+		churns atomic.Int64
+		remaps atomic.Int64
+	)
+	wg.Add(2)
+	go func() { // membership churn: permanent removals and arrivals
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if i%2 == 0 {
+				_, err = l.ServerDown(0)
+			} else {
+				_, err = l.ServerUp(fmt.Sprintf("r%d", i), 1.5e9)
+			}
+			// Races with the other churner can make a step invalid
+			// (e.g. removing the only survivor); rejection is fine.
+			if err == nil {
+				churns.Add(1)
+			}
+		}
+	}()
+	go func() { // remap churn: force the whole workflow onto server 0
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mp, ok := l.Mapping("wf")
+			if !ok {
+				continue
+			}
+			for j := range mp {
+				mp[j] = 0
+			}
+			if err := l.SetMapping("wf", mp); err == nil {
+				remaps.Add(1)
+			}
+		}
+	}()
+
+	// Run at least `rounds` snapshot round-trips, and keep going until
+	// both churners have landed at least one mutation — without -race
+	// the loop can otherwise finish before they are ever scheduled.
+	rounds := 100
+	if testing.Short() {
+		rounds = 10
+	}
+	landed := func() bool { return churns.Load() > 0 && remaps.Load() > 0 }
+	for i := 0; i < rounds || !landed(); i++ {
+		if i > 100*rounds {
+			t.Fatalf("churn never landed after %d rounds", i)
+		}
+		s1, err := l.Snapshot()
+		if err != nil {
+			t.Fatalf("iteration %d: snapshot: %v", i, err)
+		}
+		m2, err := Restore(s1)
+		if err != nil {
+			t.Fatalf("iteration %d: restore rejected a live snapshot: %v\n%s", i, err, s1)
+		}
+		s2, err := m2.Snapshot()
+		if err != nil {
+			t.Fatalf("iteration %d: re-snapshot: %v", i, err)
+		}
+		if !bytes.Equal(s1, s2) {
+			t.Fatalf("iteration %d: restore is not a fixed point\n got: %s\nwant: %s", i, s2, s1)
+		}
+		// The restored fleet must be fully detached: growing it can
+		// touch nothing the churners are mutating.
+		if _, err := m2.ServerUp("probe", 1e9); err != nil {
+			t.Fatalf("iteration %d: mutating restored fleet: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced round-trip still holds after all the churn.
+	s1, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Restore(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("post-churn round trip diverged\n got: %s\nwant: %s", s2, s1)
+	}
+	t.Logf("churn: %d membership changes, %d remaps", churns.Load(), remaps.Load())
+}

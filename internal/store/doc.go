@@ -1,0 +1,34 @@
+// Package store is the daemon's crash-safe durability subsystem: an
+// append-only write-ahead log of typed, CRC32C-framed records plus
+// atomic snapshot compaction, all on the standard library.
+//
+// Every state mutation of the control plane (server up/down, deployment
+// created/remapped, autopilot transitions) becomes one WAL record. A
+// record is framed as
+//
+//	| u32 length | u32 CRC32C(payload) | payload |
+//
+// with little-endian headers and a JSON payload {seq, type, data}.
+// Sequence numbers are dense: record k+1 always carries seq(k)+1, so a
+// gap is distinguishable from a clean tail.
+//
+// Snapshots bound replay time: Snapshot writes the caller's opaque
+// state to a temp file, fsyncs, and renames it into place
+// (snap-<seq>.bin, itself a CRC-framed blob), then rewrites the WAL
+// keeping only records newer than the covered sequence. Every crash
+// window between those steps recovers cleanly because replay skips
+// records at or below the snapshot's sequence.
+//
+// Recovery (Open) replays snapshot+log. A torn or partial tail record —
+// the only corruption a crashed append can produce on an append-only
+// file — is truncated and counted. Corruption in the middle of the log
+// (a valid frame exists beyond the damage) can only mean bit rot or
+// tampering and is rejected loudly with ErrCorrupt; the store refuses
+// to open rather than silently diverge.
+//
+// The fsync discipline is configurable (SyncAlways, SyncInterval,
+// SyncNone) and instrumented: fsync latency lands in the
+// "store.fsync_seconds" histogram, appends/replays/truncations on
+// counters, and Open/Append/Snapshot emit store.recover, store.append
+// and store.snapshot spans when a tracer is attached.
+package store

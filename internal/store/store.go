@@ -1,0 +1,403 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"wsdeploy/internal/obs"
+)
+
+// Process-wide durability metrics on the shared obs registry: the
+// daemon's /metrics shows the WAL's write and recovery activity next to
+// the engine, fabric and fleet series.
+var (
+	obsAppends   = obs.Default().Counter("store.appends")
+	obsReplays   = obs.Default().Counter("store.records_replayed")
+	obsSnapshots = obs.Default().Counter("store.snapshots")
+	obsTorn      = obs.Default().Counter("store.torn_truncations")
+	obsFsync     = obs.Default().Histogram("store.fsync_seconds")
+)
+
+// Options tunes a Store.
+type Options struct {
+	// Sync is the WAL fsync discipline; default SyncAlways.
+	Sync SyncMode
+	// SyncInterval is the maximum time between fsyncs under
+	// SyncInterval; default 100ms.
+	SyncInterval time.Duration
+	// MaxRecordBytes bounds a single record (and the snapshot frame);
+	// larger declared lengths are treated as corruption. Default 64 MiB.
+	MaxRecordBytes int
+	// Tracer, when set, emits store.recover / store.append /
+	// store.snapshot spans. Nil leaves tracing off.
+	Tracer *obs.Tracer
+
+	// now overrides the clock for interval-sync tests.
+	now syncClock
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = 64 << 20
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// Recovery is what Open rebuilt from disk: the latest snapshot's opaque
+// state (nil when none was ever taken), the intact records appended
+// after it, and the forensic counters the status endpoint reports.
+type Recovery struct {
+	Snapshot    []byte
+	SnapshotSeq uint64
+	Records     []Record // seq > SnapshotSeq, dense and in order
+	// TornBytes counts WAL bytes dropped because a crashed append left a
+	// partial tail record; TornNote says what was wrong with it.
+	TornBytes int64
+	TornNote  string
+}
+
+// LastSeq returns the sequence of the newest committed record —
+// SnapshotSeq when the log is empty.
+func (r *Recovery) LastSeq() uint64 {
+	if n := len(r.Records); n > 0 {
+		return r.Records[n-1].Seq
+	}
+	return r.SnapshotSeq
+}
+
+// Status is the store's health report, served by GET /v1/store/status.
+type Status struct {
+	Dir          string   `json:"dir"`
+	Sync         string   `json:"sync"`
+	LastSeq      uint64   `json:"lastSeq"`
+	SnapshotSeq  uint64   `json:"snapshotSeq"`
+	WALBytes     int64    `json:"walBytes"`
+	WALRecords   int64    `json:"walRecords"` // records currently in the WAL (since last compaction)
+	Appended     int64    `json:"appended"`   // records appended by this process
+	Replayed     int      `json:"replayed"`   // records replayed at open
+	TornBytes    int64    `json:"tornBytes"`  // torn tail dropped at open (0 = clean shutdown or lucky crash)
+	Snapshots    int64    `json:"snapshots"`  // snapshots taken by this process
+	SnapshotSeqs []uint64 `json:"snapshotSeqs,omitempty"`
+}
+
+// Store is the durable state engine. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	wal         *os.File
+	walBytes    int64
+	walRecords  int64
+	lastSeq     uint64
+	snapshotSeq uint64
+	lastSync    time.Time
+	appended    int64
+	replayed    int
+	tornBytes   int64
+	snapshots   int64
+	closed      bool
+}
+
+// Open mounts (creating if needed) the durable state directory and
+// recovers its committed state: latest snapshot plus every intact WAL
+// record after it. A torn tail record is truncated from the file before
+// the append handle opens; interior corruption aborts with ErrCorrupt.
+func Open(dir string, opts Options) (*Store, *Recovery, error) {
+	opts = opts.withDefaults()
+	sp := opts.Tracer.StartSpan("store.recover")
+	sp.SetAttr("dir", dir)
+	defer sp.End()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	state, snapSeq, err := loadLatestSnapshot(dir, opts.MaxRecordBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	walPath := filepath.Join(dir, walName)
+	// A crash between snapshot rename and WAL compaction can leave a
+	// finished wal.log.tmp; the intact old wal.log wins (its extra
+	// records are skipped by sequence), the temp is discarded.
+	os.Remove(walPath + tmpSuffix)
+	raw, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("store: reading WAL: %w", err)
+	}
+	scan, err := scanWAL(raw, snapSeq, opts.MaxRecordBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	if scan.torn > 0 {
+		if err := os.Truncate(walPath, scan.goodEnd); err != nil {
+			return nil, nil, fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		obsTorn.Inc()
+	}
+
+	rec := &Recovery{
+		Snapshot:    state,
+		SnapshotSeq: snapSeq,
+		TornBytes:   scan.torn,
+		TornNote:    scan.tornNote,
+	}
+	for _, r := range scan.records {
+		if r.Seq > snapSeq {
+			rec.Records = append(rec.Records, r)
+		}
+	}
+	obsReplays.Add(int64(len(rec.Records)))
+
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		wal.Close()
+		return nil, nil, fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:         dir,
+		opts:        opts,
+		wal:         wal,
+		walBytes:    scan.goodEnd,
+		walRecords:  int64(len(scan.records)),
+		lastSeq:     rec.LastSeq(),
+		snapshotSeq: snapSeq,
+		lastSync:    opts.now(),
+		replayed:    len(rec.Records),
+		tornBytes:   scan.torn,
+	}
+	sp.SetInt("replayed", int64(len(rec.Records)))
+	sp.SetInt("torn_bytes", scan.torn)
+	sp.SetInt("snapshot_seq", int64(snapSeq))
+	return s, rec, nil
+}
+
+// Dir returns the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append commits one typed record to the WAL and returns its sequence
+// number. data is marshalled to JSON; under SyncAlways the record is on
+// stable storage when Append returns.
+func (s *Store) Append(typ string, data any) (uint64, error) {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return 0, fmt.Errorf("store: encoding %s record: %w", typ, err)
+	}
+	sp := s.opts.Tracer.StartSpan("store.append")
+	sp.SetAttr("type", typ)
+	defer sp.End()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: append %s: store is closed", typ)
+	}
+	seq := s.lastSeq + 1
+	frame := encodeFrame(nil, mustMarshal(Record{Seq: seq, Type: typ, Data: payload}))
+	if len(frame)-frameHeader > s.opts.MaxRecordBytes {
+		return 0, fmt.Errorf("store: %s record of %d bytes exceeds the %d-byte limit", typ, len(frame)-frameHeader, s.opts.MaxRecordBytes)
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		return 0, fmt.Errorf("store: appending %s record: %w", typ, err)
+	}
+	s.walBytes += int64(len(frame))
+	s.walRecords++
+	s.lastSeq = seq
+	s.appended++
+	obsAppends.Inc()
+	sp.SetInt("seq", int64(seq))
+	if err := s.maybeSync(); err != nil {
+		return 0, fmt.Errorf("store: syncing WAL: %w", err)
+	}
+	return seq, nil
+}
+
+// mustMarshal encodes a Record; it cannot fail (the payload is already
+// valid JSON and the envelope is plain fields).
+func mustMarshal(r Record) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic("store: record envelope unmarshallable: " + err.Error())
+	}
+	return b
+}
+
+// maybeSync applies the fsync discipline; the caller holds s.mu.
+func (s *Store) maybeSync() error {
+	switch s.opts.Sync {
+	case SyncAlways:
+		return s.fsync()
+	case SyncInterval:
+		if now := s.opts.now(); now.Sub(s.lastSync) >= s.opts.SyncInterval {
+			return s.fsync()
+		}
+	}
+	return nil
+}
+
+// fsync flushes the WAL and records the latency; the caller holds s.mu.
+func (s *Store) fsync() error {
+	start := time.Now()
+	err := s.wal.Sync()
+	obsFsync.ObserveDuration(time.Since(start))
+	s.lastSync = s.opts.now()
+	return err
+}
+
+// Snapshot compacts the log: state is the caller's opaque serialization
+// of everything up to and including record coveredSeq. It is written
+// atomically (temp → fsync → rename), then the WAL is rewritten keeping
+// only records newer than coveredSeq — replay time stays bounded by the
+// churn since the last snapshot, not the lifetime of the daemon.
+//
+// coveredSeq may trail the live sequence (mutations racing the
+// snapshot): the uncovered suffix stays in the WAL and replays over the
+// snapshot on recovery.
+func (s *Store) Snapshot(state []byte, coveredSeq uint64) error {
+	sp := s.opts.Tracer.StartSpan("store.snapshot")
+	sp.SetInt("covered_seq", int64(coveredSeq))
+	defer sp.End()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: snapshot: store is closed")
+	}
+	if coveredSeq > s.lastSeq {
+		return fmt.Errorf("store: snapshot claims seq %d but the log only reaches %d", coveredSeq, s.lastSeq)
+	}
+	if coveredSeq < s.snapshotSeq {
+		return fmt.Errorf("store: snapshot would regress from seq %d to %d", s.snapshotSeq, coveredSeq)
+	}
+	if len(state) > s.opts.MaxRecordBytes {
+		return fmt.Errorf("store: snapshot of %d bytes exceeds the %d-byte limit", len(state), s.opts.MaxRecordBytes)
+	}
+	// The snapshot must not outrun the durable log: if the WAL has
+	// unsynced records at or below coveredSeq, a crash after the rename
+	// but before writeback would lose them from both places.
+	if s.opts.Sync != SyncAlways {
+		if err := s.fsync(); err != nil {
+			return fmt.Errorf("store: syncing WAL before snapshot: %w", err)
+		}
+	}
+	if err := writeFileAtomic(filepath.Join(s.dir, snapName(coveredSeq)), encodeFrame(nil, state)); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	s.snapshotSeq = coveredSeq
+	s.snapshots++
+	obsSnapshots.Inc()
+
+	if err := s.compactLocked(coveredSeq); err != nil {
+		// The snapshot itself is durable; a failed compaction only means
+		// replay does redundant (skipped) work next open.
+		return fmt.Errorf("store: compacting WAL: %w", err)
+	}
+	pruneSnapshots(s.dir, coveredSeq)
+	sp.SetInt("wal_bytes", s.walBytes)
+	return nil
+}
+
+// compactLocked rewrites the WAL keeping only records with seq >
+// coveredSeq, atomically swapping it into place. Caller holds s.mu.
+func (s *Store) compactLocked(coveredSeq uint64) error {
+	walPath := filepath.Join(s.dir, walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		return err
+	}
+	scan, err := scanWAL(raw, coveredSeq, s.opts.MaxRecordBytes)
+	if err != nil {
+		return err
+	}
+	var keep []byte
+	var kept int64
+	for _, r := range scan.records {
+		if r.Seq > coveredSeq {
+			keep = encodeFrame(keep, mustMarshal(r))
+			kept++
+		}
+	}
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(walPath, keep); err != nil {
+		// The old wal.log is still in place (the rename never happened);
+		// reopen it so the store stays writable.
+		if wal, rerr := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644); rerr == nil {
+			s.wal = wal
+		} else {
+			s.closed = true
+		}
+		return err
+	}
+	wal, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	s.walBytes = int64(len(keep))
+	s.walRecords = kept
+	return nil
+}
+
+// LastSeq returns the newest committed sequence number.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// SnapshotSeq returns the sequence covered by the latest snapshot.
+func (s *Store) SnapshotSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotSeq
+}
+
+// Status reports the store's health.
+func (s *Store) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		Dir:          s.dir,
+		Sync:         s.opts.Sync.String(),
+		LastSeq:      s.lastSeq,
+		SnapshotSeq:  s.snapshotSeq,
+		WALBytes:     s.walBytes,
+		WALRecords:   s.walRecords,
+		Appended:     s.appended,
+		Replayed:     s.replayed,
+		TornBytes:    s.tornBytes,
+		Snapshots:    s.snapshots,
+		SnapshotSeqs: snapshotSeqs(s.dir),
+	}
+}
+
+// Close fsyncs and closes the WAL. The store rejects further appends.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.fsync(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}

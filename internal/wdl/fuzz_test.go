@@ -4,9 +4,10 @@ import (
 	"testing"
 )
 
-// FuzzParse asserts the parser's total behaviour: arbitrary input never
-// panics, and any input it accepts round-trips through Format → Parse.
-func FuzzParse(f *testing.F) {
+// FuzzParseWDL asserts the parser's total behaviour: arbitrary input
+// never panics, and any input it accepts round-trips through Format →
+// Parse.
+func FuzzParseWDL(f *testing.F) {
 	f.Add(patientSrc)
 	f.Add(`workflow x op A 1`)
 	f.Add(`workflow x xor D { branch { op A 1 } branch { } } op B 2`)

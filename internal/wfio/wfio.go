@@ -154,7 +154,19 @@ func DecodeNetwork(in io.Reader) (*network.Network, error) {
 		for i, s := range spec.Servers {
 			powers[i] = s.PowerHz
 		}
-		return network.NewBus(spec.Name, powers, spec.Bus.SpeedBps, spec.Bus.PropDelay)
+		n, err := network.NewBus(spec.Name, powers, spec.Bus.SpeedBps, spec.Bus.PropDelay)
+		if err != nil {
+			return nil, err
+		}
+		// Keep the spec's server names verbatim — even empty ones, which
+		// the explicit-links path also preserves. A fleet that scaled or
+		// failed servers carries non-default names ("joined", "S5"), and
+		// the encode/decode round-trip must not renumber any server:
+		// crash recovery relies on snapshot → restore being lossless.
+		for i, s := range spec.Servers {
+			n.Servers[i].Name = s.Name
+		}
+		return n, nil
 	}
 	servers := make([]network.Server, len(spec.Servers))
 	for i, s := range spec.Servers {

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test: boot wsdeployd with a data directory,
+# create durable state over HTTP, kill -9 the daemon mid-flight, boot a
+# fresh process on the same directory, and require every durable read
+# surface to come back byte-identical. CI runs this on every push; it
+# is also handy locally: scripts/crash_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-8931}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+DATA="${WORK}/data"
+BIN="${WORK}/wsdeployd"
+PID=""
+
+cleanup() {
+    [ -n "${PID}" ] && kill -9 "${PID}" 2>/dev/null || true
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+go build -o "${BIN}" ./cmd/wsdeployd
+
+start() {
+    "${BIN}" -addr "${ADDR}" -data "${DATA}" &
+    PID=$!
+    for _ in $(seq 1 100); do
+        if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "wsdeployd did not become ready on ${ADDR}" >&2
+    exit 1
+}
+
+NET='{"name":"smoke","servers":[{"name":"S1","powerHz":1e9},{"name":"S2","powerHz":2e9},{"name":"S3","powerHz":3e9}],"bus":{"speedBps":1e8}}'
+WF='workflow w op A 20M msg 7581B op B 30M msg 7581B op C 10M'
+
+start
+echo "crash_smoke: seeding state (pid ${PID})"
+
+curl -sf -X PUT  "http://${ADDR}/v1/fleet" -d "{\"network\": ${NET}}" >/dev/null
+curl -sf -X POST "http://${ADDR}/v1/fleet/workflows" \
+    -d "{\"id\": \"billing\", \"workflowWdl\": \"${WF}\"}" >/dev/null
+curl -sf -X POST "http://${ADDR}/v1/fleet/servers" \
+    -d '{"name": "joined", "powerHz": 2.5e9}' >/dev/null
+curl -sf -X POST "http://${ADDR}/v1/deploy" \
+    -d "{\"workflowWdl\": \"${WF}\", \"network\": ${NET}}" >/dev/null
+curl -sf -X POST "http://${ADDR}/v1/deploy" \
+    -d "{\"id\": \"named\", \"workflowWdl\": \"${WF}\", \"network\": ${NET}, \"algorithm\": \"fairload\"}" >/dev/null
+
+for path in /v1/deployments /v1/fleet/snapshot /v1/fleet/status; do
+    curl -sf "http://${ADDR}${path}" >"${WORK}/before$(echo "${path}" | tr / _).json"
+done
+
+echo "crash_smoke: kill -9 ${PID}"
+kill -9 "${PID}"
+wait "${PID}" 2>/dev/null || true
+PID=""
+
+start
+echo "crash_smoke: restarted (pid ${PID}), comparing recovered state"
+
+FAIL=0
+for path in /v1/deployments /v1/fleet/snapshot /v1/fleet/status; do
+    name="$(echo "${path}" | tr / _)"
+    curl -sf "http://${ADDR}${path}" >"${WORK}/after${name}.json"
+    if ! diff -u "${WORK}/before${name}.json" "${WORK}/after${name}.json"; then
+        echo "crash_smoke: ${path} diverged after kill -9" >&2
+        FAIL=1
+    fi
+done
+
+TORN="$(curl -sf "http://${ADDR}/v1/store/status")"
+echo "crash_smoke: store status: ${TORN}"
+
+[ "${FAIL}" -eq 0 ] && echo "crash_smoke: PASS — state survived kill -9 byte-identically"
+exit "${FAIL}"
