@@ -22,16 +22,26 @@
 // JSONL. The daemon traps SIGINT/SIGTERM and drains in-flight plans
 // before exiting.
 //
-// With -data, every state mutation (fleet operations, acknowledged
-// deployments, autopilot runs) is journaled to a write-ahead log in
-// the given directory before it is acknowledged; on boot the daemon
-// replays snapshot+log — truncating a torn tail from a mid-write crash
-// — and on graceful shutdown it folds the state into a snapshot so the
-// next boot replays nothing. kill -9 at any point loses no
-// acknowledged mutation. -fsync picks the WAL fsync discipline:
-// "always" survives power loss per record, "interval" (default) syncs
-// roughly once a second, "none" leaves flushing to the OS — all three
-// survive a process crash.
+// The daemon is multi-tenant: every stateful route is namespaced by
+// the X-Tenant header or the /v1/tenants/{tenant}/... path prefix
+// (neither means the "default" tenant, so single-tenant usage is
+// unchanged). Tenants spread across -shards planner shards by
+// consistent hashing; -maxshardqueue bounds each shard's in-flight
+// admitted requests (overflow sheds with 503) and -planrate sets the
+// default per-tenant plans/sec quota (over-quota sheds with 429).
+//
+// With -data, every tenant's state mutations (fleet operations,
+// acknowledged deployments, autopilot runs) are journaled to that
+// tenant's own write-ahead log under -data/<tenant>/ before they are
+// acknowledged; on boot the daemon replays each tenant's snapshot+log
+// — truncating torn tails from a mid-write crash — and on graceful
+// shutdown it folds every tenant's state into a snapshot so the next
+// boot replays nothing. kill -9 at any point loses no acknowledged
+// mutation in any tenant. A pre-tenancy data directory (WAL at the
+// root) is migrated into the default tenant's namespace on first boot.
+// -fsync picks the WAL fsync discipline: "always" survives power loss
+// per record, "interval" (default) syncs roughly once a second, "none"
+// leaves flushing to the OS — all three survive a process crash.
 package main
 
 import (
@@ -51,6 +61,7 @@ import (
 	"wsdeploy/internal/httpapi"
 	"wsdeploy/internal/obs"
 	"wsdeploy/internal/store"
+	"wsdeploy/internal/tenant"
 )
 
 // autopilotSelfCheck runs the built-in seeded drift study on the
@@ -87,8 +98,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	traceFile := flag.String("tracefile", "", "append finished spans to this file as JSONL")
-	dataDir := flag.String("data", "", "durable state directory (empty: in-memory only)")
+	dataDir := flag.String("data", "", "durable state directory, one namespace per tenant (empty: in-memory only)")
 	fsyncMode := flag.String("fsync", "interval", "WAL fsync discipline with -data: always|interval|none")
+	shards := flag.Int("shards", tenant.DefaultShards, "planner shards tenants hash across")
+	maxShardQueue := flag.Int("maxshardqueue", 0, "max in-flight admitted requests per planner shard (0: unbounded)")
+	planRate := flag.Float64("planrate", 0, "default per-tenant plans/sec quota for tenants without an explicit one (0: unlimited)")
 	autoCheck := flag.Bool("autopilot", false, "run the seeded closed-loop drift self-check before serving and log its summary")
 	traffic := flag.String("traffic", "skew", "traffic shape for the -autopilot self-check: steady|diurnal|skew")
 	flag.Parse()
@@ -99,27 +113,43 @@ func main() {
 		}
 	}
 
-	var api *httpapi.Handler
+	tcfg := tenant.Config{
+		Shards:        *shards,
+		MaxShardQueue: *maxShardQueue,
+		DefaultQuota:  tenant.Quota{PlansPerSec: *planRate},
+	}
 	if *dataDir != "" {
 		mode, err := store.ParseSyncMode(*fsyncMode)
 		if err != nil {
 			log.Fatalf("-fsync: %v", err)
 		}
-		st, rec, err := store.Open(*dataDir, store.Options{Sync: mode})
-		if err != nil {
-			log.Fatalf("opening data dir %s: %v", *dataDir, err)
+		tcfg.DataDir = *dataDir
+		tcfg.Store = store.Options{Sync: mode}
+	}
+	reg, err := tenant.Open(tcfg)
+	if err != nil {
+		log.Fatalf("opening tenant registry: %v", err)
+	}
+	defer reg.Close()
+	if *dataDir != "" {
+		for _, t := range reg.List() {
+			rec := t.Recovery()
+			if rec == nil {
+				continue
+			}
+			fmt.Printf("wsdeployd: tenant %s: recovered snapshot seq %d + %d log records\n",
+				t.Name(), rec.SnapshotSeq, len(rec.Records))
+			if rec.TornBytes > 0 {
+				fmt.Printf("wsdeployd: tenant %s: truncated %d bytes of torn WAL tail (%s)\n",
+					t.Name(), rec.TornBytes, rec.TornNote)
+			}
 		}
-		defer st.Close()
-		fmt.Printf("wsdeployd: recovered %s: snapshot seq %d + %d log records (fsync %s)\n",
-			*dataDir, rec.SnapshotSeq, len(rec.Records), mode)
-		if rec.TornBytes > 0 {
-			fmt.Printf("wsdeployd: truncated %d bytes of torn WAL tail (%s)\n", rec.TornBytes, rec.TornNote)
-		}
-		if api, err = httpapi.NewHandlerWith(httpapi.Options{Store: st, Recovery: rec}); err != nil {
-			log.Fatalf("replaying recovered state: %v", err)
-		}
-	} else {
-		api = httpapi.NewHandler()
+		fmt.Printf("wsdeployd: %d tenants across %d planner shards (fsync %s, data %s)\n",
+			len(reg.List()), reg.Shards(), *fsyncMode, *dataDir)
+	}
+	api, err := httpapi.NewHandlerWith(httpapi.Options{Tenants: reg})
+	if err != nil {
+		log.Fatalf("replaying recovered state: %v", err)
 	}
 	if *traceFile != "" {
 		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wsdeploy/internal/manager"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// tenantScript builds a scripted history whose shape depends on the
+// tenant name, so two namespaces never share a byte-identical log.
+func tenantScript(t *testing.T, name string, extra int) (*network.Network, []CrashStep) {
+	t.Helper()
+	n, err := network.NewBus(name, []float64{1e9, 2e9, 3e9}, 1e8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := func(id string) *workflow.Workflow {
+		w, err := workflow.NewLine(id, []float64{1e8, 2e8, 1e8}, []float64{8000, 8000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	steps := []CrashStep{
+		{Name: name + ": deploy", Mutate: func(l *manager.Locked) error { return l.Deploy(name+"-wf", wf(name+"-wf")) }},
+		{Name: name + ": server up", Mutate: func(l *manager.Locked) error { _, err := l.ServerUp(name+"-join", 2.5e9); return err }},
+		{Name: name + ": snapshot + rebalance", Snapshot: true,
+			Mutate: func(l *manager.Locked) error { _, err := l.Rebalance(); return err }},
+	}
+	for i := 0; i < extra; i++ {
+		id := name + "-extra"
+		steps = append(steps,
+			CrashStep{Name: name + ": deploy extra", Mutate: func(l *manager.Locked) error { return l.Deploy(id, wf(id)) }},
+			CrashStep{Name: name + ": remove extra", Mutate: func(l *manager.Locked) error { return l.Remove(id) }},
+		)
+	}
+	return n, steps
+}
+
+// snapshotTree reads every file under dir into a map for byte-level
+// comparison.
+func snapshotTree(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		out[rel] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCrashSweepPerTenantNamespaces runs the kill-at-every-offset
+// crash sweep independently inside two tenant namespaces under one
+// data root — each with a different mutation history — and requires
+// (a) every offset of each tenant's sweep to recover byte-identically,
+// and (b) the sibling namespace's bytes to be completely untouched by
+// the other tenant's sweep: crash recovery is a per-tenant affair.
+func TestCrashSweepPerTenantNamespaces(t *testing.T) {
+	root := t.TempDir()
+	tenants := []struct {
+		name  string
+		extra int
+	}{{"acme", 1}, {"beta", 3}}
+
+	// First pass: record each tenant's history in its own namespace.
+	type recorded struct {
+		net   *network.Network
+		steps []CrashStep
+	}
+	histories := map[string]recorded{}
+	for _, tn := range tenants {
+		n, steps := tenantScript(t, tn.name, tn.extra)
+		histories[tn.name] = recorded{net: n, steps: steps}
+		if err := os.MkdirAll(filepath.Join(root, tn.name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sweep acme while beta's namespace holds a finished recording, and
+	// vice versa: the sweep must never reach outside its own directory.
+	for i, tn := range tenants {
+		other := tenants[(i+1)%len(tenants)]
+		otherDir := filepath.Join(root, other.name)
+		beforeOther := snapshotTree(t, otherDir)
+
+		h := histories[tn.name]
+		rep, err := CrashSweep(h.net, h.steps, filepath.Join(root, tn.name))
+		if err != nil {
+			t.Fatalf("tenant %s sweep: %v", tn.name, err)
+		}
+		if rep.Torn == 0 || rep.Clean == 0 {
+			t.Fatalf("tenant %s sweep too shallow: %+v", tn.name, rep)
+		}
+		t.Logf("tenant %s: %d offsets (%d torn, %d clean)", tn.name, rep.Offsets, rep.Torn, rep.Clean)
+
+		afterOther := snapshotTree(t, otherDir)
+		if len(beforeOther) != len(afterOther) {
+			t.Fatalf("tenant %s sweep changed %s's file set: %d -> %d files",
+				tn.name, other.name, len(beforeOther), len(afterOther))
+		}
+		for name, want := range beforeOther {
+			if got, ok := afterOther[name]; !ok || !bytes.Equal(got, want) {
+				t.Fatalf("tenant %s sweep touched %s's file %s", tn.name, other.name, name)
+			}
+		}
+	}
+}

@@ -1,8 +1,19 @@
 // Package httpapi exposes the deployment planner as a JSON-over-HTTP
 // service: clients POST a workflow and a network (the wfio JSON schema)
-// and receive a mapping with its cost metrics. The service is stateless;
-// every request is planned from scratch, so it scales horizontally and
-// needs no coordination.
+// and receive a mapping with its cost metrics.
+//
+// The service is a sharded multi-tenant control plane: every stateful
+// endpoint is namespaced by tenant (X-Tenant header or the
+// /v1/tenants/{tenant}/... path prefix; neither means the "default"
+// tenant, so the pre-tenancy surface works unchanged). Each tenant owns
+// its own fleet, deployment ledger, autopilot state and — on a durable
+// handler — its own WAL segment and snapshot lineage; tenants are
+// spread across N planner shards by consistent hashing so a tenant's
+// plans always hit the same engine worker pool and its LRU plan cache
+// stays hot. Mutating and planning requests pass an admission layer
+// first: per-tenant token-bucket quotas (over-quota → 429 +
+// Retry-After) and per-shard queue bounds (full → 503 + Retry-After)
+// shed load before any planning work happens.
 //
 // Endpoints:
 //
@@ -20,19 +31,21 @@
 //	POST /v1/autopilot   — closed-loop drift study: seeded traffic over
 //	                       a fleet with the autopilot on or off
 //	GET  /v1/autopilot   — controller defaults and the last run summary
+//	GET  /v1/tenants     — tenant directory; POST creates, GET/DELETE
+//	                       /v1/tenants/{name} inspect and remove
 //	GET  /metrics        — Prometheus text exposition of the obs registry
 //	GET  /debug/trace    — recent spans from the flight recorder (JSON)
 //	GET  /debug/vars     — expvar metrics (engine counters, latency)
 //
 // plus the stateful fleet-manager endpoints under /v1/fleet (see
 // fleet.go): create/status, workflow arrival/departure, server
-// join/failure, rebalance, and snapshot/restore.
+// join/failure, rebalance, and snapshot/restore — all tenant-scoped.
 //
-// Planning requests are served by the concurrent portfolio engine
-// (internal/engine): repeated deploys of an identical spec hit its LRU
-// plan cache, and an optional timeoutMs field bounds planning latency —
-// on expiry the best mapping found so far is returned with "truncated"
-// set.
+// Planning requests are served by the tenant's shard of the concurrent
+// portfolio engine (internal/engine): repeated deploys of an identical
+// spec hit its LRU plan cache, and an optional timeoutMs field bounds
+// planning latency — on expiry the best mapping found so far is
+// returned with "truncated" set.
 package httpapi
 
 import (
@@ -54,6 +67,7 @@ import (
 	"wsdeploy/internal/obs"
 	"wsdeploy/internal/sim"
 	"wsdeploy/internal/store"
+	"wsdeploy/internal/tenant"
 	"wsdeploy/internal/wfio"
 	"wsdeploy/internal/workflow"
 )
@@ -73,45 +87,54 @@ const MaxRequestBytes = 4 << 20
 const PortfolioAlgorithm = "portfolio"
 
 // Handler serves the planning API. Construct with NewHandler (purely
-// in-memory) or NewHandlerWith (durable, backed by a store).
+// in-memory, default tenant only) or NewHandlerWith (durable and/or
+// multi-tenant, backed by a tenant registry).
 type Handler struct {
 	mux    *http.ServeMux
-	engine *engine.Engine
 	tracer *obs.Tracer
 	flight *obs.FlightRecorder
 
-	// Durable state (see durable.go). store is nil for an in-memory
-	// handler. snapMu coordinates mutations against composite snapshots:
-	// every state mutation (and its journal append) runs under RLock,
-	// SnapshotNow takes the write lock so it captures a quiesced state
-	// together with the covered sequence number. Lock order: snapMu →
-	// per-domain mutex (fleetState.mu / autopilotState.mu / ledger.mu) →
-	// manager.Locked's mutex → the store's internal mutex.
-	store     *store.Store
-	snapMu    sync.RWMutex
-	snapIOMu  sync.Mutex // serializes whole SnapshotNow calls
-	snapEvery uint64
-	snapErrMu sync.Mutex
-	snapErr   string
+	// shards are the planner engines, one per tenant shard: a tenant's
+	// requests always land on the same engine's worker pool, so its LRU
+	// plan cache stays hot for the tenants hashed there. The cache is
+	// keyed by request content, so sharing a shard leaks no state
+	// between tenants.
+	shards []*engine.Engine
 
-	fleet *fleetState
-	pilot *autopilotState
-	deps  *deployLedger
+	// Tenancy. reg owns the namespace directory (shard assignment,
+	// quotas, per-tenant stores); states maps tenant name → its
+	// in-process state, guarded by tmu (create/delete swap entries,
+	// requests only read).
+	reg    *tenant.Registry
+	tmu    sync.RWMutex
+	states map[string]*tenantState
+
+	// snapEvery bounds each tenant's replay (see durable.go).
+	snapEvery uint64
 }
 
-// Options configures a durable handler. A nil Store yields the same
-// stateless/in-memory behavior as NewHandler.
+// Options configures a durable or multi-tenant handler. The zero value
+// yields the same in-memory behavior as NewHandler.
 type Options struct {
+	// Tenants namespaces the handler: every tenant in the registry gets
+	// its own fleet/ledger/autopilot state, its own store when the
+	// registry is durable, and a planner shard by consistent hashing.
+	// When set, Store and Recovery are ignored. When nil the handler
+	// builds a private in-memory registry holding just the default
+	// tenant — and the legacy Store/Recovery pair below, if given,
+	// becomes that default tenant's durability.
+	Tenants *tenant.Registry
 	// Store receives a typed record for every state mutation and the
 	// periodic composite snapshots. The handler does not own it: the
-	// caller closes it after the server drains.
+	// caller closes it after the server drains. Ignored when Tenants is
+	// set (each tenant carries its own store).
 	Store *store.Store
 	// Recovery is the store's recovered state, replayed into the fleet,
 	// deployment ledger and autopilot endpoints before serving.
 	Recovery *store.Recovery
-	// SnapshotEvery bounds replay: once the WAL holds this many records
-	// past the last snapshot, a mutation triggers a composite snapshot
-	// and compaction. 0 means the default (256).
+	// SnapshotEvery bounds replay: once a tenant's WAL holds this many
+	// records past the last snapshot, a mutation triggers a composite
+	// snapshot and compaction. 0 means the default (256).
 	SnapshotEvery uint64
 }
 
@@ -128,21 +151,51 @@ func NewHandler() *Handler {
 	return h
 }
 
-// NewHandlerWith builds the API handler and, when a store is given,
-// replays its recovered state and journals every subsequent mutation.
+// NewHandlerWith builds the API handler: planner shards, one namespace
+// per registry tenant (replaying each tenant's recovered state and
+// journaling every subsequent mutation when durable), and the routes.
 func NewHandlerWith(opts Options) (*Handler, error) {
 	flight := obs.NewFlightRecorder(obs.DefaultFlightSize)
 	tracer := obs.NewTracer(flight)
+	reg := opts.Tenants
+	if reg == nil {
+		var err error
+		// Private single-shard registry: just the default tenant, no
+		// quotas, no queue bound — the pre-tenancy handler behavior.
+		if reg, err = tenant.Open(tenant.Config{Shards: 1}); err != nil {
+			return nil, err
+		}
+	}
 	h := &Handler{
 		mux:       http.NewServeMux(),
-		engine:    engine.MustNew(engine.Options{Tracer: tracer}),
 		tracer:    tracer,
 		flight:    flight,
-		store:     opts.Store,
+		reg:       reg,
+		states:    make(map[string]*tenantState),
 		snapEvery: opts.SnapshotEvery,
 	}
 	if h.snapEvery == 0 {
 		h.snapEvery = DefaultSnapshotEvery
+	}
+	h.shards = make([]*engine.Engine, reg.Shards())
+	for i := range h.shards {
+		h.shards[i] = engine.MustNew(engine.Options{Tracer: tracer})
+	}
+	for _, t := range reg.List() {
+		ts := h.newTenantState(t)
+		rec := t.Recovery()
+		if t.Name() == tenant.DefaultName && opts.Tenants == nil && opts.Store != nil {
+			// Legacy single-tenant durability: the caller-owned store
+			// becomes the default tenant's namespace.
+			ts.store = opts.Store
+			rec = opts.Recovery
+		}
+		if ts.store != nil && rec != nil {
+			if err := ts.restoreFromRecovery(rec); err != nil {
+				return nil, fmt.Errorf("tenant %s: %w", t.Name(), err)
+			}
+		}
+		h.states[t.Name()] = ts
 	}
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -150,13 +203,13 @@ func NewHandlerWith(opts Options) (*Handler, error) {
 	h.mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"algorithms": append(core.KnownAlgorithms(), PortfolioAlgorithm)})
 	})
-	h.mux.HandleFunc("POST /v1/deploy", h.deploy)
-	h.mux.HandleFunc("POST /v1/compare", h.compare)
-	h.mux.HandleFunc("POST /v1/portfolio", h.portfolio)
-	h.mux.HandleFunc("POST /v1/simulate", h.simulate)
-	h.mux.HandleFunc("POST /v1/failover", h.failover)
-	h.mux.HandleFunc("POST /v1/chaos", h.chaos)
-	h.mux.HandleFunc("GET /v1/store/status", h.storeStatus)
+	h.mux.HandleFunc("POST /v1/deploy", h.admit((*tenantState).deploy))
+	h.mux.HandleFunc("POST /v1/compare", h.admit((*tenantState).compare))
+	h.mux.HandleFunc("POST /v1/portfolio", h.admit((*tenantState).portfolio))
+	h.mux.HandleFunc("POST /v1/simulate", h.admit(stateless(h.simulate)))
+	h.mux.HandleFunc("POST /v1/failover", h.admit(stateless(h.failover)))
+	h.mux.HandleFunc("POST /v1/chaos", h.admit(stateless(h.chaos)))
+	h.mux.HandleFunc("GET /v1/store/status", h.withTenant((*tenantState).storeStatus))
 	h.mux.Handle("GET /metrics", obs.MetricsHandler(obs.Default()))
 	h.mux.Handle("GET /debug/trace", obs.TraceHandler(flight))
 	h.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -164,11 +217,7 @@ func NewHandlerWith(opts Options) (*Handler, error) {
 	h.registerConvert()
 	h.registerAutopilot()
 	h.registerDeployments()
-	if opts.Store != nil && opts.Recovery != nil {
-		if err := h.restoreFromRecovery(opts.Recovery); err != nil {
-			return nil, err
-		}
-	}
+	h.registerTenants()
 	return h, nil
 }
 
@@ -200,6 +249,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sp := h.tracer.StartSpan("http.request")
 	sp.SetAttr("method", r.Method)
 	sp.SetAttr("path", r.URL.Path)
+	sp.SetAttr("tenant", requestTenant(r))
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	h.mux.ServeHTTP(sw, r)
 	sp.SetInt("status", int64(sw.code))
@@ -326,7 +376,7 @@ func planContext(r *http.Request, timeoutMs int64) (context.Context, context.Can
 	return r.Context(), func() {}
 }
 
-func (h *Handler) deploy(w http.ResponseWriter, r *http.Request) {
+func (ts *tenantState) deploy(w http.ResponseWriter, r *http.Request) {
 	var req deployRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -357,7 +407,7 @@ func (h *Handler) deploy(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := planContext(r, req.TimeoutMs)
 	defer cancel()
-	res, err := h.engine.Run(ctx, ereq)
+	res, err := ts.eng.Run(ctx, ereq)
 	if err != nil && !errors.Is(err, engine.ErrDeadline) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -393,9 +443,9 @@ func (h *Handler) deploy(w http.ResponseWriter, r *http.Request) {
 		Cached:    best.FromCache,
 		Truncated: res.Truncated,
 	}
-	id, err := h.deps.commit(h, req.ID, resp)
+	id, err := ts.deps.commit(ts, req.ID, resp)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, mutationStatus(err, http.StatusInternalServerError), err)
 		return
 	}
 	resp.ID = id
@@ -417,7 +467,7 @@ type compareRow struct {
 	Error     string   `json:"error,omitempty"`
 }
 
-func (h *Handler) compare(w http.ResponseWriter, r *http.Request) {
+func (ts *tenantState) compare(w http.ResponseWriter, r *http.Request) {
 	var req compareRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -429,7 +479,7 @@ func (h *Handler) compare(w http.ResponseWriter, r *http.Request) {
 	}
 	// The whole registry runs concurrently on the engine's worker pool;
 	// rows keep the sorted registry-key order of the sequential era.
-	res, err := h.engine.Run(r.Context(), engine.Request{
+	res, err := ts.eng.Run(r.Context(), engine.Request{
 		Workflow:   wf,
 		Network:    n,
 		Algorithms: core.KnownAlgorithms(),
@@ -474,7 +524,7 @@ type portfolioRow struct {
 	Error     string   `json:"error,omitempty"`
 }
 
-func (h *Handler) portfolio(w http.ResponseWriter, r *http.Request) {
+func (ts *tenantState) portfolio(w http.ResponseWriter, r *http.Request) {
 	var req portfolioRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -495,7 +545,7 @@ func (h *Handler) portfolio(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := planContext(r, req.TimeoutMs)
 	defer cancel()
-	res, err := h.engine.Run(ctx, engine.Request{
+	res, err := ts.eng.Run(ctx, engine.Request{
 		Workflow:   wf,
 		Network:    n,
 		Algorithms: req.Algorithms,

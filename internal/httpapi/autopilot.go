@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"wsdeploy/internal/autopilot"
+	"wsdeploy/internal/manager"
 	"wsdeploy/internal/wfio"
 )
 
@@ -33,7 +34,8 @@ import (
 // rebooted controller keeps its cooldowns instead of re-firing on
 // drift it already acted on.
 
-// autopilotState keeps the last run and the persisted detector state.
+// autopilotState keeps one tenant's last run and persisted detector
+// state.
 type autopilotState struct {
 	mu   sync.Mutex
 	last json.RawMessage
@@ -42,10 +44,12 @@ type autopilotState struct {
 
 // registerAutopilot wires the autopilot endpoints onto the handler's mux.
 func (h *Handler) registerAutopilot() {
-	st := &autopilotState{}
-	h.pilot = st
-	h.mux.HandleFunc("POST /v1/autopilot", func(w http.ResponseWriter, r *http.Request) { st.run(h, w, r) })
-	h.mux.HandleFunc("GET /v1/autopilot", st.get)
+	h.mux.HandleFunc("POST /v1/autopilot", h.admit(func(ts *tenantState, w http.ResponseWriter, r *http.Request) {
+		ts.pilot.run(ts, w, r)
+	}))
+	h.mux.HandleFunc("GET /v1/autopilot", h.withTenant(func(ts *tenantState, w http.ResponseWriter, r *http.Request) {
+		ts.pilot.get(w, r)
+	}))
 }
 
 // autopilotRequest describes one closed-loop run.
@@ -145,7 +149,7 @@ func loopSummary(res *autopilot.LoopResult, enabled bool, backend string) map[st
 	}
 }
 
-func (st *autopilotState) run(h *Handler, w http.ResponseWriter, r *http.Request) {
+func (st *autopilotState) run(ts *tenantState, w http.ResponseWriter, r *http.Request) {
 	var req autopilotRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -206,7 +210,7 @@ func (st *autopilotState) run(h *Handler, w http.ResponseWriter, r *http.Request
 			EWMAAlpha:       req.Pilot.EWMAAlpha,
 			SettleDelay:     req.Pilot.SettleDelay,
 			AllowScale:      req.Pilot.AllowScale,
-			Tracer:          h.tracer,
+			Tracer:          ts.h.tracer,
 		},
 		Enabled: req.Enabled,
 		Seed:    req.Seed,
@@ -249,13 +253,13 @@ func (st *autopilotState) run(h *Handler, w http.ResponseWriter, r *http.Request
 		return
 	}
 	det := res.Detector
-	h.mutate(func() {
+	ts.mutate(func() {
 		st.mu.Lock()
 		defer st.mu.Unlock()
-		if h.store != nil {
-			if _, err := h.store.Append(recAutopilotRun, apRunRecord{Summary: raw, Detector: det}); err != nil {
-				writeErr(w, http.StatusInternalServerError,
-					fmt.Errorf("autopilot run finished but journaling failed: %w", err))
+		if ts.store != nil {
+			if _, err := ts.store.Append(recAutopilotRun, apRunRecord{Summary: raw, Detector: det}); err != nil {
+				err = fmt.Errorf("autopilot run finished but %w: %v", manager.ErrJournal, err)
+				writeErr(w, mutationStatus(err, http.StatusInternalServerError), err)
 				return
 			}
 		}

@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+
+	"wsdeploy/internal/manager"
 )
 
-// The deployment ledger is the durable history of POST /v1/deploy:
-// every successful plan appends one entry (and, with a store, one
-// "deployment.created" record), so after a kill -9 the daemon can
-// list exactly the deployments it acknowledged.
+// The deployment ledger is one tenant's durable history of POST
+// /v1/deploy: every successful plan appends one entry (and, with a
+// store, one "deployment.created" record), so after a kill -9 the
+// daemon can list exactly the deployments it acknowledged to that
+// tenant.
 //
-//	GET /v1/deployments — the full ledger, oldest first
+//	GET /v1/deployments — the tenant's full ledger, oldest first
 
 // deployEntry is one acknowledged planning result. It must round-trip
 // byte-identically through the WAL: GET /v1/deployments after a crash
@@ -23,7 +26,7 @@ type deployEntry struct {
 	Metrics   Metrics `json:"metrics"`
 }
 
-// deployLedger guards the acknowledged-deployment history.
+// deployLedger guards one tenant's acknowledged-deployment history.
 type deployLedger struct {
 	mu      sync.Mutex
 	entries []deployEntry
@@ -32,8 +35,9 @@ type deployLedger struct {
 
 // registerDeployments wires the ledger endpoints onto the handler's mux.
 func (h *Handler) registerDeployments() {
-	h.deps = &deployLedger{}
-	h.mux.HandleFunc("GET /v1/deployments", h.deps.list)
+	h.mux.HandleFunc("GET /v1/deployments", h.withTenant(func(ts *tenantState, w http.ResponseWriter, r *http.Request) {
+		ts.deps.list(w, r)
+	}))
 }
 
 // commit appends one acknowledged deployment — assigning "dep-<n>"
@@ -41,11 +45,11 @@ func (h *Handler) registerDeployments() {
 // becomes visible (and the response only reports the id) if the
 // journal append succeeds: the ledger never acknowledges a deployment
 // the log could lose.
-func (d *deployLedger) commit(h *Handler, id string, resp deployResponse) (string, error) {
-	h.snapMu.RLock()
+func (d *deployLedger) commit(ts *tenantState, id string, resp deployResponse) (string, error) {
+	ts.snapMu.RLock()
 	defer func() {
-		h.snapMu.RUnlock()
-		h.maybeSnapshot()
+		ts.snapMu.RUnlock()
+		ts.maybeSnapshot()
 	}()
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -54,9 +58,9 @@ func (d *deployLedger) commit(h *Handler, id string, resp deployResponse) (strin
 		id = fmt.Sprintf("dep-%d", d.nextID)
 	}
 	e := deployEntry{ID: id, Algorithm: resp.Algorithm, Mapping: resp.Mapping, Metrics: resp.Metrics}
-	if h.store != nil {
-		if _, err := h.store.Append(recDeploymentCreated, e); err != nil {
-			return "", fmt.Errorf("planned %s but journaling failed: %w", id, err)
+	if ts.store != nil {
+		if _, err := ts.store.Append(recDeploymentCreated, e); err != nil {
+			return "", fmt.Errorf("planned %s but %w: %v", id, manager.ErrJournal, err)
 		}
 	}
 	d.entries = append(d.entries, e)

@@ -2,8 +2,10 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 
 	"wsdeploy/internal/autopilot"
 	"wsdeploy/internal/manager"
@@ -11,13 +13,14 @@ import (
 	"wsdeploy/internal/store"
 )
 
-// Durable state plumbing. A handler built with Options.Store journals
-// every state mutation — fleet operations (the manager's typed fleet.*
-// records), deployment-ledger appends ("deployment.created") and
-// autopilot runs ("autopilot.run") — into one write-ahead log, and
-// periodically folds the whole state into a composite snapshot so
-// replay stays bounded. After a crash the daemon reopens the store and
-// NewHandlerWith replays snapshot+tail back into the same endpoints.
+// Durable state plumbing. A durable tenant journals every state
+// mutation — fleet operations (the manager's typed fleet.* records),
+// deployment-ledger appends ("deployment.created") and autopilot runs
+// ("autopilot.run") — into its own write-ahead log, and periodically
+// folds the whole namespace into a composite snapshot so replay stays
+// bounded. After a crash the daemon reopens every tenant's store and
+// NewHandlerWith replays each snapshot+tail back into that tenant's
+// endpoints; one tenant's log never mixes with another's.
 
 // DefaultSnapshotEvery is the replay bound: a composite snapshot and
 // WAL compaction trigger once this many records accumulate past the
@@ -32,49 +35,49 @@ const (
 
 var obsSnapErrs = obs.Default().Counter("httpapi.snapshot_errors")
 
-// handlerJournal adapts the handler's store to manager.Journal. The
-// fleet mutation that triggers a record runs under snapMu.RLock (see
-// Handler.mutate), so appends never interleave with a composite
-// snapshot capture.
-type handlerJournal struct{ h *Handler }
+// tenantJournal adapts a tenant's store to manager.Journal. The fleet
+// mutation that triggers a record runs under the tenant's snapMu.RLock
+// (see tenantState.mutate), so appends never interleave with a
+// composite snapshot capture.
+type tenantJournal struct{ ts *tenantState }
 
-func (j handlerJournal) Record(typ string, data any) error {
-	_, err := j.h.store.Append(typ, data)
+func (j tenantJournal) Record(typ string, data any) error {
+	_, err := j.ts.store.Append(typ, data)
 	return err
 }
 
 // mutate runs one state mutation (including its journal appends) under
-// the snapshot read-lock, then triggers a composite snapshot if the
-// WAL has outgrown the replay bound. fn writes the HTTP response
-// itself.
-func (h *Handler) mutate(fn func()) {
-	h.snapMu.RLock()
+// the tenant's snapshot read-lock, then triggers a composite snapshot
+// if the WAL has outgrown the replay bound. fn writes the HTTP
+// response itself.
+func (ts *tenantState) mutate(fn func()) {
+	ts.snapMu.RLock()
 	fn()
-	h.snapMu.RUnlock()
-	h.maybeSnapshot()
+	ts.snapMu.RUnlock()
+	ts.maybeSnapshot()
 }
 
 // maybeSnapshot compacts once the log holds snapEvery records past the
 // last snapshot. Failures are recorded (metrics + /v1/store/status) but
 // do not fail the request that tripped the threshold: the WAL itself
 // is intact, only replay stays long.
-func (h *Handler) maybeSnapshot() {
-	if h.store == nil {
+func (ts *tenantState) maybeSnapshot() {
+	if ts.store == nil {
 		return
 	}
-	if h.store.LastSeq()-h.store.SnapshotSeq() < h.snapEvery {
+	if ts.store.LastSeq()-ts.store.SnapshotSeq() < ts.h.snapEvery {
 		return
 	}
-	if err := h.SnapshotNow(); err != nil {
+	if err := ts.SnapshotNow(); err != nil {
 		obsSnapErrs.Inc()
-		h.snapErrMu.Lock()
-		h.snapErr = err.Error()
-		h.snapErrMu.Unlock()
+		ts.snapErrMu.Lock()
+		ts.snapErr = err.Error()
+		ts.snapErrMu.Unlock()
 	}
 }
 
-// composite is the durable image of every stateful endpoint, stored as
-// the opaque payload of a store snapshot.
+// composite is the durable image of one tenant's stateful endpoints,
+// stored as the opaque payload of a store snapshot.
 type composite struct {
 	Fleet       json.RawMessage `json:"fleet,omitempty"`
 	Deployments []deployEntry   `json:"deployments,omitempty"`
@@ -82,58 +85,77 @@ type composite struct {
 	Autopilot   *apRunRecord    `json:"autopilot,omitempty"`
 }
 
-// SnapshotNow captures a quiesced composite snapshot of the fleet,
-// deployment ledger and autopilot state and hands it to the store,
-// which compacts the WAL down to the uncovered tail. No-op without a
-// store. The daemon calls this on graceful shutdown so the next boot
-// replays (almost) nothing.
-func (h *Handler) SnapshotNow() error {
-	if h.store == nil {
+// SnapshotNow captures a quiesced composite snapshot of the tenant's
+// fleet, deployment ledger and autopilot state and hands it to the
+// tenant's store, which compacts the WAL down to the uncovered tail.
+// No-op without a store.
+func (ts *tenantState) SnapshotNow() error {
+	if ts.store == nil {
 		return nil
 	}
-	h.snapIOMu.Lock()
-	defer h.snapIOMu.Unlock()
+	ts.snapIOMu.Lock()
+	defer ts.snapIOMu.Unlock()
 
-	h.snapMu.Lock()
+	ts.snapMu.Lock()
 	var c composite
 	var err error
-	h.fleet.mu.Lock()
-	if h.fleet.l != nil {
-		c.Fleet, err = h.fleet.l.Snapshot()
+	ts.fleet.mu.Lock()
+	if ts.fleet.l != nil {
+		c.Fleet, err = ts.fleet.l.Snapshot()
 	}
-	h.fleet.mu.Unlock()
+	ts.fleet.mu.Unlock()
 	if err != nil {
-		h.snapMu.Unlock()
+		ts.snapMu.Unlock()
 		return fmt.Errorf("httpapi: snapshotting fleet: %w", err)
 	}
-	h.deps.mu.Lock()
-	c.Deployments = append([]deployEntry(nil), h.deps.entries...)
-	c.NextDepID = h.deps.nextID
-	h.deps.mu.Unlock()
-	h.pilot.mu.Lock()
-	if h.pilot.last != nil {
-		rec := apRunRecord{Summary: h.pilot.last}
-		if h.pilot.det != nil {
-			rec.Detector = *h.pilot.det
+	ts.deps.mu.Lock()
+	c.Deployments = append([]deployEntry(nil), ts.deps.entries...)
+	c.NextDepID = ts.deps.nextID
+	ts.deps.mu.Unlock()
+	ts.pilot.mu.Lock()
+	if ts.pilot.last != nil {
+		rec := apRunRecord{Summary: ts.pilot.last}
+		if ts.pilot.det != nil {
+			rec.Detector = *ts.pilot.det
 		}
 		c.Autopilot = &rec
 	}
-	h.pilot.mu.Unlock()
-	covered := h.store.LastSeq()
-	h.snapMu.Unlock()
+	ts.pilot.mu.Unlock()
+	covered := ts.store.LastSeq()
+	ts.snapMu.Unlock()
 
 	state, err := json.Marshal(c)
 	if err != nil {
 		return fmt.Errorf("httpapi: encoding composite snapshot: %w", err)
 	}
-	return h.store.Snapshot(state, covered)
+	return ts.store.Snapshot(state, covered)
+}
+
+// SnapshotNow snapshots every durable tenant (deterministically, in
+// name order). The daemon calls this on graceful shutdown so the next
+// boot replays (almost) nothing for any tenant.
+func (h *Handler) SnapshotNow() error {
+	h.tmu.RLock()
+	states := make([]*tenantState, 0, len(h.states))
+	for _, ts := range h.states {
+		states = append(states, ts)
+	}
+	h.tmu.RUnlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].t.Name() < states[j].t.Name() })
+	var errs []error
+	for _, ts := range states {
+		if err := ts.SnapshotNow(); err != nil {
+			errs = append(errs, fmt.Errorf("tenant %s: %w", ts.t.Name(), err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // restoreFromRecovery replays a store's recovered state — composite
 // snapshot first, then the log tail record by record — into the
-// handler's stateful endpoints, and attaches the journal so subsequent
+// tenant's stateful endpoints, and attaches the journal so subsequent
 // mutations keep the log current.
-func (h *Handler) restoreFromRecovery(rec *store.Recovery) error {
+func (ts *tenantState) restoreFromRecovery(rec *store.Recovery) error {
 	var m *manager.Manager
 	if rec.Snapshot != nil {
 		var c composite
@@ -146,12 +168,12 @@ func (h *Handler) restoreFromRecovery(rec *store.Recovery) error {
 				return fmt.Errorf("httpapi: restoring fleet snapshot: %w", err)
 			}
 		}
-		h.deps.entries = c.Deployments
-		h.deps.nextID = c.NextDepID
+		ts.deps.entries = c.Deployments
+		ts.deps.nextID = c.NextDepID
 		if c.Autopilot != nil {
-			h.pilot.last = c.Autopilot.Summary
+			ts.pilot.last = c.Autopilot.Summary
 			det := c.Autopilot.Detector
-			h.pilot.det = &det
+			ts.pilot.det = &det
 		}
 	}
 	for _, r := range rec.Records {
@@ -166,55 +188,55 @@ func (h *Handler) restoreFromRecovery(rec *store.Recovery) error {
 			if err := json.Unmarshal(r.Data, &e); err != nil {
 				return fmt.Errorf("httpapi: replaying seq %d (%s): %w", r.Seq, r.Type, err)
 			}
-			h.deps.replay(e)
+			ts.deps.replay(e)
 		case r.Type == recAutopilotRun:
 			var ar apRunRecord
 			if err := json.Unmarshal(r.Data, &ar); err != nil {
 				return fmt.Errorf("httpapi: replaying seq %d (%s): %w", r.Seq, r.Type, err)
 			}
-			h.pilot.last = ar.Summary
+			ts.pilot.last = ar.Summary
 			det := ar.Detector
-			h.pilot.det = &det
+			ts.pilot.det = &det
 		default:
 			return fmt.Errorf("httpapi: replaying seq %d: unknown record type %q", r.Seq, r.Type)
 		}
 	}
 	if m != nil {
 		fleet := manager.Wrap(m)
-		fleet.AttachJournal(handlerJournal{h})
-		h.fleet.l = fleet
+		fleet.AttachJournal(tenantJournal{ts})
+		ts.fleet.l = fleet
 	}
 	return nil
 }
 
 // journalFleetCreate writes the genesis record for a freshly created
 // fleet and attaches the journal. No-op without a store.
-func (h *Handler) journalFleetCreate(fleet *manager.Locked) error {
-	if h.store == nil {
+func (ts *tenantState) journalFleetCreate(fleet *manager.Locked) error {
+	if ts.store == nil {
 		return nil
 	}
 	genesis, err := manager.CreateRecord(fleet)
 	if err != nil {
 		return err
 	}
-	if _, err := h.store.Append(manager.RecFleetCreate, genesis); err != nil {
-		return err
+	if _, err := ts.store.Append(manager.RecFleetCreate, genesis); err != nil {
+		return fmt.Errorf("httpapi: created fleet but %w: %v", manager.ErrJournal, err)
 	}
-	fleet.AttachJournal(handlerJournal{h})
+	fleet.AttachJournal(tenantJournal{ts})
 	return nil
 }
 
 // journalFleetRestore records a snapshot-restore as a single record
 // carrying the full snapshot, and attaches the journal. No-op without
 // a store.
-func (h *Handler) journalFleetRestore(fleet *manager.Locked, snapshot []byte) error {
-	if h.store == nil {
+func (ts *tenantState) journalFleetRestore(fleet *manager.Locked, snapshot []byte) error {
+	if ts.store == nil {
 		return nil
 	}
-	if _, err := h.store.Append(manager.RecFleetRestore, manager.RestoreRecord(snapshot)); err != nil {
-		return err
+	if _, err := ts.store.Append(manager.RecFleetRestore, manager.RestoreRecord(snapshot)); err != nil {
+		return fmt.Errorf("httpapi: restored fleet but %w: %v", manager.ErrJournal, err)
 	}
-	fleet.AttachJournal(handlerJournal{h})
+	fleet.AttachJournal(tenantJournal{ts})
 	return nil
 }
 
@@ -226,20 +248,22 @@ type apRunRecord struct {
 	Detector autopilot.DetectorState `json:"detector"`
 }
 
-// storeStatus serves GET /v1/store/status: durability off/on, the
-// store's counters, and the last composite-snapshot error if any.
-func (h *Handler) storeStatus(w http.ResponseWriter, _ *http.Request) {
-	if h.store == nil {
-		writeJSON(w, http.StatusOK, map[string]any{"durable": false})
+// storeStatus serves GET /v1/store/status for the request's tenant:
+// durability off/on, the store's counters, and the last
+// composite-snapshot error if any.
+func (ts *tenantState) storeStatus(w http.ResponseWriter, _ *http.Request) {
+	if ts.store == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"durable": false, "tenant": ts.t.Name()})
 		return
 	}
-	h.snapErrMu.Lock()
-	snapErr := h.snapErr
-	h.snapErrMu.Unlock()
+	ts.snapErrMu.Lock()
+	snapErr := ts.snapErr
+	ts.snapErrMu.Unlock()
 	out := map[string]any{
 		"durable":       true,
-		"snapshotEvery": h.snapEvery,
-		"store":         h.store.Status(),
+		"tenant":        ts.t.Name(),
+		"snapshotEvery": ts.h.snapEvery,
+		"store":         ts.store.Status(),
 	}
 	if snapErr != "" {
 		out["lastSnapshotError"] = snapErr

@@ -11,13 +11,14 @@ import (
 	"sync"
 
 	"wsdeploy/internal/manager"
+	"wsdeploy/internal/tenant"
 	"wsdeploy/internal/wdl"
 	"wsdeploy/internal/wfio"
 	"wsdeploy/internal/workflow"
 )
 
 // Fleet endpoints expose the online deployment manager as a stateful
-// service (one fleet per handler):
+// service (one fleet per tenant):
 //
 //	PUT    /v1/fleet                    — (re)create the fleet from a network spec
 //	GET    /v1/fleet/status             — combined loads, penalty, per-workflow exec
@@ -27,33 +28,37 @@ import (
 //	DELETE /v1/fleet/servers/{index}    — fail a server (repairs orphans)
 //	POST   /v1/fleet/rebalance          — globally rebalance the portfolio
 //
-// The fleet lives in a manager.Locked; with a durable handler every
-// mutation additionally appends one typed record to the write-ahead
-// log under the same mutex hold, so the log order is the mutation
-// order and replay reconstructs the fleet byte-identically.
+// The fleet lives in a manager.Locked; with a durable tenant every
+// mutation additionally appends one typed record to the tenant's
+// write-ahead log under the same mutex hold, so the log order is the
+// mutation order and replay reconstructs the fleet byte-identically.
 
-// fleetState guards the single managed fleet. mu protects the l
+// fleetState guards one tenant's managed fleet. mu protects the l
 // pointer (create/restore swap it) and serializes fleet requests;
 // the Locked's own mutex makes the fleet safe to share beyond HTTP.
 type fleetState struct {
 	mu sync.Mutex
-	h  *Handler
+	ts *tenantState
 	l  *manager.Locked
 }
 
-// registerFleet wires the fleet endpoints onto the handler's mux.
+// fleetFn adapts a fleetState method to the tenant wrapper shape.
+func fleetFn(fn func(*fleetState, http.ResponseWriter, *http.Request)) tenantHandlerFunc {
+	return func(ts *tenantState, w http.ResponseWriter, r *http.Request) { fn(ts.fleet, w, r) }
+}
+
+// registerFleet wires the fleet endpoints onto the handler's mux,
+// resolving each request's tenant; mutations pass admission first.
 func (h *Handler) registerFleet() {
-	fs := &fleetState{h: h}
-	h.fleet = fs
-	h.mux.HandleFunc("PUT /v1/fleet", fs.create)
-	h.mux.HandleFunc("GET /v1/fleet/status", fs.status)
-	h.mux.HandleFunc("POST /v1/fleet/workflows", fs.deployWorkflow)
-	h.mux.HandleFunc("DELETE /v1/fleet/workflows/{id}", fs.removeWorkflow)
-	h.mux.HandleFunc("POST /v1/fleet/servers", fs.serverUp)
-	h.mux.HandleFunc("DELETE /v1/fleet/servers/{index}", fs.serverDown)
-	h.mux.HandleFunc("POST /v1/fleet/rebalance", fs.rebalance)
-	h.mux.HandleFunc("GET /v1/fleet/snapshot", fs.snapshot)
-	h.mux.HandleFunc("PUT /v1/fleet/snapshot", fs.restore)
+	h.mux.HandleFunc("PUT /v1/fleet", h.admit(fleetFn((*fleetState).create)))
+	h.mux.HandleFunc("GET /v1/fleet/status", h.withTenant(fleetFn((*fleetState).status)))
+	h.mux.HandleFunc("POST /v1/fleet/workflows", h.admit(fleetFn((*fleetState).deployWorkflow)))
+	h.mux.HandleFunc("DELETE /v1/fleet/workflows/{id}", h.admit(fleetFn((*fleetState).removeWorkflow)))
+	h.mux.HandleFunc("POST /v1/fleet/servers", h.admit(fleetFn((*fleetState).serverUp)))
+	h.mux.HandleFunc("DELETE /v1/fleet/servers/{index}", h.admit(fleetFn((*fleetState).serverDown)))
+	h.mux.HandleFunc("POST /v1/fleet/rebalance", h.admit(fleetFn((*fleetState).rebalance)))
+	h.mux.HandleFunc("GET /v1/fleet/snapshot", h.withTenant(fleetFn((*fleetState).snapshot)))
+	h.mux.HandleFunc("PUT /v1/fleet/snapshot", h.admit(fleetFn((*fleetState).restore)))
 }
 
 // requireFleet returns the fleet or writes a 409.
@@ -65,13 +70,14 @@ func (fs *fleetState) requireFleet(w http.ResponseWriter) *manager.Locked {
 	return fs.l
 }
 
-// mutationStatus maps a fleet-mutation error to a status code: a
-// journal failure is a 500 (the mutation applied but did not persist —
-// the store is the problem, not the request), anything else keeps the
-// endpoint's domain code.
+// mutationStatus maps a state-mutation error to a status code: a
+// journal failure is a 503 (the mutation applied in memory but did not
+// persist — the store is sick, not the request, and the client should
+// retry once durability is back), anything else keeps the endpoint's
+// domain code.
 func mutationStatus(err error, fallback int) int {
 	if errors.Is(err, manager.ErrJournal) {
-		return http.StatusInternalServerError
+		return http.StatusServiceUnavailable
 	}
 	return fallback
 }
@@ -92,12 +98,12 @@ func (fs *fleetState) create(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	fs.h.mutate(func() {
+	fs.ts.mutate(func() {
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		fleet := manager.NewLocked(n)
-		if err := fs.h.journalFleetCreate(fleet); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+		if err := fs.ts.journalFleetCreate(fleet); err != nil {
+			writeErr(w, mutationStatus(err, http.StatusInternalServerError), err)
 			return
 		}
 		fs.l = fleet
@@ -155,11 +161,16 @@ func (fs *fleetState) deployWorkflow(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	fs.h.mutate(func() {
+	fs.ts.mutate(func() {
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		l := fs.requireFleet(w)
 		if l == nil {
+			return
+		}
+		if q := fs.ts.t.Quota(); q.MaxWorkflows > 0 && len(l.Workflows()) >= q.MaxWorkflows {
+			writeDecision(w, tenant.OverCapacity(fmt.Sprintf(
+				"tenant %s is at its cap of %d deployed workflows", fs.ts.t.Name(), q.MaxWorkflows)))
 			return
 		}
 		if err := l.Deploy(req.ID, wf); err != nil {
@@ -172,7 +183,7 @@ func (fs *fleetState) deployWorkflow(w http.ResponseWriter, r *http.Request) {
 }
 
 func (fs *fleetState) removeWorkflow(w http.ResponseWriter, r *http.Request) {
-	fs.h.mutate(func() {
+	fs.ts.mutate(func() {
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		l := fs.requireFleet(w)
@@ -195,11 +206,16 @@ func (fs *fleetState) serverUp(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	fs.h.mutate(func() {
+	fs.ts.mutate(func() {
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		l := fs.requireFleet(w)
 		if l == nil {
+			return
+		}
+		if q := fs.ts.t.Quota(); q.MaxServers > 0 && l.Network().N() >= q.MaxServers {
+			writeDecision(w, tenant.OverCapacity(fmt.Sprintf(
+				"tenant %s is at its cap of %d servers", fs.ts.t.Name(), q.MaxServers)))
 			return
 		}
 		idx, err := l.ServerUp(req.Name, req.PowerHz)
@@ -217,7 +233,7 @@ func (fs *fleetState) serverDown(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad server index %q", r.PathValue("index")))
 		return
 	}
-	fs.h.mutate(func() {
+	fs.ts.mutate(func() {
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		l := fs.requireFleet(w)
@@ -271,12 +287,12 @@ func (fs *fleetState) restore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	fs.h.mutate(func() {
+	fs.ts.mutate(func() {
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		fleet := manager.Wrap(m)
-		if err := fs.h.journalFleetRestore(fleet, data); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+		if err := fs.ts.journalFleetRestore(fleet, data); err != nil {
+			writeErr(w, mutationStatus(err, http.StatusInternalServerError), err)
 			return
 		}
 		fs.l = fleet
@@ -286,7 +302,7 @@ func (fs *fleetState) restore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (fs *fleetState) rebalance(w http.ResponseWriter, _ *http.Request) {
-	fs.h.mutate(func() {
+	fs.ts.mutate(func() {
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		l := fs.requireFleet(w)

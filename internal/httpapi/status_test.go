@@ -43,6 +43,9 @@ func TestStatusCodeTable(t *testing.T) {
 		{"fleet status before create", "GET", "/v1/fleet/status", "", http.StatusConflict},
 		{"fleet mutation before create", "POST", "/v1/fleet/rebalance", "", http.StatusConflict},
 		{"fleet create bad network", "PUT", "/v1/fleet", `{"network": {"name":"x","servers":[],"bus":{"speedBps":1}}}`, http.StatusBadRequest},
+		{"unknown tenant", "POST", "/v1/tenants/ghost/deploy", fmt.Sprintf(`{"workflow": %s, "network": %s}`, wf, nf), http.StatusNotFound},
+		{"bad tenant name", "POST", "/v1/tenants", `{"name": "Not Valid"}`, http.StatusBadRequest},
+		{"delete default tenant", "DELETE", "/v1/tenants/default", "", http.StatusForbidden},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -60,23 +63,37 @@ func TestStatusCodeTable(t *testing.T) {
 }
 
 // TestStatusCodeJournalFailure pins the durable-handler contract: when
-// the store cannot persist a mutation, the API answers 500 rather than
-// acknowledging state the log could lose.
+// the store cannot persist a mutation, the API answers 503 — the store
+// is sick, not the request, so the client should retry once durability
+// is back — rather than acknowledging state the log could lose.
 func TestStatusCodeJournalFailure(t *testing.T) {
 	srv, st := durableServer(t, t.TempDir(), 0)
 	defer srv.Close()
-	_, nf := specPair(t)
+	wf, nf := specPair(t)
 
 	// Kill the store out from under the handler: every journaled
-	// mutation must now refuse with a 500.
+	// mutation must now refuse with a 503.
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	resp, out := do(t, "PUT", srv.URL+"/v1/fleet", fmt.Sprintf(`{"network": %s}`, nf))
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("fleet create with dead store: status %d, want 500: %v", resp.StatusCode, out)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+	}{
+		{"fleet create", "PUT", "/v1/fleet", fmt.Sprintf(`{"network": %s}`, nf)},
+		{"deploy ledger commit", "POST", "/v1/deploy", fmt.Sprintf(`{"workflow": %s, "network": %s}`, wf, nf)},
 	}
-	if s, _ := out["error"].(string); s == "" {
-		t.Fatalf("500 response lacks the JSON error envelope: %v", out)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, out := do(t, tc.method, srv.URL+tc.path, tc.body)
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("%s with dead store: status %d, want 503: %v", tc.name, resp.StatusCode, out)
+			}
+			if s, _ := out["error"].(string); s == "" {
+				t.Fatalf("503 response lacks the JSON error envelope: %v", out)
+			}
+		})
 	}
 }

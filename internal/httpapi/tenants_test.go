@@ -1,0 +1,347 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"wsdeploy/internal/store"
+	"wsdeploy/internal/tenant"
+)
+
+// tenantServer serves a handler over a fresh multi-tenant registry.
+func tenantServer(t *testing.T, cfg tenant.Config) *httptest.Server {
+	t.Helper()
+	reg, err := tenant.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	h, err := NewHandlerWith(Options{Tenants: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// doAs issues one request with the X-Tenant header set (empty name:
+// no header, the default tenant).
+func doAs(t *testing.T, name, method, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		req.Header.Set(TenantHeader, name)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	_ = decodeInto(resp.Body, &out)
+	return resp, out
+}
+
+func decodeInto(r io.Reader, v any) error {
+	data, err := io.ReadAll(r)
+	if err != nil || len(data) == 0 {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// mustAs issues a tenant-scoped request and requires a 200.
+func mustAs(t *testing.T, name string, srv *httptest.Server, method, path, body string) map[string]any {
+	t.Helper()
+	resp, out := doAs(t, name, method, srv.URL+path, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("[%s] %s %s = %d: %v", name, method, path, resp.StatusCode, out)
+	}
+	return out
+}
+
+// getAs fetches a tenant-scoped URL and returns the raw body.
+func getAs(t *testing.T, name string, srv *httptest.Server, path string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		req.Header.Set(TenantHeader, name)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("[%s] GET %s = %d", name, path, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestTenantCRUDAndScopedRouting(t *testing.T) {
+	srv := tenantServer(t, tenant.Config{Shards: 3})
+	wf, nf := specPair(t)
+
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/tenants", `{"name": "acme"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create tenant = %d: %v", resp.StatusCode, out)
+	}
+	if s, ok := out["shard"].(float64); !ok || s < 0 || s >= 3 {
+		t.Fatalf("created tenant shard = %v, want [0,3)", out["shard"])
+	}
+	if resp, out = do(t, http.MethodPost, srv.URL+"/v1/tenants", `{"name": "acme"}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create = %d: %v", resp.StatusCode, out)
+	}
+	if _, out = do(t, http.MethodGet, srv.URL+"/v1/tenants", ""); out["count"].(float64) != 2 {
+		t.Fatalf("tenant directory: %v", out)
+	}
+
+	// Write to acme through the path prefix, read it back through the
+	// header — both forms must address the same namespace.
+	mustOK(t, srv, http.MethodPut, "/v1/fleet", `{"network": `+nf+`}`)
+	mustOK(t, srv, http.MethodPut, "/v1/tenants/acme/fleet", `{"network": `+nf+`}`)
+	mustOK(t, srv, http.MethodPost, "/v1/tenants/acme/fleet/workflows", `{"id": "only-acme", "workflow": `+wf+`}`)
+	if out = mustAs(t, "acme", srv, http.MethodGet, "/v1/fleet/status", ""); out["workflows"].(float64) != 1 {
+		t.Fatalf("acme fleet status: %v", out)
+	}
+	// The default tenant must not see acme's workflow.
+	if out = mustOK(t, srv, http.MethodGet, "/v1/fleet/status", ""); out["workflows"].(float64) != 0 {
+		t.Fatalf("default fleet leaked acme state: %v", out)
+	}
+
+	// Ledger isolation: one deploy as acme, none for default.
+	mustAs(t, "acme", srv, http.MethodPost, "/v1/deploy", `{"workflow": `+wf+`, "network": `+nf+`}`)
+	if out = mustAs(t, "acme", srv, http.MethodGet, "/v1/deployments", ""); out["count"].(float64) != 1 {
+		t.Fatalf("acme ledger: %v", out)
+	}
+	if out = mustOK(t, srv, http.MethodGet, "/v1/deployments", ""); out["count"].(float64) != 0 {
+		t.Fatalf("default ledger leaked acme deploys: %v", out)
+	}
+
+	// Tenant status rolls up the namespace.
+	if _, out = do(t, http.MethodGet, srv.URL+"/v1/tenants/acme", ""); out["deployments"].(float64) != 1 {
+		t.Fatalf("tenant status: %v", out)
+	}
+
+	// Delete; the namespace is gone while the default one is untouched.
+	if resp, out = do(t, http.MethodDelete, srv.URL+"/v1/tenants/acme", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete tenant = %d: %v", resp.StatusCode, out)
+	}
+	if resp, _ = doAs(t, "acme", http.MethodGet, srv.URL+"/v1/fleet/status", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted tenant's route = %d, want 404", resp.StatusCode)
+	}
+	mustOK(t, srv, http.MethodGet, "/v1/fleet/status", "")
+}
+
+// churn drives one tenant's full stateful surface: fleet lifecycle,
+// planning with ledger commits, server churn, rebalances. The history
+// is deterministic for a given (name, n), so two servers driving the
+// same script must end in byte-identical state.
+func churn(t *testing.T, srv *httptest.Server, name string, n int) {
+	t.Helper()
+	wf, nf := specPair(t)
+	mustAs(t, name, srv, http.MethodPut, "/v1/fleet", `{"network": `+nf+`}`)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%s-wf-%d", name, i)
+		mustAs(t, name, srv, http.MethodPost, "/v1/fleet/workflows", `{"id": "`+id+`", "workflow": `+wf+`}`)
+		switch i % 3 {
+		case 0:
+			mustAs(t, name, srv, http.MethodPost, "/v1/deploy",
+				`{"id": "`+id+`-plan", "workflow": `+wf+`, "network": `+nf+`}`)
+		case 1:
+			mustAs(t, name, srv, http.MethodPost, "/v1/fleet/servers",
+				fmt.Sprintf(`{"name": "%s-s%d", "powerHz": 2e9}`, name, i))
+		case 2:
+			mustAs(t, name, srv, http.MethodPost, "/v1/fleet/rebalance", "")
+		}
+	}
+	mustAs(t, name, srv, http.MethodPost, "/v1/autopilot", tenantAutopilotBody(nf, wf))
+}
+
+func tenantAutopilotBody(nf, wf string) string {
+	return `{"network": ` + nf + `, "classes": [{"id": "c0", "workflow": ` + wf + `}],
+	 "traffic": {"rate": 3, "horizon": 30, "seed": 11}, "enabled": true, "seed": 11}`
+}
+
+// TestTenantIsolationUnderChurn runs two tenants' scripted histories
+// concurrently and requires each tenant's final state — fleet
+// snapshot, deployment ledger, autopilot summary — to be byte-
+// identical to a quiet reference server that ran only that tenant's
+// script. Any cross-tenant leakage (a shared fleet, a ledger entry
+// landing in the wrong namespace, detector state bleeding over) shows
+// up as a diff; run under -race this also proves the namespaces share
+// no unsynchronized state.
+func TestTenantIsolationUnderChurn(t *testing.T) {
+	cfg := tenant.Config{Shards: 2}
+	srv := tenantServer(t, cfg)
+	for _, name := range []string{"acme", "beta"} {
+		if resp, out := do(t, http.MethodPost, srv.URL+"/v1/tenants", `{"name": "`+name+`"}`); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s = %d: %v", name, resp.StatusCode, out)
+		}
+	}
+
+	sizes := map[string]int{"acme": 7, "beta": 10}
+	var wg sync.WaitGroup
+	for name, n := range sizes {
+		wg.Add(1)
+		go func(name string, n int) {
+			defer wg.Done()
+			churn(t, srv, name, n)
+		}(name, n)
+	}
+	wg.Wait()
+
+	for name, n := range sizes {
+		ref := tenantServer(t, tenant.Config{Shards: 2})
+		if resp, out := do(t, http.MethodPost, ref.URL+"/v1/tenants", `{"name": "`+name+`"}`); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create reference %s = %d: %v", name, resp.StatusCode, out)
+		}
+		churn(t, ref, name, n)
+		for _, path := range []string{"/v1/fleet/snapshot", "/v1/fleet/status", "/v1/deployments", "/v1/autopilot"} {
+			got, want := getAs(t, name, srv, path), getAs(t, name, ref, path)
+			if got != want {
+				t.Errorf("tenant %s: %s diverged from the isolated reference\n got: %s\nwant: %s", name, path, got, want)
+			}
+		}
+	}
+	// The default tenant stayed empty through all of it.
+	if out := mustOK(t, srv, http.MethodGet, "/v1/deployments", ""); out["count"].(float64) != 0 {
+		t.Fatalf("default ledger picked up churn traffic: %v", out)
+	}
+	if resp, _ := do(t, http.MethodGet, srv.URL+"/v1/fleet/status", ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("default fleet exists without ever being created: %d", resp.StatusCode)
+	}
+}
+
+// TestTenantQuota429NonInterference pins the acceptance criterion: a
+// tenant pushed past its plans/sec quota is shed with 429 + Retry-After
+// while another tenant's requests keep planning normally.
+func TestTenantQuota429NonInterference(t *testing.T) {
+	srv := tenantServer(t, tenant.Config{Shards: 2})
+	wf, nf := specPair(t)
+	if resp, out := do(t, http.MethodPost, srv.URL+"/v1/tenants",
+		`{"name": "limited", "quota": {"plansPerSec": 0.001, "planBurst": 1}}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create limited = %d: %v", resp.StatusCode, out)
+	}
+	body := `{"workflow": ` + wf + `, "network": ` + nf + `}`
+
+	mustAs(t, "limited", srv, http.MethodPost, "/v1/deploy", body)
+	resp, out := doAs(t, "limited", http.MethodPost, srv.URL+"/v1/deploy", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota deploy = %d: %v", resp.StatusCode, out)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 without a useful Retry-After: %q", ra)
+	}
+	if s, _ := out["error"].(string); s == "" {
+		t.Fatalf("429 lacks the JSON error envelope: %v", out)
+	}
+
+	// The open tenant is not degraded by its neighbor's rejection...
+	for i := 0; i < 3; i++ {
+		mustOK(t, srv, http.MethodPost, "/v1/deploy", body)
+	}
+	// ...and the limited tenant stays shed until its bucket refills.
+	if resp, _ = doAs(t, "limited", http.MethodPost, srv.URL+"/v1/deploy", body); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("limited tenant recovered without a refill: %d", resp.StatusCode)
+	}
+}
+
+// TestTenantCapacityCaps pins the fleet-size quotas: deploys beyond
+// MaxWorkflows and joins beyond MaxServers shed with 503, and freeing
+// capacity re-opens the tenant.
+func TestTenantCapacityCaps(t *testing.T) {
+	srv := tenantServer(t, tenant.Config{})
+	wf, nf := specPair(t) // a 5-server bus
+	if resp, out := do(t, http.MethodPost, srv.URL+"/v1/tenants",
+		`{"name": "capped", "quota": {"maxWorkflows": 1, "maxServers": 6}}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create capped = %d: %v", resp.StatusCode, out)
+	}
+	mustAs(t, "capped", srv, http.MethodPut, "/v1/fleet", `{"network": `+nf+`}`)
+	mustAs(t, "capped", srv, http.MethodPost, "/v1/fleet/workflows", `{"id": "first", "workflow": `+wf+`}`)
+	resp, out := doAs(t, "capped", http.MethodPost, srv.URL+"/v1/fleet/workflows", `{"id": "second", "workflow": `+wf+`}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap workflow = %d: %v", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("over-cap 503 without Retry-After")
+	}
+
+	mustAs(t, "capped", srv, http.MethodPost, "/v1/fleet/servers", `{"name": "s6", "powerHz": 2e9}`)
+	if resp, out = doAs(t, "capped", http.MethodPost, srv.URL+"/v1/fleet/servers", `{"name": "s7", "powerHz": 2e9}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap server join = %d: %v", resp.StatusCode, out)
+	}
+
+	// Retiring the workflow frees the slot.
+	mustAs(t, "capped", srv, http.MethodDelete, "/v1/fleet/workflows/first", "")
+	mustAs(t, "capped", srv, http.MethodPost, "/v1/fleet/workflows", `{"id": "second", "workflow": `+wf+`}`)
+}
+
+// TestTenantDurableRecoveryIndependent restarts a durable multi-tenant
+// daemon and requires every tenant to come back byte-identical from
+// its own namespace: distinct fleets, ledgers and autopilot state per
+// tenant, none of it mixed.
+func TestTenantDurableRecoveryIndependent(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tenant.Config{DataDir: dir, Shards: 2, Store: store.Options{Sync: store.SyncNone}}
+	open := func() (*httptest.Server, *tenant.Registry) {
+		reg, err := tenant.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHandlerWith(Options{Tenants: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return httptest.NewServer(h), reg
+	}
+
+	srv, reg := open()
+	if resp, out := do(t, http.MethodPost, srv.URL+"/v1/tenants", `{"name": "acme"}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create acme = %d: %v", resp.StatusCode, out)
+	}
+	churn(t, srv, "", 4)      // default tenant, small history
+	churn(t, srv, "acme", 6)  // acme, different history
+	before := map[string]map[string]string{}
+	for _, name := range []string{"", "acme"} {
+		before[name] = map[string]string{}
+		for _, path := range []string{"/v1/fleet/snapshot", "/v1/deployments", "/v1/autopilot"} {
+			before[name][path] = getAs(t, name, srv, path)
+		}
+	}
+	srv.Close()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, reg2 := open()
+	defer srv2.Close()
+	defer reg2.Close()
+	for _, name := range []string{"", "acme"} {
+		for path, want := range before[name] {
+			if got := getAs(t, name, srv2, path); got != want {
+				t.Errorf("tenant %q: %s not byte-identical after restart\n got: %s\nwant: %s", name, path, got, want)
+			}
+		}
+	}
+	// The recovered registry still routes and plans.
+	wf, nf := specPair(t)
+	mustAs(t, "acme", srv2, http.MethodPost, "/v1/deploy", `{"workflow": `+wf+`, "network": `+nf+`}`)
+}

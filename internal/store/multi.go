@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Multi-tenant layout. A root data directory holds one subdirectory per
+// tenant namespace, each an independent store with its own WAL and
+// snapshot lineage:
+//
+//	<root>/<tenant>/wal.log
+//	<root>/<tenant>/snap-<seq>.bin
+//
+// OpenAll is the boot-time recovery path: it enumerates every namespace
+// and recovers each store in isolation, so one tenant's torn tail is
+// truncated without touching any other tenant's bytes. Interior
+// corruption still aborts the whole boot (ErrCorrupt, naming the
+// tenant): a silently dropped namespace would be data loss.
+
+// Mount is one tenant namespace recovered by OpenAll.
+type Mount struct {
+	// Name is the namespace (the subdirectory name).
+	Name string
+	// Store is the opened, writable store for this namespace.
+	Store *Store
+	// Recovery is what Open rebuilt from the namespace's disk state.
+	Recovery *Recovery
+}
+
+// OpenAll mounts every immediate subdirectory of root as an independent
+// store (creating root itself if needed) and returns the mounts sorted
+// by name. Hidden directories and stray files directly under root are
+// ignored. On error, every store opened so far is closed.
+func OpenAll(root string, opts Options) ([]*Mount, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", root, err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("store: enumerating %s: %w", root, err)
+	}
+	var mounts []*Mount
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		st, rec, err := Open(filepath.Join(root, e.Name()), opts)
+		if err != nil {
+			for _, m := range mounts {
+				m.Store.Close()
+			}
+			return nil, fmt.Errorf("store: tenant %s: %w", e.Name(), err)
+		}
+		mounts = append(mounts, &Mount{Name: e.Name(), Store: st, Recovery: rec})
+	}
+	sort.Slice(mounts, func(i, j int) bool { return mounts[i].Name < mounts[j].Name })
+	return mounts, nil
+}
+
+// MigrateLegacy moves a pre-tenancy single-store layout — wal.log and
+// snap-*.bin directly under root — into the namespace root/<name>/, so
+// a data directory written by an older daemon boots as that tenant.
+// It reports whether anything was moved. Leftover .tmp files from a
+// crashed atomic write are discarded, exactly as Open would.
+func MigrateLegacy(root, name string) (bool, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: enumerating %s: %w", root, err)
+	}
+	var legacy []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(e.Name(), tmpSuffix):
+			os.Remove(filepath.Join(root, e.Name()))
+		case e.Name() == walName,
+			strings.HasPrefix(e.Name(), snapPrefix) && strings.HasSuffix(e.Name(), snapSuffix):
+			legacy = append(legacy, e.Name())
+		}
+	}
+	if len(legacy) == 0 {
+		return false, nil
+	}
+	dst := filepath.Join(root, name)
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return false, fmt.Errorf("store: creating %s: %w", dst, err)
+	}
+	for _, f := range legacy {
+		if err := os.Rename(filepath.Join(root, f), filepath.Join(dst, f)); err != nil {
+			return false, fmt.Errorf("store: migrating %s into %s: %w", f, dst, err)
+		}
+	}
+	if err := syncDir(root); err != nil {
+		return true, fmt.Errorf("store: syncing %s after migration: %w", root, err)
+	}
+	return true, nil
+}

@@ -1,0 +1,87 @@
+package tenant
+
+import (
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Admission errors and sentinels.
+var (
+	// ErrNotFound marks a request for a tenant that does not exist.
+	ErrNotFound = errors.New("unknown tenant")
+	// ErrExists marks a create of a name already taken.
+	ErrExists = errors.New("tenant already exists")
+	// ErrBadName marks an invalid tenant name.
+	ErrBadName = errors.New("invalid tenant name")
+	// ErrDefaultUndeletable guards the implicit default tenant.
+	ErrDefaultUndeletable = errors.New("the default tenant cannot be deleted")
+)
+
+// capacityRetryAfter is the Retry-After hint on 503 shed responses:
+// queue depth and fleet caps clear on the timescale of in-flight work,
+// not of token refill, so the hint is a fixed short backoff.
+const capacityRetryAfter = time.Second
+
+// Decision is one admission outcome. A rejected decision carries the
+// HTTP status the API should answer with (429 over-quota, 503
+// over-capacity) and a Retry-After hint.
+type Decision struct {
+	OK         bool
+	Status     int
+	RetryAfter time.Duration
+	Reason     string
+}
+
+// Admit runs the tenant's request through admission — its token bucket
+// first, then the shard's in-flight queue bound — before any planning
+// work happens. On success the returned release must be called when the
+// request finishes (it frees the shard queue slot); on rejection
+// release is nil and the Decision says how to shed.
+func (r *Registry) Admit(t *Tenant) (release func(), d Decision) {
+	if t.bucket != nil {
+		if ok, wait := t.bucket.take(r.cfg.now()); !ok {
+			obsRejQuota.Inc()
+			return nil, Decision{
+				Status:     http.StatusTooManyRequests,
+				RetryAfter: wait,
+				Reason:     "tenant " + t.name + " is over its plans/sec quota",
+			}
+		}
+	}
+	q := &r.queues[t.shard]
+	depth := q.depth.Add(1)
+	if max := r.cfg.MaxShardQueue; max > 0 && depth > int64(max) {
+		q.depth.Add(-1)
+		obsRejCapacity.Inc()
+		return nil, Decision{
+			Status:     http.StatusServiceUnavailable,
+			RetryAfter: capacityRetryAfter,
+			Reason:     "planner shard queue is full",
+		}
+	}
+	q.gauge.Set(float64(depth))
+	obsAdmitted.Inc()
+	return func() {
+		q.gauge.Set(float64(q.depth.Add(-1)))
+	}, Decision{OK: true}
+}
+
+// OverCapacity builds the 503 decision for a tenant-level capacity cap
+// (fleet size, deployed workflows) discovered past admission.
+func OverCapacity(reason string) Decision {
+	obsRejCapacity.Inc()
+	return Decision{
+		Status:     http.StatusServiceUnavailable,
+		RetryAfter: capacityRetryAfter,
+		Reason:     reason,
+	}
+}
+
+// QueueDepth returns a shard's current in-flight admitted requests.
+func (r *Registry) QueueDepth(shard int) int64 {
+	if shard < 0 || shard >= len(r.queues) {
+		return 0
+	}
+	return r.queues[shard].depth.Load()
+}

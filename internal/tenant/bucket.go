@@ -1,0 +1,53 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token bucket: capacity `burst` tokens refilled at `rate`
+// tokens per second. take consumes one token, or reports how long the
+// caller should wait for one — the Retry-After hint of a 429.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+// newBucket builds a bucket that starts full. rate must be positive;
+// burst below 1 is raised to 1 (a bucket that can never hold a whole
+// token admits nothing).
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take consumes one token if available. When the bucket is empty it
+// returns false and the wait until the next token accrues.
+func (b *bucket) take(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	// A clock that goes backwards (or stands still) just refills nothing.
+	if now.After(b.last) {
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Nanosecond
+	}
+	return false, wait
+}

@@ -1,0 +1,72 @@
+package tenant
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring assigns tenants to planner shards by consistent hashing: each
+// shard owns many virtual points on a 64-bit circle, and a tenant lands
+// on the shard owning the first point at or after the tenant's hash.
+// The assignment is a pure function of (name, shards, replicas), so a
+// tenant's plans always reach the same shard's engine — its worker pool
+// and LRU plan cache — across requests and across restarts, and adding
+// a shard in a future resize moves only ~1/N of the tenants.
+type ring struct {
+	shards int
+	points []uint64 // sorted virtual-node hashes
+	owner  []int    // owner[i] is the shard owning points[i]
+}
+
+// newRing builds a ring of `shards` shards with `replicas` virtual
+// points each.
+func newRing(shards, replicas int) *ring {
+	r := &ring{
+		shards: shards,
+		points: make([]uint64, 0, shards*replicas),
+		owner:  make([]int, 0, shards*replicas),
+	}
+	type vp struct {
+		h     uint64
+		shard int
+	}
+	vps := make([]vp, 0, shards*replicas)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			vps = append(vps, vp{hash64(fmt.Sprintf("shard-%d#%d", s, v)), s})
+		}
+	}
+	// Ties (astronomically unlikely with 64-bit FNV) break toward the
+	// lower shard so the assignment stays deterministic.
+	sort.Slice(vps, func(i, j int) bool {
+		if vps[i].h != vps[j].h {
+			return vps[i].h < vps[j].h
+		}
+		return vps[i].shard < vps[j].shard
+	})
+	for _, p := range vps {
+		r.points = append(r.points, p.h)
+		r.owner = append(r.owner, p.shard)
+	}
+	return r
+}
+
+// shard returns the shard owning key.
+func (r *ring) shard(key string) int {
+	if r.shards <= 1 || len(r.points) == 0 {
+		return 0
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.owner[i]
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: run the portfolio-engine benchmarks and the
+# chaos-recovery benchmark with -benchmem and fold the results into a
+# committed JSON baseline (ns/op, B/op, allocs/op per benchmark), so a
+# perf regression shows up as a reviewable diff instead of an
+# anecdote.
+#
+#   scripts/bench_snapshot.sh [output.json]
+#
+# BENCHTIME tunes -benchtime (default 1x for a quick, deterministic
+# iteration count; set e.g. BENCHTIME=2s for steadier numbers before
+# committing a new baseline).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_baseline.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+RAW="$(mktemp)"
+trap 'rm -f "${RAW}"' EXIT
+
+run() { # run <package> <bench regexp>
+    echo "bench: go test -bench '$2' -benchmem -benchtime ${BENCHTIME} $1" >&2
+    go test -run '^$' -bench "$2" -benchmem -benchtime "${BENCHTIME}" "$1" |
+        awk -v pkg="$1" '/^Benchmark/ {print pkg, $0}' >>"${RAW}"
+}
+
+run . 'BenchmarkPortfolio'
+run ./internal/chaos 'BenchmarkChaosRecovery'
+
+awk -v benchtime="${BENCHTIME}" '
+BEGIN {
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    n = 0
+}
+{
+    # <pkg> <name> <iters> then unit-tagged pairs: benchmarks may emit
+    # custom metrics (e.g. incidents/op), so find each standard unit
+    # and take the value preceding it instead of trusting positions.
+    ns = "0"; bytes = "0"; allocs = "0"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        else if ($i == "B/op") bytes = $(i - 1)
+        else if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        $1, $2, $3, ns, bytes, allocs
+}
+END {
+    printf "\n  ]\n}\n"
+}' "${RAW}" >"${OUT}"
+
+echo "bench: wrote $(grep -c '"name"' "${OUT}") benchmarks to ${OUT}" >&2
