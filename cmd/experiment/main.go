@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: fig6|fig7|fig8|lineline|quality|classA|classB|table6|portfolio|chaos|all")
+		which   = flag.String("exp", "all", "experiment: fig6|fig7|fig8|lineline|quality|classA|classB|table6|portfolio|chaos|geo|all")
 		runs    = flag.Int("runs", 50, "instances per configuration (paper: 50)")
 		ops     = flag.Int("ops", 19, "workflow operations M (paper: 19)")
 		servers = flag.String("servers", "3,4,5", "comma-separated server counts to sweep")
@@ -83,7 +83,7 @@ func run(which string, o exp.Options, scatter bool, csvDir, htmlOut string) erro
 		"table6", "fig6", "fig7", "fig8", "lineline", "quality",
 		"classA", "classB",
 		"ksweep", "topologies", "refiners", "flmme-quantile", "weights", "failure", "makespan",
-		"throughput", "portfolio", "chaos", "autopilot",
+		"throughput", "portfolio", "chaos", "autopilot", "geo",
 	}
 
 	selected := []string{which}
@@ -144,6 +144,21 @@ func run(which string, o exp.Options, scatter bool, csvDir, htmlOut string) erro
 				return err
 			}
 			fmt.Println(exp.RenderAutopilot(rows))
+		case "geo":
+			fig, rows, err := exp.RunGeo(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(exp.RenderTable(fig))
+			fmt.Println(exp.RenderGeo(rows))
+			htmlFigs = append(htmlFigs, fig)
+			if csvDir != "" {
+				if err := writeCSVFile(csvDir, "geo", func(f *os.File) error {
+					return exp.WriteCSV(f, fig)
+				}); err != nil {
+					return err
+				}
+			}
 		default:
 			runner, ok := figures[name]
 			if !ok {

@@ -10,6 +10,7 @@
 //	wsdeploy -demo -algo holm -simulate # Monte-Carlo simulate the chosen mapping
 //	wsdeploy -demo -algo portfolio -timeout 2s -parallel 4
 //	                                    # race the whole registry, keep the winner
+//	wsdeploy -demogeo -algo geoplace    # 2-region fixture, partition-then-place
 //	wsdeploy -autopilot -traffic skew:6:120
 //	                                    # closed-loop drift study, off vs on
 //
@@ -60,6 +61,7 @@ func main() {
 		algoName = flag.String("algo", "holm", fmt.Sprintf("algorithm: \"portfolio\" or one of %v", core.KnownAlgorithms()))
 		all      = flag.Bool("all", false, "compare every applicable algorithm instead of running one")
 		demo     = flag.Bool("demo", false, "use the paper's Fig. 1 workflow over a 5-server 100 Mbps bus")
+		demoGeo  = flag.Bool("demogeo", false, "use a built-in 2-region fixture with a chatty cross-region workflow")
 		seed     = flag.Uint64("seed", 1, "random seed for seeded algorithms")
 		timeout  = flag.Duration("timeout", 0, "planning deadline (0 = none); on expiry the best mapping so far is kept")
 		parallel = flag.Int("parallel", 0, "portfolio worker-pool size (0 = GOMAXPROCS)")
@@ -109,14 +111,14 @@ func main() {
 		}
 		return
 	}
-	if err := run(*wfPath, *netPath, *algoName, *all, *demo, *seed, *timeout, *parallel, *simulate, *simRuns, *outPath, *dotPath, *trace, *explain, *diffPath, *chaosArg, *chaosBk, *chaosRt, *chaosHl); err != nil {
+	if err := run(*wfPath, *netPath, *algoName, *all, *demo, *demoGeo, *seed, *timeout, *parallel, *simulate, *simRuns, *outPath, *dotPath, *trace, *explain, *diffPath, *chaosArg, *chaosBk, *chaosRt, *chaosHl); err != nil {
 		fmt.Fprintln(os.Stderr, "wsdeploy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wfPath, netPath, algoName string, all, demo bool, seed uint64, timeout time.Duration, parallel int, simulate bool, simRuns int, outPath, dotPath string, trace, explain bool, diffPath, chaosArg, chaosBackend string, chaosRate float64, chaosHeal bool) error {
-	w, n, err := loadInputs(wfPath, netPath, demo)
+func run(wfPath, netPath, algoName string, all, demo, demoGeo bool, seed uint64, timeout time.Duration, parallel int, simulate bool, simRuns int, outPath, dotPath string, trace, explain bool, diffPath, chaosArg, chaosBackend string, chaosRate float64, chaosHeal bool) error {
+	w, n, err := loadInputs(wfPath, netPath, demo, demoGeo)
 	if err != nil {
 		return err
 	}
@@ -268,7 +270,7 @@ func runAutopilot(wfPath, netPath string, demo bool, trafficSpec string, seed ui
 			return err
 		}
 	} else {
-		w, loaded, err := loadInputs(wfPath, netPath, false)
+		w, loaded, err := loadInputs(wfPath, netPath, false, false)
 		if err != nil {
 			return err
 		}
@@ -371,17 +373,23 @@ func runChaos(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, planS
 
 // loadInputs reads the workflow and network from files, or builds the
 // demo pair.
-func loadInputs(wfPath, netPath string, demo bool) (*workflow.Workflow, *network.Network, error) {
-	if demo {
+func loadInputs(wfPath, netPath string, demo, demoGeo bool) (*workflow.Workflow, *network.Network, error) {
+	if demo || demoGeo {
 		if wfPath != "" || netPath != "" {
-			return nil, nil, fmt.Errorf("-demo conflicts with -workflow/-network")
+			return nil, nil, fmt.Errorf("-demo/-demogeo conflicts with -workflow/-network")
+		}
+		if demo && demoGeo {
+			return nil, nil, fmt.Errorf("-demo conflicts with -demogeo")
+		}
+		if demoGeo {
+			return geoDemo()
 		}
 		w := gen.MotivatingExample()
 		n, err := network.NewBus("ministry", []float64{1e9, 2e9, 2e9, 3e9, 1e9}, 100*gen.Mbps, 0.0001)
 		return w, n, err
 	}
 	if wfPath == "" || netPath == "" {
-		return nil, nil, fmt.Errorf("need -workflow and -network (or -demo)")
+		return nil, nil, fmt.Errorf("need -workflow and -network (or -demo/-demogeo)")
 	}
 	var w *workflow.Workflow
 	if strings.HasSuffix(wfPath, ".wdl") {
@@ -411,6 +419,39 @@ func loadInputs(wfPath, netPath string, demo bool) (*workflow.Workflow, *network
 	}
 	defer nf.Close()
 	n, err := wfio.DecodeNetwork(nf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, n, nil
+}
+
+// geoDemo builds the -demogeo pair: two 2-server gigabit regions joined
+// by a slow WAN link, running two chatty 3-op pipelines that exchange
+// megabyte messages internally and a 100-byte result across the bridge.
+// Single-site planners spread the pipelines over the WAN; geoplace keeps
+// each inside one region.
+func geoDemo() (*workflow.Workflow, *network.Network, error) {
+	n, err := network.NewRegions("geodemo",
+		[]network.RegionSpec{
+			{Name: "eu", Powers: []float64{2e9, 1e9}, SpeedBps: 1000 * gen.Mbps, PropDelay: 50e-6},
+			{Name: "us", Powers: []float64{2e9, 1e9}, SpeedBps: 1000 * gen.Mbps, PropDelay: 50e-6},
+		},
+		[]network.WANLink{{A: "eu", B: "us", SpeedBps: 50 * gen.Mbps, PropDelay: 30e-3}})
+	if err != nil {
+		return nil, nil, err
+	}
+	b := workflow.NewBuilder("geodemo")
+	const big = 8e6 // 1 MB messages inside a pipeline
+	ingest := b.Op("ingest", 2e9)
+	parse := b.Op("parse", 1e9)
+	index := b.Op("index", 2e9)
+	b.Chain(big, ingest, parse, index)
+	rank := b.Op("rank", 2e9)
+	score := b.Op("score", 1e9)
+	serve := b.Op("serve", 2e9)
+	b.Link(index, rank, 800) // 100-byte cross-pipeline handoff
+	b.Chain(big, rank, score, serve)
+	w, err := b.Build()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,104 @@
+// Georegions: deploying one workflow across two datacenters. Two
+// chatty 3-op pipelines (megabyte messages inside each, a 100-byte
+// result across the bridge) run on two gigabit regions joined by a
+// 50 Mbps / 30 ms WAN link. A single-site planner sees eight servers
+// and spreads for load balance, paying the WAN for megabyte messages;
+// the partition-then-place planner cuts the workflow at the bridge
+// first, so only 100 bytes ever cross the ocean. The example closes
+// with the centralized vs decentralized orchestration bill for the
+// geo-aware deployment.
+//
+// Run with: go run ./examples/georegions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/geo"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+func main() {
+	// Two regions of four servers each; WAN propagation is 600x the
+	// intra-region propagation delay.
+	n, err := network.NewRegions("two-dc",
+		[]network.RegionSpec{
+			{Name: "eu-west", Powers: []float64{2e9, 2e9, 1e9, 1e9}, SpeedBps: 1e9, PropDelay: 50e-6},
+			{Name: "us-east", Powers: []float64{2e9, 2e9, 1e9, 1e9}, SpeedBps: 1e9, PropDelay: 50e-6},
+		},
+		[]network.WANLink{{A: "eu-west", B: "us-east", SpeedBps: 5e7, PropDelay: 30e-3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An ingest pipeline and a serving pipeline, chatty inside, quiet
+	// across the bridge.
+	b := workflow.NewBuilder("search")
+	const big = 8e6 // 1 MB messages inside a pipeline
+	crawl := b.Op("crawl", 4e9)
+	parse := b.Op("parse", 2e9)
+	index := b.Op("index", 4e9)
+	b.Chain(big, crawl, parse, index)
+	rank := b.Op("rank", 4e9)
+	score := b.Op("score", 2e9)
+	serve := b.Op("serve", 4e9)
+	b.Link(index, rank, 800) // the 100-byte index digest
+	b.Chain(big, rank, score, serve)
+	w := b.MustBuild()
+
+	fmt.Printf("%s\n%s (regions: %v)\n\n", w, n, n.Regions())
+	model := cost.NewModel(w, n)
+
+	for _, algo := range []core.Algorithm{core.FairLoad{}, core.GeoPlace{}} {
+		mp, err := algo.Deploy(w, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		describe(algo.Name(), w, n, model, mp)
+	}
+
+	// How should the deployed workflow be orchestrated? Compare a single
+	// orchestrator region (every payload hairpins through it) against
+	// per-region orchestrators exchanging control handoffs.
+	mp, err := core.GeoPlace{}.Deploy(w, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := geo.CompareOrchestration(w, n, mp, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("orchestration of the GeoPlace deployment:")
+	for _, c := range rep.Centralized {
+		fmt.Printf("  %-24s %.4f s  (%.3f Mbit across the WAN)\n",
+			c.Strategy, c.TotalSeconds, c.WANDataBits/1e6)
+	}
+	d := rep.Decentralized
+	fmt.Printf("  %-24s %.4f s  (%.3f Mbit across the WAN)\n",
+		d.Strategy, d.TotalSeconds, d.WANDataBits/1e6)
+	fmt.Printf("decentralized orchestration is %.1fx cheaper than the best single orchestrator\n",
+		rep.Advantage())
+}
+
+// describe prints one planner's mapping with per-region placement and
+// the WAN bill of its cut edges.
+func describe(name string, w *workflow.Workflow, n *network.Network, model *cost.Model, mp deploy.Mapping) {
+	fmt.Printf("%s:\n", name)
+	for op, s := range mp {
+		fmt.Printf("  %-6s -> %s\n", w.Nodes[op].Name, n.Servers[s].Name)
+	}
+	var wanBits float64
+	for _, edge := range w.Edges {
+		if n.WANCrossings(mp[edge.From], mp[edge.To]) > 0 {
+			wanBits += edge.SizeBits
+		}
+	}
+	res := model.Evaluate(mp)
+	fmt.Printf("  exec %.4f s, penalty %.4f s, combined %.4f s, %.4f Mbit over the WAN\n\n",
+		res.ExecTime, res.TimePenalty, res.Combined, wanBits/1e6)
+}

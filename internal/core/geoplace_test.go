@@ -1,0 +1,178 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// geoFixture builds the acceptance fixture of the geo subsystem: three
+// bus regions of three servers joined by a full WAN mesh whose
+// propagation delay is ~600x the intra-region delay (well above the
+// 10x bar), and a three-branch AND workflow whose branches are chatty
+// 6-op chains — the canonical workload where the winning move is to pin
+// each branch inside one region.
+func geoFixture(t testing.TB) (*workflow.Workflow, *network.Network) {
+	t.Helper()
+	n, err := network.NewRegions("geo3x3",
+		[]network.RegionSpec{
+			{Name: "eu", Powers: []float64{2e9, 1.5e9, 1e9}, SpeedBps: 1e9, PropDelay: 50e-6},
+			{Name: "us", Powers: []float64{1.5e9, 2e9, 1e9}, SpeedBps: 1e9, PropDelay: 50e-6},
+			{Name: "ap", Powers: []float64{1e9, 1.5e9, 2e9}, SpeedBps: 1e9, PropDelay: 50e-6},
+		},
+		[]network.WANLink{
+			{A: "eu", B: "us", SpeedBps: 5e7, PropDelay: 30e-3},
+			{A: "us", B: "ap", SpeedBps: 5e7, PropDelay: 40e-3},
+			{A: "eu", B: "ap", SpeedBps: 5e7, PropDelay: 60e-3},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := workflow.NewBuilder("tribranch")
+	split := b.Split(workflow.AndSplit, "fan", 1e7)
+	join := b.Join(workflow.AndSplit, "/fan", 1e7)
+	for br := 0; br < 3; br++ {
+		ids := make([]workflow.NodeID, 6)
+		for i := range ids {
+			// Deterministically varied cycles and message sizes: heavy
+			// enough that each branch fills one region, irregular enough
+			// that index-order heuristics do not luck into the optimum.
+			cycles := 1e9 * float64(2+(br*5+i*3)%4)
+			ids[i] = b.Op("op", cycles)
+		}
+		for i := 0; i+1 < len(ids); i++ {
+			bits := 4e6 * float64(2+(br*3+i*2)%3) // 1–2 MB intra-branch messages
+			b.Link(ids[i], ids[i+1], bits)
+		}
+		b.Link(split, ids[0], 8e3) // 1 kB in and out of the branch
+		b.Link(ids[5], join, 8e3)
+	}
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, n
+}
+
+// TestGeoPlaceBeatsEveryNonGeoAlgorithm is the subsystem's acceptance
+// test: on the 3-region fixture (WAN Tprop >= 10x intra-region Tprop),
+// GeoPlace with the default FairLoad inner planner must achieve a
+// strictly lower combined cost than every non-geo registry algorithm.
+// Algorithms that refuse the configuration (Exhaustive past its
+// enumeration limit, the LineLine family off a line) are beaten by
+// default.
+func TestGeoPlaceBeatsEveryNonGeoAlgorithm(t *testing.T) {
+	w, n := geoFixture(t)
+	model := cost.NewModel(w, n)
+
+	geoMp, err := GeoPlace{}.Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geoCost := model.Combined(geoMp)
+
+	for _, key := range RegistryOrder() {
+		if strings.HasPrefix(key, "geoplace") {
+			continue
+		}
+		algo, err := NewByName(key, 2007)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := algo.Deploy(w, n)
+		if err != nil {
+			t.Logf("%-14s refused the configuration (%v) — beaten by default", key, err)
+			continue
+		}
+		c := model.Combined(mp)
+		if geoCost >= c {
+			t.Errorf("%-14s combined %.6f <= geoplace %.6f; geoplace must win strictly", key, c, geoCost)
+		} else {
+			t.Logf("%-14s combined %.6f vs geoplace %.6f (geo wins by %.1fx)", key, c, geoCost, c/geoCost)
+		}
+	}
+}
+
+func TestGeoPlaceMappingStaysInAssignedRegions(t *testing.T) {
+	w, n := geoFixture(t)
+	mp, err := GeoPlace{}.Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Validate(w, n); err != nil {
+		t.Fatal(err)
+	}
+	// Each chatty branch must land wholly inside one region: any WAN
+	// crossing inside a branch would cost more than the whole
+	// intra-region plan.
+	for br := 0; br < 3; br++ {
+		first := 2 + br*6 // ops follow split(0) and join(1) in builder order
+		region := n.RegionOf(mp[first])
+		for i := 1; i < 6; i++ {
+			if got := n.RegionOf(mp[first+i]); got != region {
+				t.Fatalf("branch %d split across regions %q and %q: %v", br, region, got, mp)
+			}
+		}
+	}
+}
+
+func TestGeoPlaceDeterministic(t *testing.T) {
+	w, n := geoFixture(t)
+	a, err := GeoPlace{}.Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeoPlace{}.Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("GeoPlace not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestGeoPlaceSingleSiteDegeneratesToInner pins the fallback contract:
+// without region labels GeoPlace is exactly its inner planner, so it is
+// safe to race in the portfolio on every configuration.
+func TestGeoPlaceSingleSiteDegeneratesToInner(t *testing.T) {
+	w, _ := geoFixture(t)
+	n := network.MustNewBus("solo", []float64{2e9, 1.5e9, 1e9}, 1e8, 1e-4)
+	geoMp, err := GeoPlace{}.Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := FairLoad{}.Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(geoMp, fair) {
+		t.Fatalf("single-site GeoPlace diverged from FairLoad:\n%v\n%v", geoMp, fair)
+	}
+}
+
+// TestGeoPlaceNeverWorseThanInner pins the global-objective validation:
+// on any fixture, GeoPlace's combined cost is at most its inner
+// planner's.
+func TestGeoPlaceNeverWorseThanInner(t *testing.T) {
+	w, n := geoFixture(t)
+	model := cost.NewModel(w, n)
+	for _, inner := range []Algorithm{FairLoad{}, HOLM{}, Partition{}} {
+		geoMp, err := GeoPlace{Inner: inner}.Deploy(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		innerMp, err := inner.Deploy(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if model.Combined(geoMp) > model.Combined(innerMp)+1e-12 {
+			t.Fatalf("GeoPlace(%s) %.6f worse than inner %.6f",
+				inner.Name(), model.Combined(geoMp), model.Combined(innerMp))
+		}
+	}
+}

@@ -19,10 +19,19 @@ import (
 // same intuition (keep chatty operations together, keep parts
 // load-proportional) expressed as a partitioning objective — and serves
 // as an ablation baseline in the experiments.
-type Partition struct{}
+type Partition struct {
+	// SkipRefine disables the KL boundary pass, exposing the raw greedy
+	// mapping. Tests use it to measure the refinement's contribution.
+	SkipRefine bool
+}
 
 // Name implements Algorithm.
-func (Partition) Name() string { return "Partition" }
+func (a Partition) Name() string {
+	if a.SkipRefine {
+		return "Partition-NoRefine"
+	}
+	return "Partition"
+}
 
 // Deploy implements Algorithm.
 func (a Partition) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapping, error) {
@@ -88,9 +97,17 @@ func (a Partition) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapp
 		used[bestS] += in.effCycles[op]
 	}
 
+	if a.SkipRefine {
+		return validated(mp, w, n, a.Name())
+	}
+
 	// One KL-style refinement sweep: move boundary operations (those with
 	// a cut edge) to the neighbouring server if it reduces cut bits
-	// without blowing the budget.
+	// without blowing the budget. A move must also not worsen the global
+	// combined objective — cut bits are a proxy, and a move that wins cut
+	// but loses load balance would otherwise slip through — so the
+	// refined mapping is never worse than the greedy one.
+	base := in.model.Combined(mp)
 	for _, op := range order {
 		cur := mp[op]
 		curGain := in.gainAt(op, cur, mp)
@@ -102,10 +119,14 @@ func (a Partition) Deploy(w *workflow.Workflow, n *network.Network) (deploy.Mapp
 				continue
 			}
 			if g := in.gainAt(op, s, mp); g > curGain {
-				used[cur] -= in.effCycles[op]
-				used[s] += in.effCycles[op]
 				mp[op] = s
-				cur, curGain = s, g
+				if c := in.model.Combined(mp); c <= base {
+					used[cur] -= in.effCycles[op]
+					used[s] += in.effCycles[op]
+					cur, curGain, base = s, g, c
+				} else {
+					mp[op] = cur
+				}
 			}
 		}
 	}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// TestPartitionFewerOpsThanServers pins the M < N edge: the partitioner
+// must still produce a valid mapping (some servers stay empty) and keep
+// the one chatty pair together.
+func TestPartitionFewerOpsThanServers(t *testing.T) {
+	b := workflow.NewBuilder("tiny")
+	a1 := b.Op("a1", 1e9)
+	a2 := b.Op("a2", 1e9)
+	a3 := b.Op("a3", 1e9)
+	b.Link(a1, a2, 8e6) // chatty pair
+	b.Link(a2, a3, 8)   // one-byte trailer
+	w := b.MustBuild()
+	n := network.MustNewBus("wide", []float64{1e9, 1e9, 1e9, 1e9, 1e9, 1e9, 1e9}, 1e6, 0)
+
+	mp, err := (Partition{}).Deploy(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Validate(w, n); err != nil {
+		t.Fatal(err)
+	}
+	if mp[0] != mp[1] {
+		t.Fatalf("chatty pair split across servers: %v", mp)
+	}
+}
+
+func TestPartitionSingleOperation(t *testing.T) {
+	b := workflow.NewBuilder("solo")
+	b.Op("only", 5e8)
+	w := b.MustBuild()
+	for _, n := range []*network.Network{
+		network.MustNewBus("one", []float64{1e9}, 1e8, 0),
+		network.MustNewBus("many", []float64{1e9, 2e9, 3e9}, 1e8, 0),
+	} {
+		mp, err := (Partition{}).Deploy(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mp.Validate(w, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPartitionRefinementNeverWorsens is the refinement property test:
+// over a sweep of seeded random instances, the refined mapping's
+// combined cost is never above the pre-refinement (greedy) mapping's —
+// every KL move must both win cut bits and not lose the global
+// objective.
+func TestPartitionRefinementNeverWorsens(t *testing.T) {
+	cfg := gen.ClassC()
+	for seed := uint64(1); seed <= 25; seed++ {
+		r := stats.NewRNG(seed)
+		var (
+			w   *workflow.Workflow
+			err error
+		)
+		if seed%2 == 0 {
+			w, err = cfg.LinearWorkflow(r, 6+int(seed%9))
+		} else {
+			w, err = cfg.GraphWorkflow(r, 9+int(seed%8), gen.Hybrid)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := cfg.BusNetwork(r, 3+int(seed%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			raw, err := (Partition{SkipRefine: true}).Deploy(w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refined, err := (Partition{}).Deploy(w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := cost.NewModel(w, n)
+			if cr, cg := model.Combined(refined), model.Combined(raw); cr > cg+1e-12 {
+				t.Fatalf("refinement worsened combined: %.9f > %.9f", cr, cg)
+			}
+		})
+	}
+}

@@ -34,6 +34,11 @@ var registry = []registryEntry{
 	{"localsearch", func(uint64) Algorithm { return LocalSearch{} }},
 	{"anneal", func(seed uint64) Algorithm { return Anneal{Seed: seed} }},
 	{"partition", func(uint64) Algorithm { return Partition{} }},
+	// The geo family: partition-then-place for multi-region networks
+	// (degenerates to the inner planner on single-site networks).
+	{"geoplace", func(uint64) Algorithm { return GeoPlace{} }},
+	{"geoplace-holm", func(uint64) Algorithm { return GeoPlace{Inner: HOLM{}} }},
+	{"geoplace-ls", func(uint64) Algorithm { return GeoPlace{Inner: LocalSearch{}} }},
 }
 
 // NewByName constructs an algorithm from its registry key. Seeded
@@ -43,7 +48,8 @@ var registry = []registryEntry{
 //
 //	exhaustive, sampling, lineline, lineline-nofix, lineline-rl,
 //	lineline-best, fairload, fltr, fltr2, flmme, holm,
-//	localsearch, anneal, partition
+//	localsearch, anneal, partition, geoplace, geoplace-holm,
+//	geoplace-ls
 func NewByName(name string, seed uint64) (Algorithm, error) {
 	for _, e := range registry {
 		if e.key == name {

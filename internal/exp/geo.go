@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"wsdeploy/internal/core"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/geo"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// GeoRow is one WAN-speed cell of the orchestration half of the geo
+// study: the communication bill of centralized versus decentralized
+// orchestration for GeoPlace's deployment, averaged over the instances.
+type GeoRow struct {
+	// WANMbps is the inter-region link speed of the cell.
+	WANMbps float64
+	// CentralSec and DecentralSec are the mean total communication
+	// seconds (payload + control) of the best centralized orchestrator
+	// region and of decentralized per-region orchestration.
+	CentralSec   float64
+	DecentralSec float64
+	// Advantage is the mean centralized/decentralized ratio (>1 means
+	// decentralization wins).
+	Advantage float64
+	// WANBitsCentral and WANBitsDecentral are the mean amortised payload
+	// bits crossing WAN links under each strategy.
+	WANBitsCentral   float64
+	WANBitsDecentral float64
+}
+
+// geoWANSpeeds are the inter-region link speeds the study sweeps, in
+// Mbps: a congested transcontinental path and a provisioned one.
+var geoWANSpeeds = []float64{10, 100}
+
+// geoInstance draws instance i of the geo study: a 3-region network
+// (three servers per region, powers from the Table 6 three-point
+// distribution, gigabit intra-region buses) joined by a WAN triangle of
+// the given speed with 30/40/60 ms propagation delays, and a random
+// hybrid-structure workflow.
+func geoInstance(o Options, i int, wanBps float64) (*workflow.Workflow, *network.Network, error) {
+	r := instanceRNG(o.Seed, fmt.Sprintf("geo-%g", wanBps), i)
+	powers := func() []float64 {
+		ps := make([]float64, 3)
+		for j := range ps {
+			ps[j] = stats.Pick(r, []float64{1e9, 2e9, 3e9})
+		}
+		return ps
+	}
+	regionNames := []string{"eu", "us", "ap"}
+	specs := make([]network.RegionSpec, len(regionNames))
+	for ri, name := range regionNames {
+		specs[ri] = network.RegionSpec{
+			Name: name, Powers: powers(),
+			SpeedBps: 1000 * gen.Mbps, PropDelay: 50e-6,
+		}
+	}
+	n, err := network.NewRegions(fmt.Sprintf("geo-%d", i), specs, []network.WANLink{
+		{A: "eu", B: "us", SpeedBps: wanBps, PropDelay: 30e-3},
+		{A: "us", B: "ap", SpeedBps: wanBps, PropDelay: 40e-3},
+		{A: "eu", B: "ap", SpeedBps: wanBps, PropDelay: 60e-3},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := gen.ClassC().GraphWorkflow(r, o.Operations, gen.Hybrid)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, n, nil
+}
+
+// geoSuite is the deterministic algorithm face-off of the study: the
+// strongest single-site planners against the partition-then-place
+// family.
+func geoSuite() []core.Algorithm {
+	return []core.Algorithm{
+		core.FairLoad{},
+		core.HOLM{},
+		core.LocalSearch{},
+		core.Partition{},
+		core.GeoPlace{},
+		core.GeoPlace{Inner: core.HOLM{}},
+		core.GeoPlace{Inner: core.LocalSearch{}},
+	}
+}
+
+// RunGeo runs the geo-distributed placement study: for each WAN speed it
+// draws random 3-region instances, races the single-site planners
+// against the GeoPlace family under the global objective (the Figure),
+// and compares centralized against decentralized orchestration for
+// GeoPlace's deployment (the rows). Deterministic for a fixed seed.
+func RunGeo(o Options) (Figure, []GeoRow, error) {
+	o = o.withDefaults()
+	fig := Figure{ID: "geo", Title: "Geo: single-site planners vs partition-then-place on 3-region networks"}
+	var rows []GeoRow
+	for _, mbps := range geoWANSpeeds {
+		acc := newMetricAcc()
+		row := GeoRow{WANMbps: mbps}
+		for i := 0; i < o.Runs; i++ {
+			w, n, err := geoInstance(o, i, mbps*gen.Mbps)
+			if err != nil {
+				return Figure{}, nil, err
+			}
+			if err := evalSuite(acc, geoSuite(), w, n); err != nil {
+				return Figure{}, nil, err
+			}
+			mp, err := core.GeoPlace{}.Deploy(w, n)
+			if err != nil {
+				return Figure{}, nil, err
+			}
+			rep, err := geo.CompareOrchestration(w, n, mp, 0)
+			if err != nil {
+				return Figure{}, nil, err
+			}
+			best := rep.BestCentralized()
+			row.CentralSec += best.TotalSeconds
+			row.DecentralSec += rep.Decentralized.TotalSeconds
+			row.Advantage += rep.Advantage()
+			row.WANBitsCentral += best.WANDataBits
+			row.WANBitsDecentral += rep.Decentralized.WANDataBits
+		}
+		runs := float64(o.Runs)
+		row.CentralSec /= runs
+		row.DecentralSec /= runs
+		row.Advantage /= runs
+		row.WANBitsCentral /= runs
+		row.WANBitsDecentral /= runs
+		rows = append(rows, row)
+		fig.Series = append(fig.Series, Series{
+			Label:  fmt.Sprintf("3 regions, %g Mbps WAN", mbps),
+			Points: acc.points(),
+		})
+	}
+	return fig, rows, nil
+}
+
+// RenderGeo renders the orchestration half of the geo study as a table.
+func RenderGeo(rows []GeoRow) string {
+	var b strings.Builder
+	b.WriteString("== Geo: centralized vs decentralized orchestration (GeoPlace deployment) ==\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WAN Mbps\tcentralized s\tdecentralized s\tadvantage ×\tWAN Mbit (central)\tWAN Mbit (decentral)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%g\t%.4f\t%.4f\t%.2f\t%.3f\t%.3f\n",
+			r.WANMbps, r.CentralSec, r.DecentralSec, r.Advantage,
+			r.WANBitsCentral/1e6, r.WANBitsDecentral/1e6)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// geoCombinedGain returns how much lower GeoPlace's mean combined cost is
+// than the best single-site planner's in a series, as a ratio >= 0
+// (0.1 = 10% cheaper). Used by tests and the study summary.
+func geoCombinedGain(s Series) float64 {
+	bestSite, bestGeo := 0.0, 0.0
+	for _, p := range s.Points {
+		isGeo := strings.HasPrefix(p.Algorithm, "GeoPlace")
+		switch {
+		case isGeo && (bestGeo == 0 || p.Combined < bestGeo):
+			bestGeo = p.Combined
+		case !isGeo && (bestSite == 0 || p.Combined < bestSite):
+			bestSite = p.Combined
+		}
+	}
+	if bestSite == 0 || bestGeo == 0 {
+		return 0
+	}
+	return 1 - bestGeo/bestSite
+}

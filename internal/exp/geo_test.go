@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunGeoDeterministic(t *testing.T) {
+	o := Options{Runs: 3, Operations: 12, Seed: 7}
+	fig1, rows1, err := RunGeo(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig2, rows2, err := RunGeo(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig1, fig2) || !reflect.DeepEqual(rows1, rows2) {
+		t.Fatal("geo study not deterministic for a fixed seed")
+	}
+	if len(fig1.Series) != len(geoWANSpeeds) || len(rows1) != len(geoWANSpeeds) {
+		t.Fatalf("got %d series / %d rows, want %d of each",
+			len(fig1.Series), len(rows1), len(geoWANSpeeds))
+	}
+	for _, s := range fig1.Series {
+		if len(s.Points) != len(geoSuite()) {
+			t.Fatalf("series %q has %d points, want %d", s.Label, len(s.Points), len(geoSuite()))
+		}
+		// GeoPlace(LocalSearch) is never worse than LocalSearch under the
+		// global objective, so the geo family can never lose the face-off.
+		if gain := geoCombinedGain(s); gain < -1e-9 {
+			t.Fatalf("series %q: geo family lost the face-off by %.4f", s.Label, -gain)
+		}
+	}
+	for _, r := range rows1 {
+		if r.DecentralSec <= 0 || r.CentralSec <= 0 {
+			t.Fatalf("degenerate orchestration costs: %+v", r)
+		}
+		// Payload hairpins through a single region can only add WAN bits.
+		if r.WANBitsCentral < r.WANBitsDecentral {
+			t.Fatalf("centralized moved fewer WAN bits than decentralized: %+v", r)
+		}
+	}
+}

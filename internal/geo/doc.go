@@ -1,0 +1,34 @@
+// Package geo adds geo-distributed placement on top of the paper's
+// single-site planners: it partitions a workflow into region-local
+// sub-workflows with minimal cross-region message traffic and lets any
+// registered planner place each partition inside its region.
+//
+// The paper (ICDE 2007) maps one workflow onto one line or bus of
+// servers; every server pair is a few LAN hops apart and the propagation
+// term of the transfer time is negligible. Across datacenters the
+// balance inverts: WAN links carry tens of milliseconds of propagation
+// delay and an order of magnitude less bandwidth, so the dominant cost
+// of a mapping is *which messages cross regions*, not which server hosts
+// which operation. Following Jaradat, Dearle and Barker ("Workflow
+// Partitioning and Deployment on the Cloud using Orchestra"; "An
+// Architecture for Decentralised Orchestration of Web Service
+// Workflows"), the package splits the problem in two:
+//
+//   - Partition (this package): cut the operation graph into one part
+//     per region, weighting each potential cut edge by its effective
+//     (probability-amortised) transfer seconds over the actual
+//     inter-region routes, under region capacity constraints, with a
+//     Kernighan–Lin-style boundary refinement pass that only ever
+//     improves the cut.
+//   - Place (core.GeoPlace): deploy each part onto its region's local
+//     sub-network with an inner planner (FairLoad by default), stitch
+//     the per-region sub-mappings into one global deploy.Mapping, and
+//     validate the result against the global objective.
+//
+// The package also models the orchestration-layer question the two
+// papers study: a centralized orchestrator hairpins every message
+// through one region, while decentralised per-region orchestration sends
+// data directly and exchanges only lightweight control messages across
+// regions. CompareOrchestration quantifies the difference for any
+// mapping; the `-exp geo` experiment reports it.
+package geo

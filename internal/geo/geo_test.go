@@ -1,0 +1,302 @@
+package geo
+
+import (
+	"reflect"
+	"testing"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// twoRegionNet builds two 2-server bus regions joined by one slow WAN
+// link: intra-region transfers are ~free, cross-region transfers pay
+// 30 ms of propagation and 50 Mbps of bandwidth.
+func twoRegionNet(t *testing.T) *network.Network {
+	t.Helper()
+	n, err := network.NewRegions("geo2",
+		[]network.RegionSpec{
+			{Name: "eu", Powers: []float64{1e9, 1e9}, SpeedBps: 1e9, PropDelay: 50e-6},
+			{Name: "us", Powers: []float64{1e9, 1e9}, SpeedBps: 1e9, PropDelay: 50e-6},
+		},
+		[]network.WANLink{{A: "eu", B: "us", SpeedBps: 5e7, PropDelay: 30e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// clusteredWorkflow builds two chatty 3-op chains joined by one tiny
+// bridge message: the obvious 2-partition keeps each chain whole.
+func clusteredWorkflow(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	b := workflow.NewBuilder("clusters")
+	const big = 8e6 // 1 MB messages inside a cluster
+	a1 := b.Op("a1", 1e9)
+	a2 := b.Op("a2", 1e9)
+	a3 := b.Op("a3", 1e9)
+	c1 := b.Op("c1", 1e9)
+	c2 := b.Op("c2", 1e9)
+	c3 := b.Op("c3", 1e9)
+	b.Chain(big, a1, a2, a3)
+	b.Link(a3, c1, 800) // 100-byte bridge
+	b.Chain(big, c1, c2, c3)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPartitionKeepsClustersTogether(t *testing.T) {
+	w, n := clusteredWorkflow(t), twoRegionNet(t)
+	assign, err := PartitionWorkflow(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assign.Validate(w, n); err != nil {
+		t.Fatal(err)
+	}
+	// Each chain must be whole, and the chains must occupy different
+	// regions (capacity allows only ~3 ops' cycles per region).
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("first cluster split across regions: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Fatalf("second cluster split across regions: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Fatalf("both clusters in one region despite capacity: %v", assign)
+	}
+	// Only the 800-bit bridge is cut.
+	if cut := CutSeconds(w, n, assign); cut > 0.1 {
+		t.Fatalf("cut seconds %v, want only the bridge message's worth", cut)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	w, n := clusteredWorkflow(t), twoRegionNet(t)
+	a1, err := PartitionWorkflow(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := PartitionWorkflow(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("partition not deterministic: %v vs %v", a1, a2)
+	}
+}
+
+func TestPartitionSingleRegionCollapses(t *testing.T) {
+	w := clusteredWorkflow(t)
+	n := network.MustNewBus("solo", []float64{1e9, 1e9}, 1e8, 0)
+	assign, err := PartitionWorkflow(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op, r := range assign {
+		if r != 0 {
+			t.Fatalf("unlabelled network: op %d in part %d, want 0", op, r)
+		}
+	}
+	if cut := CutSeconds(w, n, assign); cut != 0 {
+		t.Fatalf("single part has cut %v", cut)
+	}
+}
+
+// TestRefinementNeverWorsensCut pits the refined partitioner against a
+// refinement-free run over a sweep of random-ish fixtures: KL passes
+// may only lower the cut objective.
+func TestRefinementNeverWorsensCut(t *testing.T) {
+	n := twoRegionNet(t)
+	for m := 4; m <= 16; m += 3 {
+		b := workflow.NewBuilder("chain")
+		ids := make([]workflow.NodeID, m)
+		for i := 0; i < m; i++ {
+			ids[i] = b.Op("o", 1e9*float64(1+i%3))
+		}
+		for i := 0; i+1 < m; i++ {
+			b.Link(ids[i], ids[i+1], 8e5*float64(1+(i*7)%5))
+		}
+		w, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := Partitioner{MaxPasses: -1}.Partition(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := Partitioner{}.Partition(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CutSeconds(w, n, refined) > CutSeconds(w, n, raw)+1e-12 {
+			t.Fatalf("M=%d: refinement worsened cut: %v > %v",
+				m, CutSeconds(w, n, refined), CutSeconds(w, n, raw))
+		}
+	}
+}
+
+func TestRegionSubnetwork(t *testing.T) {
+	n := twoRegionNet(t)
+	sub, toGlobal, err := RegionSubnetwork(n, "us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 2 || len(sub.Links) != 1 {
+		t.Fatalf("us sub-network has %d servers / %d links, want 2 / 1", sub.N(), len(sub.Links))
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(toGlobal, want) {
+		t.Fatalf("toGlobal = %v, want %v", toGlobal, want)
+	}
+	for i := range sub.Links {
+		if sub.IsWAN(i) {
+			t.Fatalf("sub-network retained a WAN link: %+v", sub.Links[i])
+		}
+	}
+	if _, _, err := RegionSubnetwork(n, "nope"); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestProjectWorkflowMasksCyclesAndBits(t *testing.T) {
+	w, n := clusteredWorkflow(t), twoRegionNet(t)
+	assign, err := PartitionWorkflow(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := assign[0]
+	proj, err := ProjectWorkflow(w, assign, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.M() != w.M() || len(proj.Edges) != len(w.Edges) {
+		t.Fatalf("projection changed shape")
+	}
+	for op, nd := range proj.Nodes {
+		in := assign[op] == part
+		if in && nd.Cycles != w.Nodes[op].Cycles {
+			t.Fatalf("in-part op %d lost cycles: %v", op, nd.Cycles)
+		}
+		if !in && nd.Cycles != 0 {
+			t.Fatalf("out-of-part op %d kept cycles %v", op, nd.Cycles)
+		}
+	}
+	for e, edge := range proj.Edges {
+		intra := assign[edge.From] == part && assign[edge.To] == part
+		if intra && edge.SizeBits != w.Edges[e].SizeBits {
+			t.Fatalf("intra edge %d lost bits", e)
+		}
+		if !intra && edge.SizeBits != 0 {
+			t.Fatalf("cut edge %d kept %v bits", e, edge.SizeBits)
+		}
+	}
+}
+
+func TestStitchRoundTrip(t *testing.T) {
+	w, n := clusteredWorkflow(t), twoRegionNet(t)
+	assign, err := PartitionWorkflow(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := n.Regions()
+	parts := make([]deploy.Mapping, len(regions))
+	toGlobal := make([][]int, len(regions))
+	for r, name := range regions {
+		sub, tg, err := RegionSubnetwork(n, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toGlobal[r] = tg
+		// Trivial inner placement: everything on the region's first server.
+		parts[r] = deploy.Uniform(w.M(), 0)
+		_ = sub
+	}
+	global, err := Stitch(assign, parts, toGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := global.Validate(w, n); err != nil {
+		t.Fatal(err)
+	}
+	for op, s := range global {
+		if got, want := n.RegionOf(s), regions[assign[op]]; got != want {
+			t.Fatalf("op %d stitched into region %q, assigned %q", op, got, want)
+		}
+	}
+}
+
+func TestCompareOrchestration(t *testing.T) {
+	w, n := clusteredWorkflow(t), twoRegionNet(t)
+	assign, err := PartitionWorkflow(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geo-aware mapping: each cluster on its region's two servers.
+	mp := make(deploy.Mapping, w.M())
+	for op, r := range assign {
+		mp[op] = n.RegionServers(n.Regions()[r])[op%2]
+	}
+	rep, err := CompareOrchestration(w, n, mp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Centralized) != 2 {
+		t.Fatalf("%d centralized candidates, want 2", len(rep.Centralized))
+	}
+	// A single orchestrator hairpins one cluster's megabyte messages
+	// across the WAN; decentralised orchestration pays only the control
+	// handoff for the 800-bit bridge.
+	if rep.Advantage() <= 2 {
+		t.Fatalf("centralized/decentralized = %.3f, want a clear decentralised win", rep.Advantage())
+	}
+	if rep.Decentralized.WANDataBits >= rep.BestCentralized().WANDataBits {
+		t.Fatalf("decentralised moved more WAN bits (%v) than centralized (%v)",
+			rep.Decentralized.WANDataBits, rep.BestCentralized().WANDataBits)
+	}
+	// The model is a pure function of (w, n, mp).
+	rep2, err := CompareOrchestration(w, n, mp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("orchestration comparison not deterministic")
+	}
+
+	if _, err := CompareOrchestration(w, network.MustNewBus("solo", []float64{1e9}, 1e8, 0), deploy.Uniform(w.M(), 0), 0); err == nil {
+		t.Fatal("unlabelled network accepted")
+	}
+}
+
+// TestProjectionLoadsMatchGlobal checks the projection invariant the
+// partition-then-place planner relies on: an in-part operation's load
+// contribution under the projection equals its contribution under the
+// global model.
+func TestProjectionLoadsMatchGlobal(t *testing.T) {
+	w, n := clusteredWorkflow(t), twoRegionNet(t)
+	assign, err := PartitionWorkflow(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := assign[0]
+	proj, err := ProjectWorkflow(w, assign, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := cost.NewModel(w, n)
+	pm := cost.NewModel(proj, n)
+	for op := range w.Nodes {
+		if assign[op] != part {
+			continue
+		}
+		if gm.NodeProb(op) != pm.NodeProb(op) {
+			t.Fatalf("op %d probability changed under projection", op)
+		}
+		if gm.Tproc(op, 0) != pm.Tproc(op, 0) {
+			t.Fatalf("op %d processing time changed under projection", op)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package geo
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// DefaultControlBits sizes one orchestration control message (invoke
+// request, completion notification, cross-region handoff): 512 bytes,
+// a SOAP envelope without payload.
+const DefaultControlBits = 512 * 8
+
+// OrchestratorCost is the communication bill of one orchestration
+// strategy for a deployed workflow: data seconds (payload messages),
+// control seconds (invoke/ack and handoff messages) and the
+// probability-amortised payload bits that transit at least one WAN link.
+type OrchestratorCost struct {
+	// Strategy is "centralized(<region>)" or "decentralized".
+	Strategy string
+	// Region is the orchestrator's region for centralized strategies,
+	// empty for decentralized.
+	Region string
+	// DataSeconds is the amortised transfer time of the payload
+	// messages under the strategy's routing.
+	DataSeconds float64
+	// ControlSeconds is the amortised transfer time of the control
+	// messages.
+	ControlSeconds float64
+	// TotalSeconds = DataSeconds + ControlSeconds.
+	TotalSeconds float64
+	// WANDataBits counts the amortised payload bits whose route crosses
+	// one or more WAN links.
+	WANDataBits float64
+}
+
+// OrchestrationReport compares centralized orchestration (every payload
+// hairpins through a single orchestrator region, per the Orchestra
+// papers' "centralised dataflow") against decentralised per-region
+// orchestration (payloads travel directly; regions exchange lightweight
+// control handoffs) for one workflow, network and mapping.
+type OrchestrationReport struct {
+	CtrlBits float64
+	// Centralized holds one entry per candidate orchestrator region, in
+	// the network's Regions() order.
+	Centralized []OrchestratorCost
+	// Decentralized is the per-region orchestration cost.
+	Decentralized OrchestratorCost
+}
+
+// BestCentralized returns the cheapest centralized candidate (ties keep
+// the earlier region).
+func (r OrchestrationReport) BestCentralized() OrchestratorCost {
+	best := r.Centralized[0]
+	for _, c := range r.Centralized[1:] {
+		if c.TotalSeconds < best.TotalSeconds {
+			best = c
+		}
+	}
+	return best
+}
+
+// Advantage returns how many times more communication seconds the best
+// centralized orchestrator spends than decentralised orchestration
+// (>1 means decentralisation wins).
+func (r OrchestrationReport) Advantage() float64 {
+	d := r.Decentralized.TotalSeconds
+	if d == 0 {
+		return 1
+	}
+	return r.BestCentralized().TotalSeconds / d
+}
+
+// CompareOrchestration computes the report for mapping mp of w on the
+// region-labelled network n. ctrlBits <= 0 means DefaultControlBits.
+//
+// Centralized, orchestrator region R with gateway g: every payload edge
+// (i → j) routes Server(i) → g → Server(j); every operation costs one
+// invoke and one completion control message between g and its server.
+// Decentralised: payloads route directly Server(i) → Server(j); each
+// operation exchanges invoke/completion control messages with its own
+// region's gateway, and every cross-region edge adds one
+// gateway-to-gateway control handoff.
+func CompareOrchestration(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, ctrlBits float64) (OrchestrationReport, error) {
+	if err := mp.Validate(w, n); err != nil {
+		return OrchestrationReport{}, err
+	}
+	regions := n.Regions()
+	if len(regions) == 0 {
+		return OrchestrationReport{}, fmt.Errorf("geo: network %q has no region labels", n.Name)
+	}
+	if ctrlBits <= 0 {
+		ctrlBits = DefaultControlBits
+	}
+	model := cost.NewModel(w, n)
+	gateway := make(map[string]int, len(regions))
+	for _, r := range regions {
+		gateway[r] = n.RegionServers(r)[0]
+	}
+
+	rep := OrchestrationReport{CtrlBits: ctrlBits}
+	for _, r := range regions {
+		g := gateway[r]
+		c := OrchestratorCost{Strategy: fmt.Sprintf("centralized(%s)", r), Region: r}
+		for e, edge := range w.Edges {
+			p := model.EdgeProb(e)
+			si, sj := mp[edge.From], mp[edge.To]
+			c.DataSeconds += p * (n.TransferTime(si, g, edge.SizeBits) + n.TransferTime(g, sj, edge.SizeBits))
+			if n.WANCrossings(si, g) > 0 {
+				c.WANDataBits += p * edge.SizeBits
+			}
+			if n.WANCrossings(g, sj) > 0 {
+				c.WANDataBits += p * edge.SizeBits
+			}
+		}
+		for op := range w.Nodes {
+			c.ControlSeconds += 2 * model.NodeProb(op) * n.TransferTime(g, mp[op], ctrlBits)
+		}
+		c.TotalSeconds = c.DataSeconds + c.ControlSeconds
+		rep.Centralized = append(rep.Centralized, c)
+	}
+
+	d := OrchestratorCost{Strategy: "decentralized"}
+	for e, edge := range w.Edges {
+		p := model.EdgeProb(e)
+		si, sj := mp[edge.From], mp[edge.To]
+		d.DataSeconds += p * n.TransferTime(si, sj, edge.SizeBits)
+		if n.WANCrossings(si, sj) > 0 {
+			d.WANDataBits += p * edge.SizeBits
+		}
+		if ra, rb := n.RegionOf(si), n.RegionOf(sj); ra != rb {
+			d.ControlSeconds += p * n.TransferTime(gateway[ra], gateway[rb], ctrlBits)
+		}
+	}
+	for op := range w.Nodes {
+		s := mp[op]
+		d.ControlSeconds += 2 * model.NodeProb(op) * n.TransferTime(gateway[n.RegionOf(s)], s, ctrlBits)
+	}
+	d.TotalSeconds = d.DataSeconds + d.ControlSeconds
+	rep.Decentralized = d
+	return rep, nil
+}

@@ -1,0 +1,99 @@
+package geo
+
+import (
+	"fmt"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/workflow"
+)
+
+// RegionSubnetwork returns the induced sub-network of one region — its
+// servers and intra-region links only — plus toGlobal, which maps each
+// sub-network server index back to its index in n. Planners run against
+// the sub-network exactly as they would against a standalone site.
+func RegionSubnetwork(n *network.Network, region string) (sub *network.Network, toGlobal []int, err error) {
+	toGlobal = n.RegionServers(region)
+	if len(toGlobal) == 0 {
+		return nil, nil, fmt.Errorf("geo: network %q has no servers in region %q", n.Name, region)
+	}
+	toLocal := make(map[int]int, len(toGlobal))
+	for li, gi := range toGlobal {
+		toLocal[gi] = li
+	}
+	servers := make([]network.Server, len(toGlobal))
+	for li, gi := range toGlobal {
+		servers[li] = n.Servers[gi]
+	}
+	var links []network.Link
+	for i, l := range n.Links {
+		la, okA := toLocal[l.A]
+		lb, okB := toLocal[l.B]
+		if !okA || !okB || n.IsWAN(i) {
+			continue
+		}
+		links = append(links, network.Link{A: la, B: lb, SpeedBps: l.SpeedBps, PropDelay: l.PropDelay})
+	}
+	sub, err = network.New(fmt.Sprintf("%s@%s", n.Name, region), servers, links)
+	if err != nil {
+		return nil, nil, fmt.Errorf("geo: region %q sub-network: %w", region, err)
+	}
+	return sub, toGlobal, nil
+}
+
+// ProjectWorkflow returns a copy of w masked down to one part of an
+// assignment: operations outside the part keep their structure but cost
+// zero cycles, and every message with at least one end outside the part
+// carries zero bits. The projection preserves the graph shape, node
+// kinds and XOR branch weights, so it is a well-formed workflow with the
+// *same* execution probabilities as w — an inner planner placing it on
+// the region's sub-network solves exactly the region-local problem
+// (out-of-part operations are weightless and can land anywhere).
+func ProjectWorkflow(w *workflow.Workflow, assign Assignment, part int) (*workflow.Workflow, error) {
+	if len(assign) != w.M() {
+		return nil, fmt.Errorf("geo: assignment covers %d operations, workflow has %d", len(assign), w.M())
+	}
+	nodes := make([]workflow.Node, len(w.Nodes))
+	for i, nd := range w.Nodes {
+		nd.Complement = -1
+		if assign[i] != part {
+			nd.Cycles = 0
+		}
+		nodes[i] = nd
+	}
+	edges := make([]workflow.Edge, len(w.Edges))
+	for i, e := range w.Edges {
+		if assign[e.From] != part || assign[e.To] != part {
+			e.SizeBits = 0
+		}
+		edges[i] = e
+	}
+	return workflow.New(fmt.Sprintf("%s#%d", w.Name, part), nodes, edges)
+}
+
+// Stitch merges per-part sub-mappings into one global mapping. parts[r]
+// is the sub-mapping planned for part r on its region sub-network and
+// toGlobal[r] translates its server indices; only the operations
+// assigned to part r are taken from it. The result is total whenever
+// every sub-mapping is.
+func Stitch(assign Assignment, parts []deploy.Mapping, toGlobal [][]int) (deploy.Mapping, error) {
+	if len(assign) == 0 {
+		return nil, fmt.Errorf("geo: empty assignment")
+	}
+	global := deploy.NewUnassigned(len(assign))
+	for op, r := range assign {
+		if r < 0 || r >= len(parts) {
+			return nil, fmt.Errorf("geo: operation %d assigned to part %d of %d", op, r, len(parts))
+		}
+		sub := parts[r]
+		if sub == nil {
+			return nil, fmt.Errorf("geo: part %d has no sub-mapping but owns operation %d", r, op)
+		}
+		local := sub[op]
+		if local < 0 || local >= len(toGlobal[r]) {
+			return nil, fmt.Errorf("geo: part %d maps operation %d to out-of-range server %d", r, op, local)
+		}
+		global[op] = toGlobal[r][local]
+	}
+	return global, nil
+}

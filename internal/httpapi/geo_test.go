@@ -1,0 +1,100 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/wfio"
+	"wsdeploy/internal/workflow"
+)
+
+// geoSpecPair returns a 2-region network and a chatty two-pipeline
+// workflow as raw wfio JSON, exercising the region fields end to end.
+func geoSpecPair(t *testing.T) (string, string) {
+	t.Helper()
+	n, err := network.NewRegions("geoapi",
+		[]network.RegionSpec{
+			{Name: "eu", Powers: []float64{2e9, 1e9}, SpeedBps: 1e9, PropDelay: 50e-6},
+			{Name: "us", Powers: []float64{2e9, 1e9}, SpeedBps: 1e9, PropDelay: 50e-6},
+		},
+		[]network.WANLink{{A: "eu", B: "us", SpeedBps: 5e7, PropDelay: 30e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := workflow.NewBuilder("geoapi")
+	const big = 8e6
+	a1, a2, a3 := b.Op("a1", 2e9), b.Op("a2", 1e9), b.Op("a3", 2e9)
+	c1, c2, c3 := b.Op("c1", 2e9), b.Op("c2", 1e9), b.Op("c3", 2e9)
+	b.Chain(big, a1, a2, a3)
+	b.Link(a3, c1, 800)
+	b.Chain(big, c1, c2, c3)
+	w := b.MustBuild()
+	var wbuf, nbuf bytes.Buffer
+	if err := wfio.EncodeWorkflow(&wbuf, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := wfio.EncodeNetwork(&nbuf, n); err != nil {
+		t.Fatal(err)
+	}
+	return wbuf.String(), nbuf.String()
+}
+
+func TestAlgorithmsEndpointListsGeoplace(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Algorithms []string `json:"algorithms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"geoplace", "geoplace-holm", "geoplace-ls"} {
+		if !slices.Contains(out.Algorithms, key) {
+			t.Fatalf("%q missing from /v1/algorithms: %v", key, out.Algorithms)
+		}
+	}
+}
+
+// TestDeployGeoplaceOnRegionNetwork drives the full geo path over HTTP:
+// a region-labelled network survives the JSON decode, geoplace resolves
+// from the registry, and the mapping it returns keeps each chatty
+// pipeline inside one region.
+func TestDeployGeoplaceOnRegionNetwork(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	wf, nf := geoSpecPair(t)
+	body := fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithm": "geoplace"}`, wf, nf)
+	resp, out := post(t, srv, "/v1/deploy", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	if out["algorithm"] != "GeoPlace(FairLoad)" {
+		t.Fatalf("algorithm = %v", out["algorithm"])
+	}
+	raw, ok := out["mapping"].([]any)
+	if !ok || len(raw) != 6 {
+		t.Fatalf("mapping = %v", out["mapping"])
+	}
+	// Servers 0,1 are region eu; 2,3 are region us: the first pipeline
+	// (ops 0-2) and the second (ops 3-5) must not straddle the WAN.
+	regionOf := func(v any) int { return int(v.(float64)) / 2 }
+	for _, pipeline := range [][]int{{0, 1, 2}, {3, 4, 5}} {
+		first := regionOf(raw[pipeline[0]])
+		for _, op := range pipeline[1:] {
+			if regionOf(raw[op]) != first {
+				t.Fatalf("pipeline %v straddles regions: %v", pipeline, raw)
+			}
+		}
+	}
+}

@@ -51,6 +51,13 @@ func (t Topology) String() string {
 type Server struct {
 	Name    string
 	PowerHz float64 // P(s): computational power in cycles/second
+
+	// Region labels the datacenter/region hosting the server. Empty for
+	// the paper's single-site topologies; NewRegions fills it in. Routing
+	// and the cost model ignore the label — geo-awareness lives entirely
+	// in the link speeds and propagation delays — so every existing
+	// algorithm keeps working unchanged on multi-region networks.
+	Region string
 }
 
 // Link is a bidirectional connection between two servers.

@@ -1,0 +1,112 @@
+package network
+
+import (
+	"testing"
+)
+
+func threeRegions(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewRegions("geo3",
+		[]RegionSpec{
+			{Name: "eu", Powers: []float64{1e9, 2e9, 1e9}, Topology: RegionBus, SpeedBps: 1e9, PropDelay: 50e-6},
+			{Name: "us", Powers: []float64{2e9, 1e9}, Topology: RegionLine, SpeedBps: 1e9, PropDelay: 50e-6},
+			{Name: "ap", Powers: []float64{1e9, 1e9, 2e9}, Topology: RegionStar, SpeedBps: 1e9, PropDelay: 50e-6},
+		},
+		[]WANLink{
+			{A: "eu", B: "us", SpeedBps: 5e7, PropDelay: 30e-3},
+			{A: "us", B: "ap", SpeedBps: 5e7, PropDelay: 40e-3},
+			{A: "eu", B: "ap", SpeedBps: 5e7, PropDelay: 60e-3},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewRegionsShape(t *testing.T) {
+	n := threeRegions(t)
+	if n.N() != 8 {
+		t.Fatalf("got %d servers, want 8", n.N())
+	}
+	// eu bus: 3 links; us line: 1; ap star: 2; WAN: 3.
+	if len(n.Links) != 3+1+2+3 {
+		t.Fatalf("got %d links, want 9", len(n.Links))
+	}
+	regions := n.Regions()
+	if len(regions) != 3 || regions[0] != "eu" || regions[1] != "us" || regions[2] != "ap" {
+		t.Fatalf("Regions() = %v, want [eu us ap] in declaration order", regions)
+	}
+	if got := n.RegionServers("us"); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("RegionServers(us) = %v, want [3 4]", got)
+	}
+	if n.RegionOf(0) != "eu" || n.RegionOf(7) != "ap" {
+		t.Fatalf("RegionOf mislabeled: %q, %q", n.RegionOf(0), n.RegionOf(7))
+	}
+	if n.Servers[0].Name != "eu/S1" || n.Servers[3].Name != "us/S1" {
+		t.Fatalf("server names not region-prefixed: %q, %q", n.Servers[0].Name, n.Servers[3].Name)
+	}
+}
+
+func TestRegionsWANRouting(t *testing.T) {
+	n := threeRegions(t)
+	// Intra-region transfers never cross a WAN link.
+	for _, r := range n.Regions() {
+		ss := n.RegionServers(r)
+		for _, i := range ss {
+			for _, j := range ss {
+				if c := n.WANCrossings(i, j); c != 0 {
+					t.Fatalf("intra-region path %d->%d crosses %d WAN links", i, j, c)
+				}
+			}
+		}
+	}
+	// Cross-region transfers cross at least one, and carry the WAN
+	// propagation delay.
+	eu, us := n.RegionServers("eu")[1], n.RegionServers("us")[1]
+	if c := n.WANCrossings(eu, us); c < 1 {
+		t.Fatalf("cross-region path crosses %d WAN links, want >= 1", c)
+	}
+	intra := n.TransferTime(0, 1, 8000)
+	inter := n.TransferTime(eu, us, 8000)
+	if inter < 100*intra {
+		t.Fatalf("WAN transfer (%.6fs) should dwarf intra-region (%.6fs)", inter, intra)
+	}
+}
+
+func TestNewRegionsValidation(t *testing.T) {
+	ok := []RegionSpec{{Name: "a", Powers: []float64{1e9}, SpeedBps: 1e9}}
+	cases := []struct {
+		name    string
+		regions []RegionSpec
+		wan     []WANLink
+	}{
+		{"no regions", nil, nil},
+		{"empty region name", []RegionSpec{{Powers: []float64{1e9}}}, nil},
+		{"duplicate region", []RegionSpec{
+			{Name: "a", Powers: []float64{1e9}, SpeedBps: 1e9},
+			{Name: "a", Powers: []float64{1e9}, SpeedBps: 1e9},
+		}, nil},
+		{"region without servers", []RegionSpec{{Name: "a"}}, nil},
+		{"wan to unknown region", ok, []WANLink{{A: "a", B: "nope", SpeedBps: 1e7, PropDelay: 1e-3}}},
+		{"wan self-loop", ok, []WANLink{{A: "a", B: "a", SpeedBps: 1e7, PropDelay: 1e-3}}},
+		{"disconnected regions", []RegionSpec{
+			{Name: "a", Powers: []float64{1e9}, SpeedBps: 1e9},
+			{Name: "b", Powers: []float64{1e9}, SpeedBps: 1e9},
+		}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := NewRegions("bad", tc.regions, tc.wan); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestRegionsOnUnlabelledNetwork(t *testing.T) {
+	n := MustNewBus("b", []float64{1e9, 1e9}, 1e8, 0)
+	if got := n.Regions(); got != nil {
+		t.Fatalf("unlabelled network reports regions %v", got)
+	}
+	if n.IsWAN(0) {
+		t.Fatal("unlabelled link classified as WAN")
+	}
+}

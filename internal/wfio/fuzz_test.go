@@ -63,6 +63,21 @@ func FuzzDecodeNetworkJSON(f *testing.F) {
 	f.Add([]byte(`{"name":"x","servers":[],"bus":{"speedBps":0}}`))
 	f.Add([]byte(`{"name":"x","servers":[{"powerHz":-5}],"bus":{"speedBps":1e8}}`))
 	f.Add([]byte(`{"name":"x","servers":[{"powerHz":1}],"links":[{"a":0,"b":7,"speedBps":1}]}`))
+	// Multi-region specs: region labels on a bus, on explicit links with
+	// a WAN hop, and a label that survives only if the decoder copies it
+	// on the bus fast path too.
+	f.Add([]byte(`{"name":"geo","servers":[
+		{"name":"eu/S1","powerHz":1e9,"region":"eu"},{"name":"eu/S2","powerHz":2e9,"region":"eu"}],
+		"bus":{"speedBps":1e9,"propDelay":5e-5}}`))
+	f.Add([]byte(`{"name":"geo2","servers":[
+		{"name":"eu/S1","powerHz":1e9,"region":"eu"},{"name":"us/S1","powerHz":1e9,"region":"us"}],
+		"links":[{"a":0,"b":1,"speedBps":5e7,"propDelay":0.03}]}`))
+	f.Add([]byte(`{"name":"geo3","servers":[
+		{"name":"a","powerHz":1e9,"region":"eu"},
+		{"name":"b","powerHz":1e9,"region":"us"},
+		{"name":"c","powerHz":1e9}],
+		"links":[{"a":0,"b":1,"speedBps":5e7,"propDelay":0.03},
+		{"a":1,"b":2,"speedBps":1e9,"propDelay":5e-5}]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -84,6 +99,9 @@ func FuzzDecodeNetworkJSON(f *testing.F) {
 		for i := range n.Servers {
 			if n2.Servers[i].Name != n.Servers[i].Name {
 				t.Fatalf("round trip renamed server %d: %q -> %q", i, n.Servers[i].Name, n2.Servers[i].Name)
+			}
+			if n2.Servers[i].Region != n.Servers[i].Region {
+				t.Fatalf("round trip relabeled server %d: region %q -> %q", i, n.Servers[i].Region, n2.Servers[i].Region)
 			}
 		}
 	})

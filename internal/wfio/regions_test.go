@@ -1,0 +1,93 @@
+package wfio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/network"
+)
+
+// TestRegionNetworkRoundTrip asserts that a NewRegions-built network
+// survives Encode → Decode with every region label, server name, and
+// link parameter intact, and that a second encode is byte-identical
+// (the property crash recovery and the fleet snapshot path rely on).
+func TestRegionNetworkRoundTrip(t *testing.T) {
+	n, err := network.NewRegions("geo",
+		[]network.RegionSpec{
+			{Name: "eu-west", Powers: []float64{1e9, 2e9}, Topology: network.RegionBus, SpeedBps: 1e9, PropDelay: 50e-6},
+			{Name: "us-east", Powers: []float64{2e9, 1e9, 1e9}, Topology: network.RegionStar, SpeedBps: 1e9, PropDelay: 80e-6},
+		},
+		[]network.WANLink{{A: "eu-west", B: "us-east", SpeedBps: 5e7, PropDelay: 35e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeNetwork(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"region": "eu-west"`) {
+		t.Fatalf("encoded JSON lacks region field:\n%s", buf.String())
+	}
+	n2, err := DecodeNetwork(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.N() != n.N() || len(n2.Links) != len(n.Links) {
+		t.Fatalf("round trip changed shape: %d/%d servers, %d/%d links", n.N(), n2.N(), len(n.Links), len(n2.Links))
+	}
+	for i := range n.Servers {
+		if n.Servers[i] != n2.Servers[i] {
+			t.Fatalf("server %d changed: %+v -> %+v", i, n.Servers[i], n2.Servers[i])
+		}
+	}
+	for i := range n.Links {
+		if n.Links[i] != n2.Links[i] {
+			t.Fatalf("link %d changed: %+v -> %+v", i, n.Links[i], n2.Links[i])
+		}
+	}
+	got, want := n2.Regions(), n.Regions()
+	if len(got) != len(want) {
+		t.Fatalf("regions changed: %v -> %v", want, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("regions changed: %v -> %v", want, got)
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := EncodeNetwork(&buf2, n2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("second encode not byte-identical:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+// TestRegionBusRoundTrip covers the bus fast path: region labels on a
+// uniform bus must survive the BusSpec encoding, which rebuilds the
+// network via NewBus and then restores names and regions.
+func TestRegionBusRoundTrip(t *testing.T) {
+	n := network.MustNewBus("labelled-bus", []float64{1e9, 2e9, 1e9}, 1e8, 1e-4)
+	for i := range n.Servers {
+		n.Servers[i].Region = "solo"
+	}
+	var buf bytes.Buffer
+	if err := EncodeNetwork(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"bus"`) {
+		t.Fatalf("bus network not encoded as BusSpec:\n%s", buf.String())
+	}
+	n2, err := DecodeNetwork(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range n.Servers {
+		if n2.Servers[i].Region != "solo" {
+			t.Fatalf("bus path dropped region on server %d: %+v", i, n2.Servers[i])
+		}
+	}
+}

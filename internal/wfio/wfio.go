@@ -100,10 +100,14 @@ type NetworkSpec struct {
 	Bus   *BusSpec   `json:"bus,omitempty"`
 }
 
-// ServerSpec is the JSON form of one server.
+// ServerSpec is the JSON form of one server. Region carries the
+// multi-region label of network.Server (empty on single-site networks)
+// and round-trips losslessly through both the bus and explicit-links
+// encodings.
 type ServerSpec struct {
 	Name    string  `json:"name"`
 	PowerHz float64 `json:"powerHz"`
+	Region  string  `json:"region,omitempty"`
 }
 
 // LinkSpec is the JSON form of one link.
@@ -124,7 +128,7 @@ type BusSpec struct {
 func EncodeNetwork(out io.Writer, n *network.Network) error {
 	spec := NetworkSpec{Name: n.Name}
 	for _, s := range n.Servers {
-		spec.Servers = append(spec.Servers, ServerSpec{Name: s.Name, PowerHz: s.PowerHz})
+		spec.Servers = append(spec.Servers, ServerSpec{Name: s.Name, PowerHz: s.PowerHz, Region: s.Region})
 	}
 	if n.Topology() == network.Bus && len(n.Links) > 0 {
 		spec.Bus = &BusSpec{SpeedBps: n.Links[0].SpeedBps, PropDelay: n.Links[0].PropDelay}
@@ -158,19 +162,21 @@ func DecodeNetwork(in io.Reader) (*network.Network, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Keep the spec's server names verbatim — even empty ones, which
-		// the explicit-links path also preserves. A fleet that scaled or
-		// failed servers carries non-default names ("joined", "S5"), and
-		// the encode/decode round-trip must not renumber any server:
-		// crash recovery relies on snapshot → restore being lossless.
+		// Keep the spec's server names and region labels verbatim — even
+		// empty ones, which the explicit-links path also preserves. A
+		// fleet that scaled or failed servers carries non-default names
+		// ("joined", "S5"), and the encode/decode round-trip must not
+		// renumber or relabel any server: crash recovery relies on
+		// snapshot → restore being lossless.
 		for i, s := range spec.Servers {
 			n.Servers[i].Name = s.Name
+			n.Servers[i].Region = s.Region
 		}
 		return n, nil
 	}
 	servers := make([]network.Server, len(spec.Servers))
 	for i, s := range spec.Servers {
-		servers[i] = network.Server{Name: s.Name, PowerHz: s.PowerHz}
+		servers[i] = network.Server{Name: s.Name, PowerHz: s.PowerHz, Region: s.Region}
 	}
 	links := make([]network.Link, len(spec.Links))
 	for i, l := range spec.Links {
