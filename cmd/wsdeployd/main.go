@@ -5,6 +5,7 @@
 //	wsdeployd -addr :8080
 //	wsdeployd -addr :8080 -data /var/lib/wsdeploy    # crash-safe durable state
 //	wsdeployd -addr :8080 -autopilot -traffic skew   # drift self-check at startup
+//	wsdeployd -addr :8080 -reconcile                 # declarative reconciler loop
 //
 //	curl -s localhost:8080/v1/algorithms
 //	curl -s -X POST localhost:8080/v1/deploy -d '{
@@ -42,6 +43,12 @@
 // -fsync picks the WAL fsync discipline: "always" survives power loss
 // per record, "interval" (default) syncs roughly once a second, "none"
 // leaves flushing to the OS — all three survive a process crash.
+//
+// With -reconcile, a background loop runs one reconcile pass per
+// tenant every -reconcileinterval, converging each tenant's fleet onto
+// its posted /v1/specs desired state. GET /v1/readyz answers 503 until
+// durable recovery has replayed and the loop (when enabled) is
+// running; probes should prefer it over state-coupled endpoints.
 package main
 
 import (
@@ -105,6 +112,8 @@ func main() {
 	planRate := flag.Float64("planrate", 0, "default per-tenant plans/sec quota for tenants without an explicit one (0: unlimited)")
 	autoCheck := flag.Bool("autopilot", false, "run the seeded closed-loop drift self-check before serving and log its summary")
 	traffic := flag.String("traffic", "skew", "traffic shape for the -autopilot self-check: steady|diurnal|skew")
+	reconcileOn := flag.Bool("reconcile", false, "run the declarative reconciler loop (one pass per tenant per interval)")
+	reconcileEvery := flag.Duration("reconcileinterval", 2*time.Second, "reconcile pass cadence with -reconcile")
 	flag.Parse()
 
 	if *autoCheck {
@@ -147,7 +156,10 @@ func main() {
 		fmt.Printf("wsdeployd: %d tenants across %d planner shards (fsync %s, data %s)\n",
 			len(reg.List()), reg.Shards(), *fsyncMode, *dataDir)
 	}
-	api, err := httpapi.NewHandlerWith(httpapi.Options{Tenants: reg})
+	// The handler is constructed not-ready: /v1/readyz flips to 200 only
+	// once recovery has replayed (NewHandlerWith returning is that
+	// proof) and the reconciler loop, when enabled, is running.
+	api, err := httpapi.NewHandlerWith(httpapi.Options{Tenants: reg, HoldReady: true})
 	if err != nil {
 		log.Fatalf("replaying recovered state: %v", err)
 	}
@@ -183,6 +195,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	reconcileDone := make(chan struct{})
+	if *reconcileOn {
+		// One pass per tenant per tick, at virtual time = seconds since
+		// boot (the reconciler only uses it to label incident reasons and
+		// detector windows).
+		start := time.Now()
+		ticker := time.NewTicker(*reconcileEvery)
+		go func() {
+			defer close(reconcileDone)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					api.RunReconcilePass(time.Since(start).Seconds())
+				}
+			}
+		}()
+		fmt.Printf("wsdeployd: reconciler loop running (every %s)\n", *reconcileEvery)
+	} else {
+		close(reconcileDone)
+	}
+	api.SetReady(true)
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("wsdeployd listening on %s\n", *addr)
@@ -194,6 +231,8 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
+	api.SetReady(false)
+	<-reconcileDone
 
 	fmt.Printf("wsdeployd shutting down (draining up to %s)\n", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)

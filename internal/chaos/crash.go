@@ -1,7 +1,6 @@
 package chaos
 
 import (
-	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,7 +10,7 @@ import (
 	"wsdeploy/internal/store"
 )
 
-// Crash-injection harness for the durable store. It drives a scripted
+// Crash-injection harness for the durable fleet. It drives a scripted
 // sequence of fleet mutations through a journaled store while
 // recording, after every record, the on-disk image (WAL bytes plus
 // snapshot files) and the fleet's reference snapshot — the reduction a
@@ -22,6 +21,10 @@ import (
 // reduction of the longest wholly-written record prefix. A crash may
 // cost the record being written — never a committed one, and never
 // silently diverge.
+//
+// The offset-sweep machinery itself is the generic RecordSweep
+// (recordsweep.go); CrashSweep binds it to fleet records. Other durable
+// subsystems (the reconcile spec journal) bind their own targets.
 
 // CrashStep is one scripted fleet mutation (exactly one WAL record) or
 // a composite snapshot point.
@@ -52,7 +55,7 @@ type crashImage struct {
 	name      string
 	wal       []byte            // full wal.log content
 	snaps     map[string][]byte // snap-*.bin files
-	ref       []byte            // fleet snapshot; nil before genesis
+	ref       []byte            // reference reduction; nil before genesis
 	compacted bool              // snapshot step: WAL was rewritten, not appended to
 }
 
@@ -108,139 +111,48 @@ func fleetBytes(m *manager.Manager) ([]byte, error) {
 	return m.Snapshot()
 }
 
-// CrashSweep records a scripted mutation history and then verifies
-// crash recovery at every byte offset. scratch must be a writable
-// empty directory (a test's TempDir); the harness fills it with one
-// recording store and one short-lived replay store per offset.
+// CrashSweep records a scripted fleet-mutation history and then
+// verifies crash recovery at every byte offset. scratch must be a
+// writable empty directory (a test's TempDir); the harness fills it
+// with one recording store and one short-lived replay store per offset.
 func CrashSweep(net *network.Network, steps []CrashStep, scratch string) (*CrashReport, error) {
-	recordDir := filepath.Join(scratch, "record")
-	st, _, err := store.Open(recordDir, store.Options{Sync: store.SyncNone})
-	if err != nil {
-		return nil, err
-	}
-	defer st.Close()
-
-	fleet := manager.NewLocked(net)
-	genesis, err := manager.CreateRecord(fleet)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := st.Append(manager.RecFleetCreate, genesis); err != nil {
-		return nil, err
-	}
-	fleet.AttachJournal(journalStore{st})
-
-	// images[0] is the empty pre-genesis disk; images[1] is after the
-	// genesis record; one more per mutation step.
-	images := []crashImage{{name: "pre-genesis", snaps: map[string][]byte{}}}
-	capture := func(name string) error {
-		ref, err := fleet.Snapshot()
-		if err != nil {
-			return err
-		}
-		img, err := readImage(recordDir, name, ref)
-		if err != nil {
-			return err
-		}
-		images = append(images, img)
-		return nil
-	}
-	if err := capture("genesis"); err != nil {
-		return nil, err
-	}
-	for _, step := range steps {
-		if step.Snapshot {
+	var fleet *manager.Locked
+	tgt := SweepTarget{
+		Init: func(st *store.Store) error {
+			fleet = manager.NewLocked(net)
+			genesis, err := manager.CreateRecord(fleet)
+			if err != nil {
+				return err
+			}
+			if _, err := st.Append(manager.RecFleetCreate, genesis); err != nil {
+				return err
+			}
+			fleet.AttachJournal(journalStore{st})
+			return nil
+		},
+		Reference: func() ([]byte, error) { return fleet.Snapshot() },
+		Recover: func(rec *store.Recovery) ([]byte, error) {
+			m, err := manager.RecoverFleet(rec)
+			if err != nil {
+				return nil, fmt.Errorf("replay: %w", err)
+			}
+			return fleetBytes(m)
+		},
+		Snapshot: func(st *store.Store) error {
 			ref, err := fleet.Snapshot()
 			if err != nil {
-				return nil, fmt.Errorf("step %s: %w", step.Name, err)
+				return err
 			}
-			if err := st.Snapshot(ref, st.LastSeq()); err != nil {
-				return nil, fmt.Errorf("step %s: snapshot: %w", step.Name, err)
-			}
-			// Compaction rewrote the WAL: restart the append-only
-			// baseline from the compacted image.
-			img, err := readImage(recordDir, step.Name+" (compacted)", ref)
-			if err != nil {
-				return nil, err
-			}
-			img.compacted = true
-			images = append(images, img)
-		}
-		if step.Mutate != nil {
-			if err := step.Mutate(fleet); err != nil {
-				return nil, fmt.Errorf("step %s: %w", step.Name, err)
-			}
-			if err := capture(step.Name); err != nil {
-				return nil, err
-			}
+			return st.Snapshot(ref, st.LastSeq())
+		},
+	}
+	sweepSteps := make([]SweepStep, len(steps))
+	for i, cs := range steps {
+		cs := cs
+		sweepSteps[i] = SweepStep{Name: cs.Name, Compact: cs.Snapshot}
+		if cs.Mutate != nil {
+			sweepSteps[i].Apply = func() error { return cs.Mutate(fleet) }
 		}
 	}
-
-	rep := &CrashReport{Steps: len(steps)}
-	replayDir := filepath.Join(scratch, "replay")
-	for i := 1; i < len(images); i++ {
-		prev, cur := images[i-1], images[i]
-		if cur.compacted {
-			// Snapshot step: the WAL was rewritten under compaction, so
-			// per-byte truncation against the previous image is
-			// meaningless. Verify the full compacted image recovers.
-			if err := verifyCrash(cur, len(cur.wal), cur.ref, 0, replayDir); err != nil {
-				return nil, fmt.Errorf("step %s: %w", cur.name, err)
-			}
-			rep.Offsets++
-			rep.Clean++
-			continue
-		}
-		// Kill -9 at every byte the new record occupies, boundaries
-		// included: offset len(prev.wal) lost the whole record, offsets
-		// in between tore it, len(cur.wal) committed it.
-		for off := len(prev.wal); off <= len(cur.wal); off++ {
-			want := prev.ref
-			wantTorn := int64(off - len(prev.wal))
-			if off == len(cur.wal) {
-				want, wantTorn = cur.ref, 0
-			}
-			if err := verifyCrash(cur, off, want, wantTorn, replayDir); err != nil {
-				return nil, fmt.Errorf("step %s: %w", cur.name, err)
-			}
-			rep.Offsets++
-			if wantTorn > 0 {
-				rep.Torn++
-			} else {
-				rep.Clean++
-			}
-		}
-	}
-	return rep, nil
-}
-
-// verifyCrash materializes one truncated image, recovers, and compares
-// against the expected reduction.
-func verifyCrash(img crashImage, offset int, want []byte, wantTorn int64, dir string) error {
-	if err := os.RemoveAll(dir); err != nil {
-		return err
-	}
-	if err := img.materialize(dir, offset); err != nil {
-		return err
-	}
-	st, rec, err := store.Open(dir, store.Options{})
-	if err != nil {
-		return fmt.Errorf("kill at offset %d: reopen: %w", offset, err)
-	}
-	defer st.Close()
-	if rec.TornBytes != wantTorn {
-		return fmt.Errorf("kill at offset %d: truncated %d torn bytes, want %d", offset, rec.TornBytes, wantTorn)
-	}
-	m, err := manager.RecoverFleet(rec)
-	if err != nil {
-		return fmt.Errorf("kill at offset %d: replay: %w", offset, err)
-	}
-	got, err := fleetBytes(m)
-	if err != nil {
-		return err
-	}
-	if !bytes.Equal(got, want) {
-		return fmt.Errorf("kill at offset %d: recovered state diverges from reference reduction\n got: %s\nwant: %s", offset, got, want)
-	}
-	return nil
+	return RecordSweep(scratch, sweepSteps, tgt)
 }

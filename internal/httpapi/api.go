@@ -17,7 +17,9 @@
 //
 // Endpoints:
 //
-//	GET  /healthz        — liveness
+//	GET  /healthz        — liveness (also GET /v1/healthz)
+//	GET  /v1/readyz      — readiness: 503 until recovery has replayed
+//	                       and the daemon's background loops are up
 //	GET  /v1/algorithms  — registry keys accepted by deploy requests
 //	POST /v1/deploy      — plan one deployment (workflow JSON or WDL);
 //	                       algorithm "portfolio" races the whole registry
@@ -39,7 +41,10 @@
 //
 // plus the stateful fleet-manager endpoints under /v1/fleet (see
 // fleet.go): create/status, workflow arrival/departure, server
-// join/failure, rebalance, and snapshot/restore — all tenant-scoped.
+// join/failure, rebalance, and snapshot/restore — all tenant-scoped —
+// and the declarative /v1/specs + /v1/reconcile surface (see specs.go),
+// where a posted DeploymentSpec is converged onto the live fleet by the
+// per-tenant reconciler.
 //
 // Planning requests are served by the tenant's shard of the concurrent
 // portfolio engine (internal/engine): repeated deploys of an identical
@@ -57,6 +62,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsdeploy/internal/core"
@@ -111,6 +117,12 @@ type Handler struct {
 
 	// snapEvery bounds each tenant's replay (see durable.go).
 	snapEvery uint64
+
+	// ready gates GET /v1/readyz. A handler is born ready unless
+	// Options.HoldReady defers it to the caller (the daemon flips it
+	// after durable recovery has replayed and its background loops —
+	// autopilot, reconciler — are running).
+	ready atomic.Bool
 }
 
 // Options configures a durable or multi-tenant handler. The zero value
@@ -136,6 +148,10 @@ type Options struct {
 	// records past the last snapshot, a mutation triggers a composite
 	// snapshot and compaction. 0 means the default (256).
 	SnapshotEvery uint64
+	// HoldReady starts the handler not-ready: GET /v1/readyz answers 503
+	// until the caller invokes SetReady(true). The daemon uses it to
+	// withhold traffic until recovery and its background loops are up.
+	HoldReady bool
 }
 
 // NewHandler builds an in-memory API handler. It owns a tracer backed
@@ -197,8 +213,19 @@ func NewHandlerWith(opts Options) (*Handler, error) {
 		}
 		h.states[t.Name()] = ts
 	}
+	h.ready.Store(!opts.HoldReady)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	h.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	h.mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !h.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
 	h.mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"algorithms": append(core.KnownAlgorithms(), PortfolioAlgorithm)})
@@ -218,8 +245,15 @@ func NewHandlerWith(opts Options) (*Handler, error) {
 	h.registerAutopilot()
 	h.registerDeployments()
 	h.registerTenants()
+	h.registerSpecs()
 	return h, nil
 }
+
+// SetReady flips the /v1/readyz gate (see Options.HoldReady).
+func (h *Handler) SetReady(ready bool) { h.ready.Store(ready) }
+
+// Ready reports whether the handler is accepting traffic.
+func (h *Handler) Ready() bool { return h.ready.Load() }
 
 // Tracer returns the handler's tracer, for callers that want to attach
 // extra exporters or inspect the flight recorder in tests.

@@ -10,6 +10,7 @@ import (
 	"wsdeploy/internal/autopilot"
 	"wsdeploy/internal/manager"
 	"wsdeploy/internal/obs"
+	"wsdeploy/internal/reconcile"
 	"wsdeploy/internal/store"
 )
 
@@ -79,10 +80,11 @@ func (ts *tenantState) maybeSnapshot() {
 // composite is the durable image of one tenant's stateful endpoints,
 // stored as the opaque payload of a store snapshot.
 type composite struct {
-	Fleet       json.RawMessage `json:"fleet,omitempty"`
-	Deployments []deployEntry   `json:"deployments,omitempty"`
-	NextDepID   int             `json:"nextDepId,omitempty"`
-	Autopilot   *apRunRecord    `json:"autopilot,omitempty"`
+	Fleet       json.RawMessage       `json:"fleet,omitempty"`
+	Deployments []deployEntry         `json:"deployments,omitempty"`
+	NextDepID   int                   `json:"nextDepId,omitempty"`
+	Autopilot   *apRunRecord          `json:"autopilot,omitempty"`
+	Specs       []reconcile.Versioned `json:"specs,omitempty"`
 }
 
 // SnapshotNow captures a quiesced composite snapshot of the tenant's
@@ -121,6 +123,7 @@ func (ts *tenantState) SnapshotNow() error {
 		c.Autopilot = &rec
 	}
 	ts.pilot.mu.Unlock()
+	c.Specs = ts.specs.set.Image()
 	covered := ts.store.LastSeq()
 	ts.snapMu.Unlock()
 
@@ -175,6 +178,7 @@ func (ts *tenantState) restoreFromRecovery(rec *store.Recovery) error {
 			det := c.Autopilot.Detector
 			ts.pilot.det = &det
 		}
+		ts.specs.set.RestoreImage(c.Specs)
 	}
 	for _, r := range rec.Records {
 		switch {
@@ -189,6 +193,10 @@ func (ts *tenantState) restoreFromRecovery(rec *store.Recovery) error {
 				return fmt.Errorf("httpapi: replaying seq %d (%s): %w", r.Seq, r.Type, err)
 			}
 			ts.deps.replay(e)
+		case reconcile.IsSpecRecord(r.Type):
+			if err := ts.specs.replaySpecRecord(r); err != nil {
+				return err
+			}
 		case r.Type == recAutopilotRun:
 			var ar apRunRecord
 			if err := json.Unmarshal(r.Data, &ar); err != nil {

@@ -1,0 +1,197 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// specBody builds a POST /v1/specs payload over the shared test pair.
+func specBody(t *testing.T, name string, ids ...string) string {
+	t.Helper()
+	wf, n := specPair(t)
+	body := `{"name": "` + name + `", "spec": {"network": ` + n + `, "workflows": [`
+	for i, id := range ids {
+		if i > 0 {
+			body += ","
+		}
+		body += `{"id": "` + id + `", "workflow": ` + wf + `}`
+	}
+	return body + `]}}`
+}
+
+// specStatusOf fetches one spec's status endpoint.
+func specStatusOf(t *testing.T, srv *httptest.Server, name string) map[string]any {
+	t.Helper()
+	var out map[string]any
+	if err := json.Unmarshal([]byte(getBody(t, srv, "/v1/specs/"+name+"/status")), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSpecLifecycleConverges walks the declarative surface end to end:
+// post a spec, watch status lag, reconcile to convergence, revise,
+// reconcile again, delete.
+func TestSpecLifecycleConverges(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+
+	out := mustOK(t, srv, http.MethodPost, "/v1/specs", specBody(t, "app", "wf-a", "wf-b"))
+	if out["generation"] != float64(1) || out["converged"] != false {
+		t.Fatalf("fresh spec status = %v", out)
+	}
+	if st := specStatusOf(t, srv, "app"); st["lag"] != float64(1) {
+		t.Fatalf("pre-reconcile status = %v", st)
+	}
+
+	out = mustOK(t, srv, http.MethodPost, "/v1/reconcile", `{"passes": 8}`)
+	if out["converged"] != true {
+		t.Fatalf("reconcile did not converge: %v", out)
+	}
+	st := specStatusOf(t, srv, "app")
+	if st["observedGeneration"] != float64(1) || st["converged"] != true {
+		t.Fatalf("post-reconcile status = %v", st)
+	}
+	// The fleet now exists and carries the desired portfolio.
+	var fleet struct {
+		PerWorkflow map[string]float64 `json:"perWorkflow"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, srv, "/v1/fleet/status")), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.PerWorkflow) != 2 {
+		t.Fatalf("fleet workflows after convergence = %v", fleet.PerWorkflow)
+	}
+
+	// A revision that shrinks the portfolio lags until the next pass
+	// removes the orphan.
+	mustOK(t, srv, http.MethodPost, "/v1/specs", specBody(t, "app", "wf-a"))
+	if st := specStatusOf(t, srv, "app"); st["generation"] != float64(2) || st["converged"] != false {
+		t.Fatalf("post-revision status = %v", st)
+	}
+	mustOK(t, srv, http.MethodPost, "/v1/reconcile", `{"passes": 8}`)
+	if st := specStatusOf(t, srv, "app"); st["observedGeneration"] != float64(2) {
+		t.Fatalf("revision did not converge: %v", st)
+	}
+	fleet.PerWorkflow = nil
+	if err := json.Unmarshal([]byte(getBody(t, srv, "/v1/fleet/status")), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fleet.PerWorkflow["wf-a"]; !ok || len(fleet.PerWorkflow) != 1 {
+		t.Fatalf("fleet workflows after revision = %v", fleet.PerWorkflow)
+	}
+
+	mustOK(t, srv, http.MethodDelete, "/v1/specs/app", "")
+	if resp, _ := do(t, http.MethodGet, srv.URL+"/v1/specs/app", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET deleted spec = %d", resp.StatusCode)
+	}
+}
+
+// TestSpecValidationGate rejects malformed specs before anything is
+// journaled or applied.
+func TestSpecValidationGate(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	defer srv.Close()
+	_, n := specPair(t)
+
+	for name, body := range map[string]string{
+		"missing name":      `{"spec": {"workflows": [{"id": "a", "workflowWdl": "workflow w { op a 1e6 }"}]}}`,
+		"no workflows":      `{"name": "x", "spec": {"network": ` + n + `, "workflows": []}}`,
+		"unknown algorithm": `{"name": "x", "spec": {"algorithm": "nope", "workflows": [{"id": "a", "workflowWdl": "workflow w { op a 1e6 }"}]}}`,
+		"workflow sans id":  `{"name": "x", "spec": {"workflows": [{"workflowWdl": "workflow w { op a 1e6 }"}]}}`,
+	} {
+		resp, _ := post(t, srv, "/v1/specs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s accepted with status %d", name, resp.StatusCode)
+		}
+	}
+	if resp, _ := post(t, srv, "/v1/reconcile", `{"passes": 1}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty reconcile pass = %d", resp.StatusCode)
+	}
+}
+
+// TestSpecDurableRestart proves the journal-before-acknowledge chain
+// over a real restart: a spec posted and converged on a durable tenant
+// recovers with identical generation bookkeeping from both the raw WAL
+// (kill -9) and a composite snapshot (graceful shutdown).
+func TestSpecDurableRestart(t *testing.T) {
+	for _, snapshot := range []bool{false, true} {
+		name := "wal-replay"
+		if snapshot {
+			name = "composite-snapshot"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			srv, st := durableServer(t, dir, 0)
+			mustOK(t, srv, http.MethodPost, "/v1/specs", specBody(t, "app", "wf-a", "wf-b"))
+			mustOK(t, srv, http.MethodPost, "/v1/reconcile", `{"passes": 8}`)
+			mustOK(t, srv, http.MethodPost, "/v1/specs", specBody(t, "app", "wf-a")) // converges only after restart
+			before := specStatusOf(t, srv, "app")
+			specsBefore := getBody(t, srv, "/v1/specs")
+			if snapshot {
+				if err := srv.Config.Handler.(*Handler).SnapshotNow(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			srv.Close()
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			srv2, st2 := durableServer(t, dir, 0)
+			defer srv2.Close()
+			defer st2.Close()
+			after := specStatusOf(t, srv2, "app")
+			for _, k := range []string{"generation", "observedGeneration", "converged", "lag"} {
+				if before[k] != after[k] {
+					t.Fatalf("status %q diverged after restart: %v -> %v", k, before[k], after[k])
+				}
+			}
+			if got := getBody(t, srv2, "/v1/specs"); got != specsBefore {
+				t.Fatalf("spec list diverged after restart:\n got: %s\nwant: %s", got, specsBefore)
+			}
+			// The recovered reconciler picks up where the dead one left
+			// off: the pending revision converges.
+			mustOK(t, srv2, http.MethodPost, "/v1/reconcile", `{"passes": 8}`)
+			if st := specStatusOf(t, srv2, "app"); st["converged"] != true {
+				t.Fatalf("recovered reconciler did not converge: %v", st)
+			}
+		})
+	}
+}
+
+// TestHealthAndReadyEndpoints covers the probe surface: /v1/healthz is
+// always live, /v1/readyz answers 503 until the daemon flips the gate.
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	h, err := NewHandlerWith(Options{HoldReady: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if body := getBody(t, srv, "/v1/healthz"); body == "" {
+		t.Fatal("no healthz body")
+	}
+	resp, err := http.Get(srv.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("held readyz = %d, want 503", resp.StatusCode)
+	}
+	h.SetReady(true)
+	if body := getBody(t, srv, "/v1/readyz"); body == "" {
+		t.Fatal("no readyz body after SetReady")
+	}
+
+	// The default construction is born ready.
+	plain := httptest.NewServer(NewHandler())
+	defer plain.Close()
+	if body := getBody(t, plain, "/v1/readyz"); body == "" {
+		t.Fatal("default handler not ready")
+	}
+}

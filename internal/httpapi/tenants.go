@@ -69,6 +69,7 @@ type tenantState struct {
 	fleet *fleetState
 	pilot *autopilotState
 	deps  *deployLedger
+	specs *specState
 }
 
 // newTenantState wires a fresh per-tenant namespace: the engine shard
@@ -78,6 +79,7 @@ func (h *Handler) newTenantState(t *tenant.Tenant) *tenantState {
 	ts.fleet = &fleetState{ts: ts}
 	ts.pilot = &autopilotState{}
 	ts.deps = &deployLedger{}
+	ts.specs = newSpecState(ts)
 	return ts
 }
 

@@ -1,0 +1,372 @@
+package reconcile
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"wsdeploy/internal/autopilot"
+	"wsdeploy/internal/chaos"
+	"wsdeploy/internal/cost"
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/fabric"
+	"wsdeploy/internal/manager"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/sim"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/wfio"
+	"wsdeploy/internal/workflow"
+)
+
+// SpecFromClasses encodes a scenario as the Spec an API client would
+// post: the network and every class workflow serialized through wfio.
+func SpecFromClasses(n *network.Network, classes []autopilot.ClassSpec) (Spec, error) {
+	var sp Spec
+	if n != nil {
+		var buf bytes.Buffer
+		if err := wfio.EncodeNetwork(&buf, n); err != nil {
+			return Spec{}, err
+		}
+		sp.Network = json.RawMessage(buf.Bytes())
+	}
+	for _, c := range classes {
+		var buf bytes.Buffer
+		if err := wfio.EncodeWorkflow(&buf, c.Workflow); err != nil {
+			return Spec{}, err
+		}
+		sp.Workflows = append(sp.Workflows, WorkflowSpec{ID: c.ID, Workflow: json.RawMessage(buf.Bytes())})
+	}
+	return sp, nil
+}
+
+// StudyConfig parameterizes one convergence study: a spec is posted at
+// t=0, traffic flows, chaos strikes, optionally a revision lands
+// mid-run, and the reconciler loop runs at a fixed cadence. The same
+// config drives both backends; with performance reconciliation disabled
+// (MaxTimePenalty 0) the resulting action logs are byte-identical.
+type StudyConfig struct {
+	// SpecName names the spec; default "app".
+	SpecName string
+	// Spec is the initial desired state; it must carry a Network (the
+	// reconciler creates the fleet from it).
+	Spec Spec
+	// Update, when set, is posted as a revision at virtual time
+	// UpdateAt — the mid-run generation bump the study converges on.
+	Update   *Spec
+	UpdateAt float64
+	// Chaos lists crash/rejoin events fed to the reconciler as
+	// incidents at their times (other chaos kinds are ignored — the
+	// reconciler handles server health, not link quality).
+	Chaos []chaos.Event
+	// Traffic drives the arrival stream; Classes is overridden to the
+	// spec's workflow count.
+	Traffic autopilot.TrafficConfig
+	// Recon tunes the reconciler (detector, action budget).
+	Recon Config
+	// Interval is the reconcile cadence in virtual seconds; default 5.
+	Interval float64
+	// Seed feeds the per-instance sim RNG and the fabric.
+	Seed uint64
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.SpecName == "" {
+		c.SpecName = "app"
+	}
+	if c.Interval <= 0 {
+		c.Interval = 5
+	}
+	return c
+}
+
+// StudyWindow is one reconcile-cadence window of the study.
+type StudyWindow struct {
+	Time     float64
+	Penalty  float64 // measured Time Penalty of the window's loads
+	Lag      uint64  // generation lag after the pass at window close
+	Actions  int     // actions the pass applied
+	Arrivals int
+}
+
+// StudyResult summarizes one convergence study run.
+type StudyResult struct {
+	Backend     string
+	Arrivals    int
+	Skipped     int // arrivals that found their class not yet deployed
+	Incidents   int
+	Passes      uint64
+	Generation  uint64
+	Observed    uint64
+	ConvergedAt float64 // virtual time the final generation converged; -1 if never
+	Windows     []StudyWindow
+	// Log is the ordered action log — the cross-backend determinism
+	// artifact.
+	Log []string
+}
+
+// Converged reports whether the study ended with status caught up.
+func (r *StudyResult) Converged() bool {
+	return r.Observed == r.Generation && r.Generation > 0
+}
+
+// arrivalRunner executes one arrival of a deployed class and returns
+// per-server virtual busy seconds. The two backends differ only here —
+// everything the reconciler sees is backend-independent.
+type arrivalRunner interface {
+	run(id string, w *workflow.Workflow, mp deploy.Mapping, n *network.Network) ([]float64, error)
+	close()
+}
+
+// simRunner executes arrivals on the discrete-event simulator.
+type simRunner struct {
+	rng  *stats.RNG
+	seed uint64
+}
+
+func (sr *simRunner) run(id string, w *workflow.Workflow, mp deploy.Mapping, n *network.Network) ([]float64, error) {
+	one := sim.RunOnce(w, n, mp, sr.rng.Split(), sim.Config{Seed: sr.seed})
+	return one.BusyTime, nil
+}
+
+func (sr *simRunner) close() {}
+
+// fabricRunner executes arrivals as real HTTP workflow instances on
+// per-class emulated host fleets. The reconciler's lifecycle hooks keep
+// the fabrics in step with the fleet: deploys spin one up, removes tear
+// it down, remaps push routes.
+type fabricRunner struct {
+	fabrics   map[string]*fabric.Fabric
+	timeScale time.Duration
+	seed      uint64
+	nextIdx   uint64
+}
+
+func (fr *fabricRunner) run(id string, w *workflow.Workflow, mp deploy.Mapping, n *network.Network) ([]float64, error) {
+	f, ok := fr.fabrics[id]
+	if !ok {
+		return nil, fmt.Errorf("reconcile: no fabric for class %s", id)
+	}
+	res, err := f.RunContext(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Busy, nil
+}
+
+func (fr *fabricRunner) close() {
+	for _, f := range fr.fabrics {
+		f.Close()
+	}
+}
+
+// RunStudySim runs the convergence study on the simulator backend.
+func RunStudySim(cfg StudyConfig) (*StudyResult, error) {
+	cfg = cfg.withDefaults()
+	runner := &simRunner{rng: stats.NewRNG(cfg.Seed), seed: cfg.Seed}
+	exec := &FleetExecutor{
+		CreateFleet: func(n *network.Network) (*manager.Locked, error) {
+			return manager.NewLocked(n), nil
+		},
+		Seed: cfg.Seed,
+	}
+	return runStudy("sim", cfg, exec, runner)
+}
+
+// RunStudyFabric runs the convergence study on the wall-clock fabric.
+// timeScale compresses emulated busy-wait time (e.g. 100µs per virtual
+// second keeps tests fast); all reported quantities stay virtual.
+func RunStudyFabric(cfg StudyConfig, timeScale time.Duration) (*StudyResult, error) {
+	cfg = cfg.withDefaults()
+	runner := &fabricRunner{
+		fabrics:   map[string]*fabric.Fabric{},
+		timeScale: timeScale,
+		seed:      cfg.Seed,
+	}
+	exec := &FleetExecutor{
+		CreateFleet: func(n *network.Network) (*manager.Locked, error) {
+			return manager.NewLocked(n), nil
+		},
+		Seed: cfg.Seed,
+	}
+	exec.OnDeploy = func(id string, w *workflow.Workflow, mp deploy.Mapping) error {
+		f, err := fabric.Deploy(w, exec.Fleet.Network(), mp, fabric.Config{
+			TimeScale: timeScale,
+			Seed:      cfg.Seed + runner.nextIdx*1e6,
+		})
+		if err != nil {
+			return fmt.Errorf("reconcile: fabric for %s: %w", id, err)
+		}
+		runner.nextIdx++
+		runner.fabrics[id] = f
+		return nil
+	}
+	exec.OnRemove = func(id string) error {
+		if f, ok := runner.fabrics[id]; ok {
+			f.Close()
+			delete(runner.fabrics, id)
+		}
+		return nil
+	}
+	exec.OnRemap = func(id string, mp deploy.Mapping) error {
+		f, ok := runner.fabrics[id]
+		if !ok {
+			return nil // class not materialized (removed mid-pass)
+		}
+		for op, s := range mp {
+			if err := f.Remap(op, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runStudy("fabric", cfg, exec, runner)
+}
+
+// runStudy is the backend-independent driver: arrivals flow from the
+// traffic generator, chaos events become incidents, spec revisions
+// land at their times, and the reconciler runs a pass at every cadence
+// tick. Fully deterministic given the seeds.
+func runStudy(backend string, cfg StudyConfig, exec *FleetExecutor, runner arrivalRunner) (*StudyResult, error) {
+	defer runner.close()
+
+	compiled, err := cfg.Spec.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if compiled.Network == nil {
+		return nil, fmt.Errorf("reconcile: study spec needs a network")
+	}
+	classIDs := compiled.Order
+
+	set := NewSet()
+	set.Put(cfg.SpecName, cfg.Spec)
+	rec := New(set, exec, cfg.Recon)
+
+	events := append([]chaos.Event(nil), cfg.Chaos...)
+	plan := chaos.Plan{Events: events}
+	if err := plan.Validate(compiled.Network.N()); err != nil {
+		return nil, err
+	}
+	events = plan.Sorted()
+
+	res := &StudyResult{Backend: backend, ConvergedAt: -1}
+	cfg.Traffic.Classes = len(classIDs)
+	traffic := cfg.Traffic.WithDefaults()
+	gen := autopilot.NewGenerator(traffic)
+
+	wEnd := cfg.Interval
+	winLoads := make([]float64, compiled.Network.N())
+	winArrivals := 0
+	updated := cfg.Update == nil
+	ei := 0
+
+	feedUntil := func(t float64) {
+		for ei < len(events) && events[ei].Time <= t {
+			ev := events[ei]
+			ei++
+			switch ev.Kind {
+			case chaos.ServerCrash:
+				rec.NoteIncident(Incident{Kind: IncidentCrash, Server: ev.Server, Time: ev.Time})
+				res.Incidents++
+			case chaos.ServerRejoin:
+				rec.NoteIncident(Incident{Kind: IncidentRejoin, Server: ev.Server, Time: ev.Time})
+				res.Incidents++
+			}
+		}
+		if !updated && cfg.UpdateAt <= t {
+			set.Put(cfg.SpecName, *cfg.Update)
+			updated = true
+		}
+	}
+
+	pass := func(t float64) {
+		rec.ObserveWindow(t, winLoads)
+		pr := rec.RunPass(t)
+		res.Windows = append(res.Windows, StudyWindow{
+			Time: t, Penalty: cost.PenaltyOfLoads(winLoads),
+			Lag: pr.Lag, Actions: len(pr.Actions), Arrivals: winArrivals,
+		})
+		if pr.Lag == 0 && res.ConvergedAt < 0 {
+			res.ConvergedAt = t
+		} else if pr.Lag > 0 {
+			res.ConvergedAt = -1
+		}
+		if n := fleetN(exec); n != len(winLoads) {
+			winLoads = make([]float64, n)
+		} else {
+			for s := range winLoads {
+				winLoads[s] = 0
+			}
+		}
+		winArrivals = 0
+	}
+
+	// Pass 0 creates the fleet and the initial deployments before any
+	// traffic flows.
+	feedUntil(0)
+	pass(0)
+
+	for {
+		arr, ok := gen.Next()
+		if !ok {
+			break
+		}
+		for wEnd <= arr.Time {
+			feedUntil(wEnd)
+			pass(wEnd)
+			wEnd += cfg.Interval
+		}
+		feedUntil(arr.Time)
+
+		id := classIDs[arr.Class%len(classIDs)]
+		if exec.Fleet == nil {
+			res.Skipped++
+			continue
+		}
+		w, okW := exec.Fleet.Workflow(id)
+		mp, okM := exec.Fleet.Mapping(id)
+		if !okW || !okM {
+			res.Skipped++ // class not (yet) deployed: spec lag, not an error
+			continue
+		}
+		busy, err := runner.run(id, w, mp, exec.Fleet.Network())
+		if err != nil {
+			return nil, fmt.Errorf("reconcile: %s arrival of %s at t=%.2f: %w", backend, id, arr.Time, err)
+		}
+		for s, b := range busy {
+			if s < len(winLoads) {
+				winLoads[s] += b
+			}
+		}
+		res.Arrivals++
+		winArrivals++
+	}
+	for wEnd <= traffic.Horizon {
+		feedUntil(wEnd)
+		pass(wEnd)
+		wEnd += cfg.Interval
+	}
+	// A final settling pass past the horizon lets late chaos and the
+	// mid-run revision converge even when they landed in the last window.
+	feedUntil(wEnd)
+	pass(wEnd)
+
+	if v, ok := set.Get(cfg.SpecName); ok {
+		res.Generation = v.Generation
+		res.Observed = v.Observed
+	}
+	res.Passes = rec.Passes()
+	res.Log = rec.Log()
+	return res, nil
+}
+
+// fleetN returns the executor's current server count (fleet may not
+// exist yet on pass 0 failure paths).
+func fleetN(exec *FleetExecutor) int {
+	if exec.Fleet == nil {
+		return 0
+	}
+	return exec.Fleet.Network().N()
+}

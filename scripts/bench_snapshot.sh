@@ -1,19 +1,65 @@
 #!/usr/bin/env bash
 # Benchmark snapshot: run the portfolio-engine benchmarks and the
 # chaos-recovery benchmark with -benchmem and fold the results into a
-# committed JSON baseline (ns/op, B/op, allocs/op per benchmark), so a
+# committed JSON snapshot (ns/op, B/op, allocs/op per benchmark), so a
 # perf regression shows up as a reviewable diff instead of an
 # anecdote.
 #
-#   scripts/bench_snapshot.sh [output.json]
+#   scripts/bench_snapshot.sh [output.json]      # default BENCH_pr8.json
+#   scripts/bench_snapshot.sh delta [base] [head]
+#
+# The committed snapshots form a PR-over-PR trajectory: the seed's
+# numbers live in BENCH_baseline.json, the current PR's in
+# BENCH_pr8.json, and `delta` prints the per-benchmark change between
+# any two snapshots (CI runs it non-blocking so drift shows up in the
+# job log without gating merges).
 #
 # BENCHTIME tunes -benchtime (default 1x for a quick, deterministic
 # iteration count; set e.g. BENCHTIME=2s for steadier numbers before
-# committing a new baseline).
+# committing a new snapshot).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_baseline.json}"
+
+if [ "${1:-}" = "delta" ]; then
+    BASE="${2:-BENCH_baseline.json}"
+    HEAD="${3:-BENCH_pr8.json}"
+    echo "bench: delta ${BASE} -> ${HEAD}" >&2
+    awk '
+    FNR == 1 { file++ }
+    /"name":/ {
+        match($0, /"name": "[^"]*"/)
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        ns = 0; al = 0
+        if (match($0, /"ns_per_op": [0-9.eE+-]+/))     ns = substr($0, RSTART + 13, RLENGTH - 13)
+        if (match($0, /"allocs_per_op": [0-9.eE+-]+/)) al = substr($0, RSTART + 17, RLENGTH - 17)
+        if (file == 1) {
+            if (!(name in base_ns)) order[++n] = name
+            base_ns[name] = ns; base_al[name] = al
+        } else {
+            if (!(name in base_ns) && !(name in head_ns)) order[++n] = name
+            head_ns[name] = ns; head_al[name] = al
+        }
+    }
+    END {
+        printf "%-44s  %12s  %12s  %8s  %s\n", "benchmark", "base ns/op", "head ns/op", "ns delta", "allocs/op"
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            if (!(name in head_ns)) {
+                printf "%-44s  %12s  %12s  %8s\n", name, base_ns[name], "-", "gone"
+            } else if (!(name in base_ns)) {
+                printf "%-44s  %12s  %12s  %8s  %s\n", name, "-", head_ns[name], "new", head_al[name]
+            } else {
+                pct = base_ns[name] > 0 ? (head_ns[name] - base_ns[name]) / base_ns[name] * 100 : 0
+                printf "%-44s  %12s  %12s  %+7.1f%%  %s -> %s\n", \
+                    name, base_ns[name], head_ns[name], pct, base_al[name], head_al[name]
+            }
+        }
+    }' "${BASE}" "${HEAD}"
+    exit 0
+fi
+
+OUT="${1:-BENCH_pr8.json}"
 BENCHTIME="${BENCHTIME:-1x}"
 RAW="$(mktemp)"
 trap 'rm -f "${RAW}"' EXIT

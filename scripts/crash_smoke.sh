@@ -25,7 +25,7 @@ start() {
     "${BIN}" -addr "${ADDR}" -data "${DATA}" &
     PID=$!
     for _ in $(seq 1 100); do
-        if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+        if curl -sf "http://${ADDR}/v1/readyz" >/dev/null 2>&1; then
             return 0
         fi
         sleep 0.1

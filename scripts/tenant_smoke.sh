@@ -27,7 +27,7 @@ start() {
     "${BIN}" -addr "${ADDR}" -data "${DATA}" -shards 2 &
     PID=$!
     for _ in $(seq 1 100); do
-        if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+        if curl -sf "http://${ADDR}/v1/readyz" >/dev/null 2>&1; then
             return 0
         fi
         sleep 0.1
