@@ -30,6 +30,12 @@
 // consistent hashing; -maxshardqueue bounds each shard's in-flight
 // admitted requests (overflow sheds with 503) and -planrate sets the
 // default per-tenant plans/sec quota (over-quota sheds with 429).
+// POST /v1/deploy additionally runs through a per-shard ingest
+// pipeline (batched planning with canonical-key coalescing; see
+// internal/ingest): -ingestqueue bounds the deploy queue (overflow
+// sheds with 503 + Retry-After), -ingestbatch caps requests per flush,
+// -ingestdelay trades latency for batch size, and -ingest=false
+// restores request-at-a-time planning.
 //
 // With -data, every tenant's state mutations (fleet operations,
 // acknowledged deployments, autopilot runs) are journaled to that
@@ -66,6 +72,7 @@ import (
 
 	"wsdeploy/internal/autopilot"
 	"wsdeploy/internal/httpapi"
+	"wsdeploy/internal/ingest"
 	"wsdeploy/internal/obs"
 	"wsdeploy/internal/store"
 	"wsdeploy/internal/tenant"
@@ -114,6 +121,10 @@ func main() {
 	traffic := flag.String("traffic", "skew", "traffic shape for the -autopilot self-check: steady|diurnal|skew")
 	reconcileOn := flag.Bool("reconcile", false, "run the declarative reconciler loop (one pass per tenant per interval)")
 	reconcileEvery := flag.Duration("reconcileinterval", 2*time.Second, "reconcile pass cadence with -reconcile")
+	ingestOn := flag.Bool("ingest", true, "batch POST /v1/deploy through the per-shard ingest pipeline (false: plan request-at-a-time)")
+	ingestBatch := flag.Int("ingestbatch", 0, "max deploy requests per ingest flush (0: default 64)")
+	ingestDelay := flag.Duration("ingestdelay", 0, "how long an ingest flush waits for more requests (0: flush immediately)")
+	ingestQueue := flag.Int("ingestqueue", 0, "bounded deploy queue per shard; overflow sheds with 503 (0: default 256)")
 	flag.Parse()
 
 	if *autoCheck {
@@ -159,10 +170,20 @@ func main() {
 	// The handler is constructed not-ready: /v1/readyz flips to 200 only
 	// once recovery has replayed (NewHandlerWith returning is that
 	// proof) and the reconciler loop, when enabled, is running.
-	api, err := httpapi.NewHandlerWith(httpapi.Options{Tenants: reg, HoldReady: true})
+	api, err := httpapi.NewHandlerWith(httpapi.Options{
+		Tenants:   reg,
+		HoldReady: true,
+		Ingest: &ingest.Config{
+			MaxBatch:   *ingestBatch,
+			FlushDelay: *ingestDelay,
+			MaxQueue:   *ingestQueue,
+		},
+		DisableIngest: !*ingestOn,
+	})
 	if err != nil {
 		log.Fatalf("replaying recovered state: %v", err)
 	}
+	defer api.Close()
 	if *traceFile != "" {
 		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -6,10 +6,15 @@ import (
 )
 
 // registryEntry binds one registry key to its constructor. Seeded
-// algorithms receive the caller's seed; unseeded ones ignore it.
+// algorithms receive the caller's seed; unseeded ones ignore it and the
+// seeded flag records which is which — deterministic algorithms produce
+// the same mapping whatever seed the caller passes, a fact the ingest
+// pipeline and the plan cache exploit to coalesce logically identical
+// requests that differ only in their seed.
 type registryEntry struct {
-	key string
-	new func(seed uint64) Algorithm
+	key    string
+	seeded bool
+	new    func(seed uint64) Algorithm
 }
 
 // registry is the single source of truth for the algorithm registry:
@@ -20,25 +25,25 @@ type registryEntry struct {
 // extensions); this order is also the deterministic tie-break used by the
 // portfolio engine.
 var registry = []registryEntry{
-	{"exhaustive", func(uint64) Algorithm { return Exhaustive{} }},
-	{"sampling", func(seed uint64) Algorithm { return Sampling{Seed: seed} }},
-	{"lineline", func(uint64) Algorithm { return LineLine{} }},
-	{"lineline-nofix", func(uint64) Algorithm { return LineLine{SkipFix: true} }},
-	{"lineline-rl", func(uint64) Algorithm { return LineLine{Reverse: true} }},
-	{"lineline-best", func(uint64) Algorithm { return LineLineBest{} }},
-	{"fairload", func(uint64) Algorithm { return FairLoad{} }},
-	{"fltr", func(seed uint64) Algorithm { return FLTR{Seed: seed} }},
-	{"fltr2", func(seed uint64) Algorithm { return FLTR2{Seed: seed} }},
-	{"flmme", func(seed uint64) Algorithm { return FLMME{Seed: seed} }},
-	{"holm", func(uint64) Algorithm { return HOLM{} }},
-	{"localsearch", func(uint64) Algorithm { return LocalSearch{} }},
-	{"anneal", func(seed uint64) Algorithm { return Anneal{Seed: seed} }},
-	{"partition", func(uint64) Algorithm { return Partition{} }},
+	{"exhaustive", false, func(uint64) Algorithm { return Exhaustive{} }},
+	{"sampling", true, func(seed uint64) Algorithm { return Sampling{Seed: seed} }},
+	{"lineline", false, func(uint64) Algorithm { return LineLine{} }},
+	{"lineline-nofix", false, func(uint64) Algorithm { return LineLine{SkipFix: true} }},
+	{"lineline-rl", false, func(uint64) Algorithm { return LineLine{Reverse: true} }},
+	{"lineline-best", false, func(uint64) Algorithm { return LineLineBest{} }},
+	{"fairload", false, func(uint64) Algorithm { return FairLoad{} }},
+	{"fltr", true, func(seed uint64) Algorithm { return FLTR{Seed: seed} }},
+	{"fltr2", true, func(seed uint64) Algorithm { return FLTR2{Seed: seed} }},
+	{"flmme", true, func(seed uint64) Algorithm { return FLMME{Seed: seed} }},
+	{"holm", false, func(uint64) Algorithm { return HOLM{} }},
+	{"localsearch", false, func(uint64) Algorithm { return LocalSearch{} }},
+	{"anneal", true, func(seed uint64) Algorithm { return Anneal{Seed: seed} }},
+	{"partition", false, func(uint64) Algorithm { return Partition{} }},
 	// The geo family: partition-then-place for multi-region networks
 	// (degenerates to the inner planner on single-site networks).
-	{"geoplace", func(uint64) Algorithm { return GeoPlace{} }},
-	{"geoplace-holm", func(uint64) Algorithm { return GeoPlace{Inner: HOLM{}} }},
-	{"geoplace-ls", func(uint64) Algorithm { return GeoPlace{Inner: LocalSearch{}} }},
+	{"geoplace", false, func(uint64) Algorithm { return GeoPlace{} }},
+	{"geoplace-holm", false, func(uint64) Algorithm { return GeoPlace{Inner: HOLM{}} }},
+	{"geoplace-ls", false, func(uint64) Algorithm { return GeoPlace{Inner: LocalSearch{}} }},
 }
 
 // NewByName constructs an algorithm from its registry key. Seeded
@@ -57,6 +62,22 @@ func NewByName(name string, seed uint64) (Algorithm, error) {
 		}
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %q (known: %v)", name, KnownAlgorithms())
+}
+
+// Seeded reports whether the named algorithm's constructor consumes the
+// seed. A false return is a determinism guarantee: the algorithm maps
+// (workflow, network) to the same deployment whatever seed is passed,
+// so two requests differing only in their seed are interchangeable.
+// Unknown names report true — the conservative answer, since a caller
+// about to fail on an unknown algorithm must not be coalesced with
+// anything.
+func Seeded(name string) bool {
+	for _, e := range registry {
+		if e.key == name {
+			return e.seeded
+		}
+	}
+	return true
 }
 
 // KnownAlgorithms returns the sorted registry keys accepted by NewByName.

@@ -1,0 +1,298 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"wsdeploy/internal/engine"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/httpapi"
+	"wsdeploy/internal/ingest"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/wfio"
+	"wsdeploy/internal/workflow"
+)
+
+// The ingest load study measures what the batched deploy pipeline buys
+// under the adversarial-but-typical client mix: a handful of workflow
+// classes, a deterministic planning portfolio, and a unique seed on
+// every request (clients stamp seeds defensively; deterministic
+// algorithms ignore them). Request-at-a-time planning treats every
+// arrival as novel — the plan cache keys on the seed — so each request
+// pays a full portfolio run. The ingest pipeline canonicalizes seeds
+// away for deterministic portfolios, coalesces duplicates in flight and
+// hits the LRU across flushes, so sustained throughput is bounded by
+// unique work, not request count, and overflow sheds explicitly instead
+// of stretching the tail.
+//
+// Unlike the simulation studies this one measures the real clock: it
+// drives live goroutines (and live HTTP servers) at fixed open-loop
+// arrival rates, so numbers vary run to run with the host. The rate
+// sweep self-calibrates against the measured single-plan latency.
+
+// ingestStudyOps / ingestStudyServers size the planning problem so one
+// uncached plan costs milliseconds — big enough that batching has
+// something to win, small enough that a sweep finishes in seconds.
+const (
+	ingestStudyOps     = 80
+	ingestStudyServers = 12
+	ingestStudyClasses = 4
+)
+
+// ingestAlgos is the study's deterministic portfolio (core.Seeded false
+// for every name), which is what makes seed canonicalization sound.
+var ingestAlgos = []string{"localsearch"}
+
+// IngestRow is one (mode, offered rate) measurement point.
+type IngestRow struct {
+	Mode   string  // sim|http / unbatched|batched
+	Target float64 // offered arrival rate the pacer aimed for
+	Load   ingest.LoadResult
+	MetSLO bool
+}
+
+// IngestStudy is the full sweep plus its derived SLO capacities.
+type IngestStudy struct {
+	PlanLatency time.Duration // measured single-plan cost (uncached)
+	SLO         time.Duration // p99 budget a point must meet
+	Rows        []IngestRow
+	// BestQPS is each mode's best achieved QPS among points meeting the
+	// SLO (0 when no point did).
+	BestQPS map[string]float64
+	// SimSpeedup / HTTPSpeedup compare batched vs unbatched best QPS.
+	SimSpeedup  float64
+	HTTPSpeedup float64
+}
+
+// ingestFixture builds the study's workflow classes and network.
+func ingestFixture(seed uint64) ([]*workflow.Workflow, *network.Network, error) {
+	cfg := gen.ClassC()
+	r := instanceRNG(seed, "ingest", 0)
+	n, err := cfg.BusNetworkWithSpeed(r, ingestStudyServers, 100*gen.Mbps)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws := make([]*workflow.Workflow, ingestStudyClasses)
+	for i := range ws {
+		// Slightly different sizes per class so each is genuinely
+		// distinct planning work.
+		w, err := cfg.LinearWorkflow(r, ingestStudyOps+2*i)
+		if err != nil {
+			return nil, nil, err
+		}
+		ws[i] = w
+	}
+	return ws, n, nil
+}
+
+// RunIngestLoad runs the open-loop sweep over four backends: direct
+// engine calls and the ingest pipeline (sim), and POST /v1/deploy with
+// ingest disabled and enabled (http).
+func RunIngestLoad(o Options) (*IngestStudy, error) {
+	o = o.withDefaults()
+	ws, n, err := ingestFixture(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Calibrate: one uncached plan per class, take the mean.
+	calEng := engine.MustNew(engine.Options{Algorithms: ingestAlgos, CacheSize: -1})
+	calStart := time.Now()
+	for i, w := range ws {
+		if _, err := calEng.Run(context.Background(), engine.Request{Workflow: w, Network: n, Seed: uint64(i + 1)}); err != nil {
+			return nil, err
+		}
+	}
+	planLat := time.Since(calStart) / time.Duration(len(ws))
+	// Request-at-a-time capacity is one plan per core per planLat; the
+	// sweep brackets it from half to 16x.
+	capacity := float64(runtime.GOMAXPROCS(0)) / planLat.Seconds()
+	slo := 5 * planLat
+	if slo < 50*time.Millisecond {
+		slo = 50 * time.Millisecond
+	}
+	st := &IngestStudy{PlanLatency: planLat, SLO: slo, BestQPS: map[string]float64{}}
+	mults := []float64{0.5, 1, 2, 4, 8, 16}
+
+	modes := []struct {
+		name  string
+		issue func() (ingest.Issue, func(), error)
+	}{
+		{"sim/unbatched", func() (ingest.Issue, func(), error) {
+			eng := engine.MustNew(engine.Options{Algorithms: ingestAlgos})
+			issue := func(ctx context.Context, class int, seed uint64) error {
+				_, err := eng.Run(ctx, engine.Request{Workflow: ws[class], Network: n, Seed: seed})
+				return err
+			}
+			return issue, func() {}, nil
+		}},
+		{"sim/batched", func() (ingest.Issue, func(), error) {
+			eng := engine.MustNew(engine.Options{Algorithms: ingestAlgos})
+			pipe := ingest.New(eng, ingest.Config{MaxQueue: 1024})
+			issue := func(ctx context.Context, class int, seed uint64) error {
+				_, err := pipe.Submit(ctx, engine.Request{Workflow: ws[class], Network: n, Seed: seed})
+				return err
+			}
+			return issue, pipe.Close, nil
+		}},
+		{"http/unbatched", func() (ingest.Issue, func(), error) {
+			return httpIssue(ws, n, true)
+		}},
+		{"http/batched", func() (ingest.Issue, func(), error) {
+			return httpIssue(ws, n, false)
+		}},
+	}
+
+	for _, mode := range modes {
+		issue, cleanup, err := mode.issue()
+		if err != nil {
+			return nil, err
+		}
+		for mi, mult := range mults {
+			rate := capacity * mult
+			res := ingest.RunOpenLoop(context.Background(), ingest.LoadConfig{
+				Rate:        rate,
+				Duration:    1200 * time.Millisecond,
+				Classes:     ingestStudyClasses,
+				MaxInFlight: 256,
+				Timeout:     2 * time.Second,
+				Seed:        o.Seed + uint64(mi),
+			}, issue)
+			met := res.OK > 0 && res.P99 <= slo
+			st.Rows = append(st.Rows, IngestRow{Mode: mode.name, Target: rate, Load: res, MetSLO: met})
+			if met && res.QPS > st.BestQPS[mode.name] {
+				st.BestQPS[mode.name] = res.QPS
+			}
+		}
+		cleanup()
+	}
+	st.SimSpeedup = speedup(st.BestQPS["sim/batched"], st.BestQPS["sim/unbatched"])
+	st.HTTPSpeedup = speedup(st.BestQPS["http/batched"], st.BestQPS["http/unbatched"])
+	return st, nil
+}
+
+func speedup(batched, unbatched float64) float64 {
+	if unbatched <= 0 {
+		return 0
+	}
+	return batched / unbatched
+}
+
+// httpIssue builds a live /v1/deploy backend (httptest server over the
+// real handler) and an Issue that POSTs to it, mapping backpressure
+// responses (429/503) onto ingest.ErrBacklog.
+func httpIssue(ws []*workflow.Workflow, n *network.Network, disableIngest bool) (ingest.Issue, func(), error) {
+	h, err := httpapi.NewHandlerWith(httpapi.Options{
+		DisableIngest: disableIngest,
+		Ingest:        &ingest.Config{MaxQueue: 1024},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := httptest.NewServer(h)
+
+	// Pre-encode one request template per class; the seed is appended
+	// per request.
+	var nbuf bytes.Buffer
+	if err := wfio.EncodeNetwork(&nbuf, n); err != nil {
+		srv.Close()
+		h.Close()
+		return nil, nil, err
+	}
+	bodies := make([][]byte, len(ws))
+	for i, w := range ws {
+		var wbuf bytes.Buffer
+		if err := wfio.EncodeWorkflow(&wbuf, w); err != nil {
+			srv.Close()
+			h.Close()
+			return nil, nil, err
+		}
+		body, err := json.Marshal(map[string]any{
+			"workflow":  json.RawMessage(wbuf.Bytes()),
+			"network":   json.RawMessage(nbuf.Bytes()),
+			"algorithm": ingestAlgos[0],
+		})
+		if err != nil {
+			srv.Close()
+			h.Close()
+			return nil, nil, err
+		}
+		// Splice a seed field in front of the closing brace so each
+		// request reuses the big template without re-marshalling it.
+		bodies[i] = body[:len(body)-1]
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+	issue := func(ctx context.Context, class int, seed uint64) error {
+		body := fmt.Sprintf(`%s,"seed":%d}`, bodies[class], seed)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/deploy", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return fmt.Errorf("http %d: %w", resp.StatusCode, ingest.ErrBacklog)
+		default:
+			return fmt.Errorf("http %d", resp.StatusCode)
+		}
+	}
+	cleanup := func() {
+		client.CloseIdleConnections()
+		srv.Close()
+		h.Close()
+	}
+	return issue, cleanup, nil
+}
+
+// RenderIngest renders the sweep as the SLO table recorded in
+// results/ingest_load.txt.
+func RenderIngest(st *IngestStudy) string {
+	var b strings.Builder
+	b.WriteString("== Ingest load study: open-loop deploy throughput, batched vs request-at-a-time ==\n")
+	fmt.Fprintf(&b, "fixture: %d classes x %d-op workflows, %d-server bus, portfolio %v, unique seed per request\n",
+		ingestStudyClasses, ingestStudyOps, ingestStudyServers, ingestAlgos)
+	fmt.Fprintf(&b, "measured plan latency %s; SLO: p99 <= %s; GOMAXPROCS %d\n\n",
+		st.PlanLatency.Round(10*time.Microsecond), st.SLO.Round(time.Millisecond), runtime.GOMAXPROCS(0))
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\toffered/s\tQPS\tp50\tp90\tp99\tshed\tfailed\tSLO")
+	for _, r := range st.Rows {
+		sloMark := "miss"
+		if r.MetSLO {
+			sloMark = "ok"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\t%.1f%%\t%d\t%s\n",
+			r.Mode, r.Load.OfferedPS, r.Load.QPS,
+			r.Load.P50.Round(100*time.Microsecond), r.Load.P90.Round(100*time.Microsecond),
+			r.Load.P99.Round(100*time.Microsecond),
+			100*r.Load.ShedRate(), r.Load.Failed, sloMark)
+	}
+	tw.Flush()
+	b.WriteString("\nbest sustained QPS at bounded p99:\n")
+	for _, mode := range []string{"sim/unbatched", "sim/batched", "http/unbatched", "http/batched"} {
+		fmt.Fprintf(&b, "  %-15s %8.0f\n", mode, st.BestQPS[mode])
+	}
+	fmt.Fprintf(&b, "speedup (batched / unbatched): sim %.1fx, http %.1fx\n", st.SimSpeedup, st.HTTPSpeedup)
+	return b.String()
+}

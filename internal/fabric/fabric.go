@@ -85,6 +85,11 @@ type Fabric struct {
 	// fed in parallel.
 	attemptHist *obs.Histogram
 
+	// pool is the keep-alive connection pool every send goes through;
+	// without it each POST dialed (and discarded) its own TCP
+	// connection once DefaultTransport's 2-per-host idle cap was hit.
+	pool *connPool
+
 	mu        sync.Mutex
 	mp        deploy.Mapping // live placement; Remap rewrites it mid-run
 	urls      []string       // urls[op] = endpoint of the operation's current host
@@ -135,6 +140,7 @@ func Deploy(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg Con
 		rng:         stats.NewRNG(cfg.Seed),
 		instances:   map[int]*instance{},
 		attemptHist: obs.NewHistogram(),
+		pool:        newConnPool(len(n.Servers)),
 	}
 	for s := range n.Servers {
 		h := &host{server: s, power: n.Servers[s].PowerHz, slot: make(chan struct{}, 1)}
@@ -152,13 +158,19 @@ func Deploy(w *workflow.Workflow, n *network.Network, mp deploy.Mapping, cfg Con
 	return f, nil
 }
 
-// Close aborts every in-flight instance and shuts down every host.
+// Close aborts every in-flight instance, shuts down every host and
+// releases the connection pool's idle keep-alives.
 func (f *Fabric) Close() {
 	f.cancel()
 	for _, h := range f.hosts {
 		h.httpSrv.Close()
 	}
+	f.pool.close()
 }
+
+// Dials reports how many TCP connections this fabric's pool has opened
+// — with keep-alive reuse working it stays far below Stats().Messages.
+func (f *Fabric) Dials() int64 { return f.pool.Dials() }
 
 // Mapping returns a snapshot of the live placement.
 func (f *Fabric) Mapping() deploy.Mapping {
@@ -561,7 +573,7 @@ func (f *Fabric) send(inst *instance, ei, from int) {
 		if err != nil {
 			panic(fmt.Sprintf("fabric: encoding envelope: %v", err))
 		}
-		resp, err := http.Post(f.urlOf(edge.To), "application/xml", bytes.NewReader(data))
+		resp, err := f.pool.post(f.urlOf(edge.To), "application/xml", bytes.NewReader(data))
 		if err != nil {
 			// The fabric is in-process; a failed POST means the fabric
 			// was closed mid-run. Drop the message silently.
@@ -570,6 +582,9 @@ func (f *Fabric) send(inst *instance, ei, from int) {
 			return
 		}
 		code := resp.StatusCode
+		// Drain before close so the connection returns to the idle pool
+		// instead of being severed mid-body.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 		f.observeAttempt(attemptStart)
 		if code == http.StatusAccepted {

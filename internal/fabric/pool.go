@@ -1,0 +1,71 @@
+package fabric
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"wsdeploy/internal/obs"
+)
+
+// obsDials counts new TCP connections dialed by fabric message
+// delivery, process-wide. Healthy fabrics reuse keep-alive connections,
+// so this series staying flat while fabric.messages_sent climbs is the
+// signal that pooling works; one dial per message means churn.
+var obsDials = obs.Default().Counter("fabric.conn_dials")
+
+// connPool is the fabric's keyed HTTP connection pool. Every fabric
+// used to POST through http.DefaultTransport, whose per-host idle limit
+// (2) is far below a fabric's fan-out — under load most sends dialed a
+// fresh TCP connection and tore it down. The pool owns a dedicated
+// Transport sized for host fan-out (connections are keyed per host
+// address by net/http itself), counts real dials so reuse is
+// observable, and closes idle connections on shutdown so no keep-alive
+// goroutines outlive the fabric.
+type connPool struct {
+	client *http.Client
+	tr     *http.Transport
+	dials  atomic.Int64
+}
+
+// newConnPool builds a pool sized for a fabric over n hosts.
+func newConnPool(hosts int) *connPool {
+	p := &connPool{}
+	dialer := &net.Dialer{Timeout: 10 * time.Second, KeepAlive: 30 * time.Second}
+	p.tr = &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := dialer.DialContext(ctx, network, addr)
+			if err == nil {
+				p.dials.Add(1)
+				obsDials.Inc()
+			}
+			return c, err
+		},
+		// Each host is one address; a handful of idle connections per
+		// host covers concurrent in-flight sends without re-dialing.
+		MaxIdleConns:        4 * hosts,
+		MaxIdleConnsPerHost: 4,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	p.client = &http.Client{Transport: p.tr}
+	return p
+}
+
+// post sends one request through the pool. The caller owns the response
+// and must close its body (draining it first returns the connection to
+// the idle pool).
+func (p *connPool) post(url, contentType string, body io.Reader) (*http.Response, error) {
+	return p.client.Post(url, contentType, body)
+}
+
+// Dials reports how many TCP connections this pool has opened.
+func (p *connPool) Dials() int64 { return p.dials.Load() }
+
+// close releases every idle connection. In-flight requests finish on
+// their own connections, which are then refused re-admission to the
+// pool's idle list only if close raced them — net/http handles both
+// orders without leaking goroutines.
+func (p *connPool) close() { p.tr.CloseIdleConnections() }

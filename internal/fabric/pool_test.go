@@ -1,0 +1,50 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"wsdeploy/internal/deploy"
+	"wsdeploy/internal/workflow"
+)
+
+// TestConnPoolReusesConnections: repeated runs over the same fabric
+// must reuse keep-alive connections instead of dialing per send. Before
+// pooling, every send past DefaultTransport's 2-per-host idle cap paid
+// a fresh TCP dial; with the pool, dials stay bounded by the host
+// fan-out while messages keep climbing.
+func TestConnPoolReusesConnections(t *testing.T) {
+	w, err := workflow.NewLine("pool",
+		[]float64{1e3, 1e3, 1e3, 1e3}, []float64{800, 800, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := busNet(t, []float64{1e9, 1e9}, 1e9)
+	// Alternating placement: every edge crosses hosts, so each run
+	// produces 3 cross-host messages.
+	f, err := Deploy(w, n, deploy.Mapping{0, 1, 0, 1}, Config{TimeScale: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const runs = 20
+	for i := 0; i < runs; i++ {
+		if _, err := f.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.MessagesSent < 3*runs {
+		t.Fatalf("messages sent = %d, want >= %d", st.MessagesSent, 3*runs)
+	}
+	dials := f.Dials()
+	if dials == 0 {
+		t.Fatal("pool recorded no dials — counter is not wired")
+	}
+	// Sequential runs need at most a few connections per host; anywhere
+	// near one-dial-per-message means reuse is broken.
+	if int(dials) > st.MessagesSent/3 {
+		t.Fatalf("dials = %d for %d messages — connections are not being reused", dials, st.MessagesSent)
+	}
+}

@@ -17,13 +17,33 @@ func RegionSubnetwork(n *network.Network, region string) (sub *network.Network, 
 	if len(toGlobal) == 0 {
 		return nil, nil, fmt.Errorf("geo: network %q has no servers in region %q", n.Name, region)
 	}
-	toLocal := make(map[int]int, len(toGlobal))
-	for li, gi := range toGlobal {
-		toLocal[gi] = li
+	sub, _, err = Subnetwork(n, fmt.Sprintf("%s@%s", n.Name, region), toGlobal)
+	if err != nil {
+		return nil, nil, fmt.Errorf("geo: region %q: %w", region, err)
 	}
-	servers := make([]network.Server, len(toGlobal))
-	for li, gi := range toGlobal {
-		servers[li] = n.Servers[gi]
+	return sub, toGlobal, nil
+}
+
+// Subnetwork returns the induced sub-network over an arbitrary server
+// subset: the listed servers and the local links joining them (WAN
+// links are dropped, so a subset spanning regions plans against the
+// regions' local fabrics only). toGlobal echoes servers — each
+// sub-network index li corresponds to global index servers[li].
+func Subnetwork(n *network.Network, name string, servers []int) (sub *network.Network, toGlobal []int, err error) {
+	if len(servers) == 0 {
+		return nil, nil, fmt.Errorf("geo: empty server subset of network %q", n.Name)
+	}
+	toLocal := make(map[int]int, len(servers))
+	picked := make([]network.Server, len(servers))
+	for li, gi := range servers {
+		if gi < 0 || gi >= n.N() {
+			return nil, nil, fmt.Errorf("geo: subset server %d out of range for network %q (%d servers)", gi, n.Name, n.N())
+		}
+		if _, dup := toLocal[gi]; dup {
+			return nil, nil, fmt.Errorf("geo: subset lists server %d twice", gi)
+		}
+		toLocal[gi] = li
+		picked[li] = n.Servers[gi]
 	}
 	var links []network.Link
 	for i, l := range n.Links {
@@ -34,11 +54,11 @@ func RegionSubnetwork(n *network.Network, region string) (sub *network.Network, 
 		}
 		links = append(links, network.Link{A: la, B: lb, SpeedBps: l.SpeedBps, PropDelay: l.PropDelay})
 	}
-	sub, err = network.New(fmt.Sprintf("%s@%s", n.Name, region), servers, links)
+	sub, err = network.New(name, picked, links)
 	if err != nil {
-		return nil, nil, fmt.Errorf("geo: region %q sub-network: %w", region, err)
+		return nil, nil, fmt.Errorf("geo: sub-network %q: %w", name, err)
 	}
-	return sub, toGlobal, nil
+	return sub, servers, nil
 }
 
 // ProjectWorkflow returns a copy of w masked down to one part of an

@@ -60,7 +60,9 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +71,7 @@ import (
 	"wsdeploy/internal/cost"
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/engine"
+	"wsdeploy/internal/ingest"
 	"wsdeploy/internal/network"
 	"wsdeploy/internal/obs"
 	"wsdeploy/internal/sim"
@@ -82,6 +85,10 @@ import (
 // the daemon's /metrics shows end-to-end service latency next to the
 // engine's per-algorithm planning series.
 var obsRequests = obs.Default().Histogram("httpapi.request_seconds")
+
+// obsWindowArrivals counts planned deploys — the arrival stream whose
+// per-pass windows feed the reconciler's drift detector (see specs.go).
+var obsWindowArrivals = obs.Default().Counter("httpapi.window_arrivals")
 
 // MaxRequestBytes bounds request bodies; workflows and networks are
 // small, so anything bigger is a client error (or abuse).
@@ -106,6 +113,12 @@ type Handler struct {
 	// keyed by request content, so sharing a shard leaks no state
 	// between tenants.
 	shards []*engine.Engine
+
+	// pipes are the ingest pipelines, one per shard, batching deploy
+	// planning in front of the engines (all nil when ingest is
+	// disabled). Coalescing keys on request content, so shard sharing
+	// leaks no state between tenants here either.
+	pipes []*ingest.Pipeline
 
 	// Tenancy. reg owns the namespace directory (shard assignment,
 	// quotas, per-tenant stores); states maps tenant name → its
@@ -152,6 +165,14 @@ type Options struct {
 	// until the caller invokes SetReady(true). The daemon uses it to
 	// withhold traffic until recovery and its background loops are up.
 	HoldReady bool
+	// Ingest tunes the per-shard batching pipelines in front of
+	// POST /v1/deploy (queue bound, batch size, flush delay, Retry-After
+	// hint). Nil uses the ingest defaults.
+	Ingest *ingest.Config
+	// DisableIngest routes POST /v1/deploy straight to the engine,
+	// request-at-a-time — the pre-batching behavior. The load harness
+	// uses it as the unbatched baseline.
+	DisableIngest bool
 }
 
 // NewHandler builds an in-memory API handler. It owns a tracer backed
@@ -194,8 +215,16 @@ func NewHandlerWith(opts Options) (*Handler, error) {
 		h.snapEvery = DefaultSnapshotEvery
 	}
 	h.shards = make([]*engine.Engine, reg.Shards())
+	h.pipes = make([]*ingest.Pipeline, reg.Shards())
+	var icfg ingest.Config
+	if opts.Ingest != nil {
+		icfg = *opts.Ingest
+	}
 	for i := range h.shards {
 		h.shards[i] = engine.MustNew(engine.Options{Tracer: tracer})
+		if !opts.DisableIngest {
+			h.pipes[i] = ingest.New(h.shards[i], icfg)
+		}
 	}
 	for _, t := range reg.List() {
 		ts := h.newTenantState(t)
@@ -251,6 +280,36 @@ func NewHandlerWith(opts Options) (*Handler, error) {
 
 // SetReady flips the /v1/readyz gate (see Options.HoldReady).
 func (h *Handler) SetReady(ready bool) { h.ready.Store(ready) }
+
+// Close stops the ingest pipelines (in-flight batches finish, queued
+// waiters fail with 503s). Call after the HTTP server has drained;
+// safe when ingest is disabled and safe to call more than once.
+func (h *Handler) Close() {
+	for _, p := range h.pipes {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+// IngestStats sums the per-shard ingest pipeline counters, for tests
+// and operational introspection. Zero-valued when ingest is disabled.
+func (h *Handler) IngestStats() ingest.Stats {
+	var total ingest.Stats
+	for _, p := range h.pipes {
+		if p == nil {
+			continue
+		}
+		s := p.Stats()
+		total.Submitted += s.Submitted
+		total.Shed += s.Shed
+		total.Coalesced += s.Coalesced
+		total.Batches += s.Batches
+		total.Groups += s.Groups
+		total.Depth += s.Depth
+	}
+	return total
+}
 
 // Ready reports whether the handler is accepting traffic.
 func (h *Handler) Ready() bool { return h.ready.Load() }
@@ -441,9 +500,23 @@ func (ts *tenantState) deploy(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := planContext(r, req.TimeoutMs)
 	defer cancel()
-	res, err := ts.eng.Run(ctx, ereq)
+	res, err := ts.plan(ctx, ereq)
 	if err != nil && !errors.Is(err, engine.ErrDeadline) {
-		writeErr(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, ingest.ErrBacklog):
+			// Ingest backpressure: the shard's deploy queue is full.
+			// Shaped like the admission layer's shed responses.
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ts.pipe.RetryAfter().Seconds()))))
+			writeErr(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ingest.ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			// The client budget expired while the request sat in the
+			// ingest queue, before planning could start.
+			writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("deadline expired before planning started"))
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	if res.Best == nil {
@@ -483,6 +556,8 @@ func (ts *tenantState) deploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.ID = id
+	ts.win.Add(1) // live-traffic window for the drift detector
+	obsWindowArrivals.Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 

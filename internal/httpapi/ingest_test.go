@@ -1,0 +1,223 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/ingest"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/wfio"
+)
+
+// deployPairs returns k distinct workflows (as wfio JSON) over one
+// shared 4-server bus.
+func deployPairs(t *testing.T, k int) ([]string, string) {
+	t.Helper()
+	cfg := gen.ClassC()
+	r := stats.NewRNG(17)
+	n, err := cfg.BusNetworkWithSpeed(r, 4, 100*gen.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nbuf bytes.Buffer
+	if err := wfio.EncodeNetwork(&nbuf, n); err != nil {
+		t.Fatal(err)
+	}
+	ws := make([]string, k)
+	for i := range ws {
+		w, err := cfg.LinearWorkflow(r, 6+i%5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wbuf bytes.Buffer
+		if err := wfio.EncodeWorkflow(&wbuf, w); err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = wbuf.String()
+	}
+	return ws, nbuf.String()
+}
+
+func deployBody(wf, n string, seed int) string {
+	return fmt.Sprintf(`{"workflow": %s, "network": %s, "algorithm": "localsearch", "seed": %d}`, wf, n, seed)
+}
+
+// TestBatchedDeployEquivalence is the batch-plan equivalence guarantee:
+// N workflows deployed concurrently through the batched pipeline must
+// produce exactly the deployments that N sequential requests against an
+// unbatched handler produce — same mappings, same metrics, same winning
+// algorithm. Run under -race this also exercises the full HTTP → ingest
+// → engine path for data races.
+func TestBatchedDeployEquivalence(t *testing.T) {
+	const nReq = 12
+	ws, n := deployPairs(t, nReq)
+
+	batched := httptest.NewServer(NewHandler())
+	defer batched.Close()
+	unbatchedH, err := NewHandlerWith(Options{DisableIngest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbatched := httptest.NewServer(unbatchedH)
+	defer unbatched.Close()
+
+	// The batched deployments, issued concurrently. Seeds differ per
+	// request on purpose: localsearch is deterministic, so the pipeline
+	// canonicalizes them away and they must not change any result.
+	got := make([]map[string]any, nReq)
+	var wg sync.WaitGroup
+	for i := 0; i < nReq; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out := post(t, batched, "/v1/deploy", deployBody(ws[i], n, 1000+i))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("batched deploy %d = %d: %v", i, resp.StatusCode, out)
+				return
+			}
+			got[i] = out
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < nReq; i++ {
+		resp, want := post(t, unbatched, "/v1/deploy", deployBody(ws[i], n, 1000+i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sequential deploy %d = %d: %v", i, resp.StatusCode, want)
+		}
+		if got[i] == nil {
+			t.Fatalf("no batched response for request %d", i)
+		}
+		// IDs are arrival-ordered (so they may differ across the two
+		// servers) and the cached flag depends on flush grouping; the
+		// planning outcome itself must be identical.
+		for _, k := range []string{"id", "cached"} {
+			delete(got[i], k)
+			delete(want, k)
+		}
+		gj, _ := json.Marshal(got[i])
+		wj, _ := json.Marshal(want)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("deploy %d diverged:\nbatched:    %s\nsequential: %s", i, gj, wj)
+		}
+	}
+}
+
+// TestDeployBackpressure: a single-slot ingest queue under a burst of
+// concurrent deploys sheds with 503 + Retry-After, the shed shows up in
+// IngestStats, and the ingest.* series are visible at /metrics.
+func TestDeployBackpressure(t *testing.T) {
+	h, err := NewHandlerWith(Options{Ingest: &ingest.Config{MaxQueue: 1, MaxBatch: 1, RetryAfter: 2 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	defer h.Close()
+	ws, n := deployPairs(t, 1)
+	// The portfolio races the whole registry — expensive enough that the
+	// dispatcher is still planning while the burst arrives.
+	body := strings.Replace(deployBody(ws[0], n, 1), `"localsearch"`, `"portfolio"`, 1)
+
+	const burst = 24
+	codes := make([]int, burst)
+	retryAfter := make([]string, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/deploy", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}()
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+			if retryAfter[i] == "" {
+				t.Fatalf("503 without Retry-After header")
+			}
+		default:
+			t.Fatalf("deploy %d = %d, want 200 or 503", i, code)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no deploy succeeded under the burst")
+	}
+	if shed == 0 {
+		t.Fatal("single-slot queue under a 24-request burst shed nothing")
+	}
+	if st := h.IngestStats(); st.Shed == 0 {
+		t.Fatalf("IngestStats.Shed = 0 after %d HTTP sheds", shed)
+	}
+
+	metrics := getBody(t, srv, "/metrics")
+	for _, series := range []string{"ingest_shed_backlog", "ingest_submitted", "ingest_queue_depth"} {
+		if !strings.Contains(metrics, series) {
+			t.Fatalf("/metrics is missing %s:\n%s", series, metrics[:min(len(metrics), 2000)])
+		}
+	}
+}
+
+// TestDeployWindowFeedsDetector: live deploy traffic becomes detector
+// windows. Before any deploys a reconcile pass feeds nothing and status
+// carries no livePenalty; after deploys, the next pass observes the
+// fleet's measured loads and status reports the live Time Penalty.
+func TestDeployWindowFeedsDetector(t *testing.T) {
+	h := NewHandler()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	defer h.Close()
+
+	mustOK(t, srv, http.MethodPost, "/v1/specs", specBody(t, "app", "wf-a", "wf-b"))
+	mustOK(t, srv, http.MethodPost, "/v1/reconcile", `{"passes": 8}`)
+	if st := specStatusOf(t, srv, "app"); st["converged"] != true {
+		t.Fatalf("spec did not converge: %v", st)
+	}
+	// Quiet window: the passes above saw zero deploys, so no feed.
+	if st := specStatusOf(t, srv, "app"); st["livePenalty"] != nil {
+		t.Fatalf("livePenalty reported before any traffic: %v", st)
+	}
+
+	ws, n := deployPairs(t, 2)
+	for i, w := range ws {
+		if resp, out := post(t, srv, "/v1/deploy", deployBody(w, n, i)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("deploy = %d: %v", resp.StatusCode, out)
+		}
+	}
+	h.RunReconcilePass(1.0)
+	st := specStatusOf(t, srv, "app")
+	pen, ok := st["livePenalty"].(float64)
+	if !ok {
+		t.Fatalf("no livePenalty after traffic + pass: %v", st)
+	}
+	if pen < 0 {
+		t.Fatalf("livePenalty = %v", pen)
+	}
+	// The window is consumed: another pass with no new traffic keeps the
+	// last measurement instead of decaying it.
+	h.RunReconcilePass(2.0)
+	if _, ok := specStatusOf(t, srv, "app")["livePenalty"].(float64); !ok {
+		t.Fatal("livePenalty lost after a quiet pass")
+	}
+}

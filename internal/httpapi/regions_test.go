@@ -1,0 +1,65 @@
+package httpapi
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/wfio"
+)
+
+// regionSpecBody builds a POST /v1/specs payload whose network is a
+// two-region fleet and whose spec pins the named regions.
+func regionSpecBody(t *testing.T, regions ...string) string {
+	t.Helper()
+	n, err := network.NewRegions("geo", []network.RegionSpec{
+		{Name: "us", Powers: []float64{2e9, 1e9, 1e9}, SpeedBps: 1e9},
+		{Name: "eu", Powers: []float64{2e9, 2e9}, SpeedBps: 1e9},
+	}, []network.WANLink{{A: "us", B: "eu", SpeedBps: 1e8, PropDelay: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nbuf bytes.Buffer
+	if err := wfio.EncodeNetwork(&nbuf, n); err != nil {
+		t.Fatal(err)
+	}
+	wf, _ := specPair(t)
+	var pins []string
+	for _, r := range regions {
+		pins = append(pins, `"`+r+`"`)
+	}
+	return `{"name": "pinned", "spec": {"network": ` + nbuf.String() +
+		`, "regions": [` + strings.Join(pins, ",") + `]` +
+		`, "workflows": [{"id": "wf-a", "workflow": ` + wf + `}]}}`
+}
+
+// TestSpecRegionsEndToEnd: POST /v1/specs rejects unknown regions with
+// 400 before anything is journaled, and a valid pin reconciles to a
+// converged spec.
+func TestSpecRegionsEndToEnd(t *testing.T) {
+	h := NewHandler()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	defer h.Close()
+
+	resp, out := post(t, srv, "/v1/specs", regionSpecBody(t, "mars"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown region accepted: %d %v", resp.StatusCode, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "unknown region") {
+		t.Fatalf("unhelpful rejection: %v", out)
+	}
+	// Nothing journaled: the name is still free.
+	if resp, _ := http.Get(srv.URL + "/v1/specs/pinned/status"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("rejected spec left state behind: %d", resp.StatusCode)
+	}
+
+	mustOK(t, srv, http.MethodPost, "/v1/specs", regionSpecBody(t, "eu"))
+	mustOK(t, srv, http.MethodPost, "/v1/reconcile", `{"passes": 8}`)
+	if st := specStatusOf(t, srv, "pinned"); st["converged"] != true {
+		t.Fatalf("region-pinned spec did not converge: %v", st)
+	}
+}

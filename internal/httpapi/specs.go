@@ -205,7 +205,7 @@ func (ss *specState) status(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := statusOf(v)
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"name":               out.Name,
 		"generation":         out.Generation,
 		"observedGeneration": out.Observed,
@@ -213,7 +213,13 @@ func (ss *specState) status(w http.ResponseWriter, r *http.Request) {
 		"lag":                out.Lag,
 		"paused":             out.Paused,
 		"passes":             passes,
-	})
+	}
+	if pen, ok := ss.rec.LivePenalty(); ok {
+		// The last measured Time Penalty from the live window feed —
+		// absent until traffic has been observed by a pass.
+		resp["livePenalty"] = pen
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // reconcile runs a bounded burst of passes synchronously — the driver
@@ -265,9 +271,26 @@ func (ss *specState) runPassLocked(t float64) reconcile.PassResult {
 	ss.ts.fleet.mu.Lock()
 	defer ss.ts.fleet.mu.Unlock()
 	ss.exec.Fleet = ss.ts.fleet.l
+	ss.observeLiveWindow(t)
 	res := ss.rec.RunPass(t)
 	ss.ts.fleet.l = ss.exec.Fleet
 	return res
+}
+
+// observeLiveWindow feeds the tenant's live traffic window into the
+// drift detector: when any deploys were planned since the last pass,
+// the fleet's current measured per-server loads become one detector
+// window (reconcile.ObserveWindow), so the daemon's -reconcile loop
+// reacts to real traffic — not only to explicit POST /v1/reconcile
+// observations. Quiet windows feed nothing: no traffic means no new
+// evidence, and a stale window must not decay the drift signal. Caller
+// holds specState.mu and fleetState.mu.
+func (ss *specState) observeLiveWindow(t float64) {
+	arrivals := ss.ts.win.Swap(0)
+	if arrivals == 0 || ss.ts.fleet.l == nil {
+		return
+	}
+	ss.rec.ObserveWindow(t, ss.ts.fleet.l.Status().Loads)
 }
 
 // RunReconcilePass runs one reconcile pass for every tenant at virtual

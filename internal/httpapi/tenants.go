@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,9 +9,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsdeploy/internal/engine"
+	"wsdeploy/internal/ingest"
 	"wsdeploy/internal/obs"
 	"wsdeploy/internal/store"
 	"wsdeploy/internal/tenant"
@@ -52,6 +55,13 @@ type tenantState struct {
 	h   *Handler
 	t   *tenant.Tenant
 	eng *engine.Engine
+	// pipe is the shard's ingest batcher; nil when ingest is disabled,
+	// in which case deploys plan request-at-a-time on eng.
+	pipe *ingest.Pipeline
+
+	// win counts deploys planned since the last reconcile pass — the
+	// live traffic window the drift detector observes (see specs.go).
+	win atomic.Uint64
 
 	// Durable state (see durable.go). store is nil for an in-memory
 	// tenant. snapMu coordinates mutations against composite snapshots:
@@ -75,12 +85,23 @@ type tenantState struct {
 // newTenantState wires a fresh per-tenant namespace: the engine shard
 // the tenant hashes to, its store (when durable) and empty domains.
 func (h *Handler) newTenantState(t *tenant.Tenant) *tenantState {
-	ts := &tenantState{h: h, t: t, eng: h.shards[t.Shard()], store: t.Store()}
+	ts := &tenantState{h: h, t: t, eng: h.shards[t.Shard()], pipe: h.pipes[t.Shard()], store: t.Store()}
 	ts.fleet = &fleetState{ts: ts}
 	ts.pilot = &autopilotState{}
 	ts.deps = &deployLedger{}
 	ts.specs = newSpecState(ts)
 	return ts
+}
+
+// plan routes one planning request through the shard's ingest pipeline
+// — batched, coalesced, backpressured — or straight to the engine when
+// ingest is disabled. Only the deploy path batches: compare/portfolio
+// are diagnostic fan-outs where batching would change nothing.
+func (ts *tenantState) plan(ctx context.Context, req engine.Request) (*engine.Result, error) {
+	if ts.pipe != nil {
+		return ts.pipe.Submit(ctx, req)
+	}
+	return ts.eng.Run(ctx, req)
 }
 
 // tenantHandlerFunc is a request handler bound to a resolved tenant.

@@ -1,0 +1,36 @@
+// Package ingest is the high-throughput deploy pipeline: it turns
+// request-at-a-time planning into a batched, bounded, backpressured
+// path in front of a planner shard's engine.
+//
+// Shape of the pipeline:
+//
+//   - Submit enqueues one planning request onto a bounded queue. A full
+//     queue sheds immediately with ErrBacklog — the HTTP layer maps it
+//     to 503 + Retry-After — so overload turns into fast, explicit
+//     rejections instead of unbounded latency.
+//   - A dispatcher goroutine drains the queue into batches: it blocks
+//     for the first request, then accumulates up to Config.MaxBatch
+//     more, waiting at most Config.FlushDelay (zero means "take what is
+//     already there" — no added latency when the system is idle, and
+//     batches grow naturally with concurrency because arrivals queue up
+//     while the previous batch executes — the group-commit discipline).
+//   - Each flush coalesces its requests by canonical content key
+//     (engine.Canonicalize + engine.RequestKey): requests for the same
+//     workflow/network/portfolio are planned once per flush, and a
+//     request whose whole portfolio is deterministic is keyed with seed
+//     zero, so per-client seeds stop defeating both the coalescer and
+//     the engine's LRU plan cache. Requests naming seeded algorithms
+//     keep their seed and only coalesce with exact matches — coalescing
+//     never changes a result, it only removes redundant work.
+//   - Unique groups plan concurrently (bounded by Config.GroupParallelism)
+//     through engine.Run — the same cached, deadline-aware path the
+//     sequential handler used — and every waiter in a group receives
+//     the group's result.
+//
+// Queue depth, shed counts, coalescing wins, batch sizes and queue-wait
+// latency are all surfaced through the shared obs registry (the
+// ingest.* series at /metrics). The package also carries the open-loop
+// load harness (load.go) that measures the pipeline: Poisson arrivals
+// at a fixed wall-clock rate against any backend, reporting achieved
+// QPS, latency quantiles and shed rate per offered rate.
+package ingest

@@ -1,0 +1,454 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsdeploy/internal/engine"
+	"wsdeploy/internal/gen"
+	"wsdeploy/internal/network"
+	"wsdeploy/internal/stats"
+	"wsdeploy/internal/workflow"
+)
+
+// fixture returns k distinct small workflows over a shared 4-server bus.
+func fixture(t testing.TB, k int) ([]*workflow.Workflow, *network.Network) {
+	t.Helper()
+	cfg := gen.ClassC()
+	r := stats.NewRNG(11)
+	n, err := cfg.BusNetworkWithSpeed(r, 4, 100*gen.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := make([]*workflow.Workflow, k)
+	for i := range ws {
+		w, err := cfg.LinearWorkflow(r, 5+i%4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	return ws, n
+}
+
+// fakePlanner is a deterministic Planner whose Run blocks until released,
+// giving the tests full control over dispatcher timing.
+type fakePlanner struct {
+	mu      sync.Mutex
+	runs    int
+	gate    chan struct{} // nil: run completes immediately
+	runErr  error
+	keySeed bool // include the seed in keys (no canonicalization)
+}
+
+func (f *fakePlanner) Run(ctx context.Context, req engine.Request) (*engine.Result, error) {
+	f.mu.Lock()
+	f.runs++
+	gate := f.gate
+	f.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if f.runErr != nil {
+		return nil, f.runErr
+	}
+	return &engine.Result{Best: &engine.Plan{Key: "fake", Combined: float64(req.Seed)}}, nil
+}
+
+func (f *fakePlanner) Canonicalize(req engine.Request) engine.Request {
+	if !f.keySeed {
+		req.Seed = 0
+	}
+	return req
+}
+
+func (f *fakePlanner) RequestKey(req engine.Request) string {
+	return fmt.Sprintf("%s|%d", req.Workflow.Name, req.Seed)
+}
+
+func (f *fakePlanner) ranRuns() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runs
+}
+
+// TestSubmitMatchesDirect: a lone Submit returns exactly what a direct
+// engine.Run of the same request returns.
+func TestSubmitMatchesDirect(t *testing.T) {
+	ws, n := fixture(t, 1)
+	eng := engine.MustNew(engine.Options{Algorithms: []string{"holm", "fairload"}, CacheSize: -1})
+	p := New(eng, Config{})
+	defer p.Close()
+
+	req := engine.Request{Workflow: ws[0], Network: n, Seed: 99}
+	got, err := p.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best == nil || want.Best == nil {
+		t.Fatal("no best plan")
+	}
+	if got.Best.Key != want.Best.Key || got.Best.Combined != want.Best.Combined {
+		t.Fatalf("submit best (%s, %g) != direct best (%s, %g)",
+			got.Best.Key, got.Best.Combined, want.Best.Key, want.Best.Combined)
+	}
+	if len(got.Best.Mapping) != len(want.Best.Mapping) {
+		t.Fatalf("mapping length %d != %d", len(got.Best.Mapping), len(want.Best.Mapping))
+	}
+	for i := range got.Best.Mapping {
+		if got.Best.Mapping[i] != want.Best.Mapping[i] {
+			t.Fatalf("mapping[%d] = %d, want %d", i, got.Best.Mapping[i], want.Best.Mapping[i])
+		}
+	}
+}
+
+// TestBatchEquivalence: N distinct workflows submitted concurrently
+// through the pipeline produce the same winning plans as N sequential
+// engine runs. Run with -race this also exercises the dispatcher's
+// synchronization.
+func TestBatchEquivalence(t *testing.T) {
+	const nReq = 24
+	ws, n := fixture(t, nReq)
+	// Separate engines so the sequential baseline cannot warm the
+	// pipeline's cache (or vice versa).
+	engA := engine.MustNew(engine.Options{Algorithms: []string{"holm", "localsearch"}})
+	engB := engine.MustNew(engine.Options{Algorithms: []string{"holm", "localsearch"}})
+	p := New(engA, Config{MaxBatch: 8})
+	defer p.Close()
+
+	type res struct {
+		key      string
+		combined float64
+		mapping  []int
+	}
+	got := make([]res, nReq)
+	var wg sync.WaitGroup
+	var subErr atomic.Value
+	for i := 0; i < nReq; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := p.Submit(context.Background(), engine.Request{Workflow: ws[i], Network: n, Seed: uint64(i + 1)})
+			if err != nil {
+				subErr.Store(err)
+				return
+			}
+			got[i] = res{key: r.Best.Key, combined: r.Best.Combined, mapping: append([]int(nil), r.Best.Mapping...)}
+		}()
+	}
+	wg.Wait()
+	if err := subErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nReq; i++ {
+		want, err := engB.Run(context.Background(), engine.Request{Workflow: ws[i], Network: n, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].key != want.Best.Key || got[i].combined != want.Best.Combined {
+			t.Fatalf("req %d: batched best (%s, %g) != sequential best (%s, %g)",
+				i, got[i].key, got[i].combined, want.Best.Key, want.Best.Combined)
+		}
+		for j := range want.Best.Mapping {
+			if got[i].mapping[j] != want.Best.Mapping[j] {
+				t.Fatalf("req %d: mapping[%d] = %d, want %d", i, j, got[i].mapping[j], want.Best.Mapping[j])
+			}
+		}
+	}
+	if s := p.Stats(); s.Submitted != nReq {
+		t.Fatalf("submitted = %d, want %d", s.Submitted, nReq)
+	}
+}
+
+// TestCoalescing: identical deterministic requests that differ only in
+// their seed plan once per flush and all waiters share the result.
+func TestCoalescing(t *testing.T) {
+	ws, _ := fixture(t, 1)
+	fp := &fakePlanner{gate: make(chan struct{})}
+	// A long FlushDelay holds the batch open so every submit below lands
+	// in one flush deterministically.
+	p := New(fp, Config{MaxBatch: 64, FlushDelay: 200 * time.Millisecond})
+	defer p.Close()
+
+	const nReq = 16
+	n := mustBus(t)
+	var wg sync.WaitGroup
+	results := make([]*engine.Result, nReq)
+	for i := 0; i < nReq; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := p.Submit(context.Background(), engine.Request{Workflow: ws[0], Network: n, Seed: uint64(i + 1)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}()
+	}
+	close(fp.gate) // release planning as soon as the flush reaches it
+	wg.Wait()
+
+	if runs := fp.ranRuns(); runs != 1 {
+		t.Fatalf("planner ran %d times, want 1 (full coalescing)", runs)
+	}
+	for i := 1; i < nReq; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different *Result than waiter 0", i)
+		}
+	}
+	s := p.Stats()
+	if s.Coalesced != nReq-1 {
+		t.Fatalf("coalesced = %d, want %d", s.Coalesced, nReq-1)
+	}
+	if s.Groups != 1 || s.Batches != 1 {
+		t.Fatalf("groups/batches = %d/%d, want 1/1", s.Groups, s.Batches)
+	}
+}
+
+// TestSeededRequestsNotCoalesced: when the planner keeps the seed in the
+// key (a seeded portfolio), distinct seeds plan separately.
+func TestSeededRequestsNotCoalesced(t *testing.T) {
+	ws, _ := fixture(t, 1)
+	n := mustBus(t)
+	fp := &fakePlanner{keySeed: true}
+	p := New(fp, Config{MaxBatch: 64, FlushDelay: 100 * time.Millisecond})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Submit(context.Background(), engine.Request{Workflow: ws[0], Network: n, Seed: uint64(i + 1)}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := p.Stats(); s.Coalesced != 0 {
+		t.Fatalf("coalesced = %d, want 0 for seed-distinct requests", s.Coalesced)
+	}
+	if runs := fp.ranRuns(); runs != 4 {
+		t.Fatalf("planner ran %d times, want 4", runs)
+	}
+}
+
+// TestBackpressure: with the dispatcher blocked mid-plan and a
+// single-slot queue, surplus submits shed with ErrBacklog.
+func TestBackpressure(t *testing.T) {
+	ws, _ := fixture(t, 1)
+	n := mustBus(t)
+	fp := &fakePlanner{gate: make(chan struct{})}
+	p := New(fp, Config{MaxBatch: 1, MaxQueue: 1, RetryAfter: 250 * time.Millisecond})
+	defer p.Close()
+
+	// First submit: dequeued by the dispatcher, blocks in the fake's gate.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Submit(context.Background(), engine.Request{Workflow: ws[0], Network: n}); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitFor(t, func() bool { return fp.ranRuns() == 1 })
+
+	// Second submit occupies the queue slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Submit(context.Background(), engine.Request{Workflow: ws[0], Network: n}); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitFor(t, func() bool { return p.Stats().Depth == 1 })
+
+	// Third submit must shed immediately.
+	_, err := p.Submit(context.Background(), engine.Request{Workflow: ws[0], Network: n})
+	if !errors.Is(err, ErrBacklog) {
+		t.Fatalf("err = %v, want ErrBacklog", err)
+	}
+	if got := p.RetryAfter(); got != 250*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 250ms", got)
+	}
+	if s := p.Stats(); s.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", s.Shed)
+	}
+
+	close(fp.gate)
+	wg.Wait()
+}
+
+// TestClose: queued waiters fail with ErrClosed, and Submit after Close
+// rejects without enqueueing.
+func TestClose(t *testing.T) {
+	ws, _ := fixture(t, 1)
+	n := mustBus(t)
+	fp := &fakePlanner{gate: make(chan struct{})}
+	p := New(fp, Config{MaxBatch: 1, MaxQueue: 4})
+
+	errs := make(chan error, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := p.Submit(context.Background(), engine.Request{Workflow: ws[0], Network: n})
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return fp.ranRuns() == 1 && p.Stats().Depth == 2 })
+
+	// Close releases the in-flight group through its derived context (the
+	// gate stays shut), fails the queued waiters and returns.
+	p.Close()
+	wg.Wait()
+	close(errs)
+	var closedErrs int
+	for err := range errs {
+		if errors.Is(err, ErrClosed) {
+			closedErrs++
+		} else if !errors.Is(err, context.Canceled) {
+			// The in-flight waiter races outcome delivery (its group was
+			// canceled) against the pipeline-closed signal; both are fine.
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if closedErrs < 2 {
+		t.Fatalf("closed errors = %d, want >= 2 (the queued waiters)", closedErrs)
+	}
+	if _, err := p.Submit(context.Background(), engine.Request{Workflow: ws[0], Network: n}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestExpiredWaiterSkipped: a request whose context dies while queued is
+// answered with its context error and never planned.
+func TestExpiredWaiterSkipped(t *testing.T) {
+	ws, _ := fixture(t, 1)
+	n := mustBus(t)
+	fp := &fakePlanner{gate: make(chan struct{})}
+	p := New(fp, Config{MaxBatch: 1, MaxQueue: 4})
+	defer p.Close()
+
+	// Occupy the dispatcher.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Submit(context.Background(), engine.Request{Workflow: ws[0], Network: n}); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitFor(t, func() bool { return fp.ranRuns() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wg.Add(1)
+	var gotErr error
+	go func() {
+		defer wg.Done()
+		_, gotErr = p.Submit(ctx, engine.Request{Workflow: ws[0], Network: n})
+	}()
+	waitFor(t, func() bool { return p.Stats().Depth == 1 })
+	cancel()
+
+	close(fp.gate)
+	wg.Wait()
+	if !errors.Is(gotErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", gotErr)
+	}
+	// Exactly one plan ran: the canceled waiter was skipped at flush.
+	if runs := fp.ranRuns(); runs != 1 {
+		t.Fatalf("planner ran %d times, want 1", runs)
+	}
+}
+
+// TestInvalidRequest: nil workflow/network rejected without enqueueing.
+func TestInvalidRequest(t *testing.T) {
+	p := New(&fakePlanner{}, Config{})
+	defer p.Close()
+	if _, err := p.Submit(context.Background(), engine.Request{}); err == nil {
+		t.Fatal("want error for empty request")
+	}
+	if s := p.Stats(); s.Submitted != 0 {
+		t.Fatalf("submitted = %d, want 0", s.Submitted)
+	}
+}
+
+func mustBus(t testing.TB) *network.Network {
+	t.Helper()
+	n, err := network.NewBus("bus", []float64{1e9, 2e9, 2e9, 3e9}, 100*gen.Mbps, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func waitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkIngestBatched measures pipeline throughput for the canonical
+// overload mix — few workflow classes, per-client unique seeds over a
+// deterministic portfolio — where coalescing and the plan cache carry
+// the load. Contrast with BenchmarkIngestUnbatched (the same traffic
+// planned request-at-a-time with seed-polluted cache keys).
+func BenchmarkIngestBatched(b *testing.B) {
+	ws, n := fixture(b, 4)
+	eng := engine.MustNew(engine.Options{Algorithms: []string{"localsearch"}})
+	p := New(eng, Config{MaxBatch: 64, MaxQueue: 4096})
+	defer p.Close()
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := seed.Add(1)
+			if _, err := p.Submit(context.Background(), engine.Request{
+				Workflow: ws[int(s)%len(ws)], Network: n, Seed: s,
+			}); err != nil && !errors.Is(err, ErrBacklog) {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIngestUnbatched is the request-at-a-time baseline over the
+// same traffic: every unique seed is a fresh cache key, so each request
+// pays a full portfolio run.
+func BenchmarkIngestUnbatched(b *testing.B) {
+	ws, n := fixture(b, 4)
+	eng := engine.MustNew(engine.Options{Algorithms: []string{"localsearch"}})
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := seed.Add(1)
+			if _, err := eng.Run(context.Background(), engine.Request{
+				Workflow: ws[int(s)%len(ws)], Network: n, Seed: s,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

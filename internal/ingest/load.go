@@ -1,0 +1,168 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsdeploy/internal/autopilot"
+)
+
+// Open-loop load harness. Arrivals come from the autopilot's seeded
+// Poisson generator replayed at wall-clock speed (autopilot.Pacer), so
+// the offered rate is fixed by the harness, not by the system under
+// test — a slow backend builds backlog and sheds instead of silently
+// throttling the generator, which is what makes the measured QPS,
+// latency quantiles and shed rate honest.
+
+// LoadConfig parameterizes one open-loop measurement point.
+type LoadConfig struct {
+	// Rate is the offered arrival rate, requests per wall-clock second.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Classes is the number of distinct request classes arrivals cycle
+	// over (the Issue callback maps a class to a concrete request).
+	// Default 1.
+	Classes int
+	// MaxInFlight caps concurrently issued requests; an arrival finding
+	// the cap exhausted is shed client-side (counted, not issued) so the
+	// harness itself never becomes a hidden queue. Default 512.
+	MaxInFlight int
+	// Timeout bounds each issued request. Default 5s.
+	Timeout time.Duration
+	// Seed drives the Poisson process.
+	Seed uint64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Classes <= 0 {
+		c.Classes = 1
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 512
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	return c
+}
+
+// LoadResult is one measurement point of the open-loop harness.
+type LoadResult struct {
+	Offered   int           // arrivals generated
+	OK        int           // requests that completed successfully
+	Shed      int           // backpressure rejections, client- or server-side
+	Failed    int           // hard errors (not backpressure)
+	Elapsed   time.Duration // wall clock from first arrival to last completion
+	QPS       float64       // OK / Elapsed
+	P50       time.Duration // latency quantiles over successful requests
+	P90       time.Duration
+	P99       time.Duration
+	OfferedPS float64 // Offered / generation window — the achieved offered rate
+}
+
+// ShedRate is the fraction of arrivals shed by backpressure.
+func (r LoadResult) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Offered)
+}
+
+// Issue is one backend request: plan the given class with the given
+// seed, under ctx. Returning an error wrapping ErrBacklog counts as a
+// backpressure shed (HTTP adapters map 429/503 onto it); any other
+// error counts as a failure.
+type Issue func(ctx context.Context, class int, seed uint64) error
+
+// RunOpenLoop drives the backend at cfg.Rate for cfg.Duration and
+// reports achieved throughput, latency quantiles and shed rate. Every
+// arrival carries a unique seed — the adversarial client mix where each
+// request looks distinct unless the backend canonicalizes.
+func RunOpenLoop(ctx context.Context, cfg LoadConfig, issue Issue) LoadResult {
+	cfg = cfg.withDefaults()
+	gen := autopilot.NewGenerator(autopilot.TrafficConfig{
+		Rate:    cfg.Rate,
+		Shape:   autopilot.Steady,
+		Classes: cfg.Classes,
+		Horizon: cfg.Duration.Seconds(),
+		Seed:    cfg.Seed,
+	})
+	pacer := autopilot.NewPacer(gen, 1)
+
+	var (
+		mu               sync.Mutex
+		latencies        []time.Duration
+		ok, shed, failed atomic.Int64
+		wg               sync.WaitGroup
+		inflight         = make(chan struct{}, cfg.MaxInFlight)
+		seq              atomic.Uint64
+	)
+	start := time.Now()
+	offered := pacer.Run(ctx, func(a autopilot.Arrival) {
+		select {
+		case inflight <- struct{}{}:
+		default:
+			shed.Add(1) // client-side: the in-flight cap is itself a bound
+			return
+		}
+		wg.Add(1)
+		go func(class int) {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			t0 := time.Now()
+			err := issue(rctx, class, seq.Add(1))
+			lat := time.Since(t0)
+			switch {
+			case err == nil:
+				ok.Add(1)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			case errors.Is(err, ErrBacklog):
+				shed.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}(a.Class)
+	})
+	genWindow := time.Since(start)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := LoadResult{
+		Offered: offered,
+		OK:      int(ok.Load()),
+		Shed:    int(shed.Load()),
+		Failed:  int(failed.Load()),
+		Elapsed: elapsed,
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.OK) / elapsed.Seconds()
+	}
+	if genWindow > 0 {
+		res.OfferedPS = float64(offered) / genWindow.Seconds()
+	}
+	res.P50, res.P90, res.P99 = quantiles(latencies)
+	return res
+}
+
+// quantiles returns the 50th/90th/99th percentile latencies (zero when
+// nothing succeeded).
+func quantiles(lats []time.Duration) (p50, p90, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
+}

@@ -156,6 +156,15 @@ func (e *FleetExecutor) Apply(step Step, v Versioned, c *Compiled) (int, error) 
 		if err != nil {
 			return moved, err
 		}
+		// The manager's repair remap plans fleet-wide; a region-pinned
+		// spec sweeps any spilled operations back inside its regions.
+		if len(v.Spec.Regions) > 0 {
+			n, err := e.confineToRegions(v)
+			moved += n
+			if err != nil {
+				return moved, err
+			}
+		}
 		return moved, e.pushRemaps()
 
 	case StepRejoin:
@@ -174,6 +183,9 @@ func (e *FleetExecutor) Apply(step Step, v Versioned, c *Compiled) (int, error) 
 		return e.applyRemap(v, c)
 
 	case StepRedeploy:
+		if len(v.Spec.Regions) > 0 {
+			return e.applyRegionRedeploy(v, c)
+		}
 		moved, err := e.Fleet.Rebalance()
 		if err != nil {
 			return moved, err
@@ -189,6 +201,9 @@ func (e *FleetExecutor) Apply(step Step, v Versioned, c *Compiled) (int, error) 
 // algorithms cannot mask) the manager's valley-filling GreedyPlace
 // places it around the live load and the down set.
 func (e *FleetExecutor) applyDeploy(id string, v Versioned, c *Compiled) (int, error) {
+	if len(v.Spec.Regions) > 0 {
+		return e.applyRegionDeploy(id, v, c)
+	}
 	w, ok := c.Workflows[id]
 	if !ok {
 		return 0, fmt.Errorf("reconcile: spec %q has no workflow %q", v.Name, id)
@@ -222,6 +237,9 @@ func (e *FleetExecutor) applyDeploy(id string, v Versioned, c *Compiled) (int, e
 // optimises the placement SLO, not traffic skew) and apply at most the
 // spec's move budget through SetMapping.
 func (e *FleetExecutor) applyRemap(v Versioned, c *Compiled) (int, error) {
+	if len(v.Spec.Regions) > 0 {
+		return e.applyRegionRemap(v, c)
+	}
 	classes := e.classes()
 	if len(classes) == 0 {
 		return 0, nil

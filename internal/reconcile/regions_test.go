@@ -1,0 +1,204 @@
+package reconcile
+
+import (
+	"strings"
+	"testing"
+
+	"wsdeploy/internal/autopilot"
+	"wsdeploy/internal/network"
+)
+
+// regionNet builds the test fleet: 3 servers in "us", 2 in "eu", one
+// WAN link between the gateways.
+func regionNet(t *testing.T) *network.Network {
+	t.Helper()
+	n, err := network.NewRegions("geo", []network.RegionSpec{
+		{Name: "us", Powers: []float64{2e9, 1e9, 1e9}, SpeedBps: 1e9},
+		{Name: "eu", Powers: []float64{2e9, 2e9}, SpeedBps: 1e9},
+	}, []network.WANLink{{A: "us", B: "eu", SpeedBps: 1e8, PropDelay: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// regionSpec is the demo portfolio pinned to the named regions on the
+// multi-region fleet.
+func regionSpec(t *testing.T, regions ...string) Spec {
+	t.Helper()
+	classes, _, err := autopilot.DemoScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := specFrom(t, regionNet(t), classes...)
+	sp.Regions = regions
+	return sp
+}
+
+func TestCompileRejectsBadRegions(t *testing.T) {
+	good := regionSpec(t, "us", "eu")
+	if _, err := good.Compile(); err != nil {
+		t.Fatalf("valid region pins rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		regions []string
+	}{
+		{"unknown region", []string{"mars"}},
+		{"mixed known and unknown", []string{"us", "mars"}},
+		{"duplicate region", []string{"us", "us"}},
+		{"empty region name", []string{""}},
+	}
+	for _, tc := range cases {
+		sp := regionSpec(t, tc.regions...)
+		if _, err := sp.Compile(); err == nil {
+			t.Errorf("%s: Compile accepted regions %v", tc.name, tc.regions)
+		}
+	}
+	// A spec pinning regions over a single-site network is equally
+	// unknown — there are no named regions to resolve against.
+	flat := demoSpec(t)
+	flat.Regions = []string{"us"}
+	if _, err := flat.Compile(); err == nil {
+		t.Fatal("Compile accepted region pins on a single-site network")
+	}
+}
+
+// assertConfined fails unless every deployed operation of every
+// workflow sits inside one of the named regions.
+func assertConfined(t *testing.T, exec *FleetExecutor, regions ...string) {
+	t.Helper()
+	allowed := map[string]bool{}
+	for _, r := range regions {
+		allowed[r] = true
+	}
+	n := exec.Fleet.Network()
+	for _, id := range exec.Fleet.Workflows() {
+		mp, _ := exec.Fleet.Mapping(id)
+		for op, s := range mp {
+			if !allowed[n.RegionOf(s)] {
+				t.Fatalf("workflow %s op %d placed on server %d in region %q, want one of %v",
+					id, op, s, n.RegionOf(s), regions)
+			}
+		}
+	}
+}
+
+func TestRegionPinnedDeployConfines(t *testing.T) {
+	for _, algorithm := range []string{"", "localsearch"} {
+		set, exec, rec := newTestReconciler(Config{})
+		sp := regionSpec(t, "eu")
+		sp.Algorithm = algorithm
+		set.Put("app", sp)
+		res := rec.RunPass(0)
+		if !res.Converged {
+			t.Fatalf("algorithm %q: pass did not converge: %+v", algorithm, res)
+		}
+		if got := len(exec.Fleet.Workflows()); got != 3 {
+			t.Fatalf("algorithm %q: deployed %d workflows, want 3", algorithm, got)
+		}
+		assertConfined(t, exec, "eu")
+	}
+}
+
+func TestRegionPinnedRedeployPullsLeakBack(t *testing.T) {
+	set, exec, rec := newTestReconciler(Config{})
+	sp := regionSpec(t, "us")
+	sp.MaxTimePenalty = 1e-9 // unreachable SLO: every pass plans a performance step
+	set.Put("app", sp)
+	rec.RunPass(0)
+	assertConfined(t, exec, "us")
+
+	// Leak one class out of its pinned region by hand (server 3 is eu's
+	// gateway), then let performance passes pull it back. The first remap
+	// re-plans the leaked class onto the region sub-network directly.
+	id := exec.Fleet.Workflows()[0]
+	mp, _ := exec.Fleet.Mapping(id)
+	out := append(mp[:0:0], mp...)
+	for op := range out {
+		out[op] = 3
+	}
+	if err := exec.Fleet.SetMapping(id, out); err != nil {
+		t.Fatal(err)
+	}
+	res := rec.RunPass(1)
+	var movedBack bool
+	for _, a := range res.Actions {
+		if a.Err != "" {
+			t.Fatalf("region pass errored: %v", a)
+		}
+		if (a.Step.Kind == StepRemap || a.Step.Kind == StepRedeploy) && a.Moved > 0 {
+			movedBack = true
+		}
+	}
+	if !movedBack {
+		t.Fatalf("no performance step repatriated the leaked class: %+v", res.Actions)
+	}
+	assertConfined(t, exec, "us")
+}
+
+func TestRegionPinnedRepairStaysConfined(t *testing.T) {
+	set, exec, rec := newTestReconciler(Config{})
+	set.Put("app", regionSpec(t, "us"))
+	rec.RunPass(0)
+
+	// Crash one us server: the repair remaps its operations, and the
+	// region-pinned redeploy path keeps everything on the two surviving
+	// us servers rather than spilling into eu.
+	rec.NoteIncident(Incident{Kind: IncidentCrash, Server: 1, Time: 1})
+	rec.RunPass(1)
+	rec.RunPass(2)
+	if !exec.Fleet.IsDown(1) {
+		t.Fatal("server 1 not marked down")
+	}
+	n := exec.Fleet.Network()
+	for _, id := range exec.Fleet.Workflows() {
+		mp, _ := exec.Fleet.Mapping(id)
+		for op, s := range mp {
+			if s == 1 {
+				t.Fatalf("workflow %s op %d still on the downed server", id, op)
+			}
+			if n.RegionOf(s) != "us" {
+				t.Fatalf("workflow %s op %d spilled to region %q after repair", id, op, n.RegionOf(s))
+			}
+		}
+	}
+}
+
+func TestRegionUnknownAtApplyTimeIsActionError(t *testing.T) {
+	// A spec without its own network cannot be region-checked at Compile;
+	// the live fleet (single-site demo bus) has no regions, so the first
+	// deploy action must fail loudly instead of planning fleet-wide.
+	classes, n, err := autopilot.DemoScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := specFrom(t, nil, classes...)
+	sp.Regions = []string{"us"}
+	if _, err := sp.Compile(); err != nil {
+		t.Fatalf("network-less region check should defer to apply time: %v", err)
+	}
+
+	set, exec, rec := newTestReconciler(Config{})
+	exec.Fleet, err = exec.CreateFleet(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Put("app", sp)
+	res := rec.RunPass(0)
+	if res.Converged {
+		t.Fatal("pass converged despite unresolvable region pins")
+	}
+	var sawErr bool
+	for _, a := range res.Actions {
+		if a.Err != "" && strings.Contains(a.Err, "unknown region") {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatalf("no unknown-region action error: %+v", res.Actions)
+	}
+	if got := len(exec.Fleet.Workflows()); got != 0 {
+		t.Fatalf("%d workflows deployed despite unknown regions", got)
+	}
+}

@@ -71,10 +71,11 @@ type Spec struct {
 	// MaxMovesPerPass bounds the migrations one reconcile pass may
 	// apply (the delta-remap budget). Default 4.
 	MaxMovesPerPass int `json:"maxMovesPerPass,omitempty"`
-	// Regions optionally pins the deployment to named regions of a
-	// multi-region fleet (informational for single-region fleets; the
-	// geoplace planner family honours region structure when chosen as
-	// the Algorithm hint).
+	// Regions pins the deployment to named regions of a multi-region
+	// fleet: deploys, remaps and redeploys plan only over the pinned
+	// regions' live servers. Unknown regions are rejected — at Compile
+	// when the spec carries its own network, otherwise when the first
+	// action resolves them against the live fleet.
 	Regions []string `json:"regions,omitempty"`
 	// Paused stops reconciliation for this spec without deleting it:
 	// the status keeps reporting lag, no actions fire.
@@ -122,6 +123,30 @@ func (s *Spec) Compile() (*Compiled, error) {
 	if s.Algorithm != "" {
 		if _, err := core.NewByName(s.Algorithm, 0); err != nil {
 			return nil, fmt.Errorf("reconcile: spec algorithm: %w", err)
+		}
+	}
+	if len(s.Regions) > 0 {
+		seen := map[string]bool{}
+		for _, r := range s.Regions {
+			if r == "" {
+				return nil, fmt.Errorf("reconcile: spec pins an empty region name")
+			}
+			if seen[r] {
+				return nil, fmt.Errorf("reconcile: duplicate region %q", r)
+			}
+			seen[r] = true
+		}
+		if c.Network != nil {
+			known := map[string]bool{}
+			for _, r := range c.Network.Regions() {
+				known[r] = true
+			}
+			for _, r := range s.Regions {
+				if !known[r] {
+					return nil, fmt.Errorf("reconcile: unknown region %q (network %q has regions %v)",
+						r, c.Network.Name, c.Network.Regions())
+				}
+			}
 		}
 	}
 	if s.MinServers < 0 {
