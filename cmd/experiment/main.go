@@ -83,7 +83,7 @@ func run(which string, o exp.Options, scatter bool, csvDir, htmlOut string) erro
 		"table6", "fig6", "fig7", "fig8", "lineline", "quality",
 		"classA", "classB",
 		"ksweep", "topologies", "refiners", "flmme-quantile", "weights", "failure", "makespan",
-		"throughput", "portfolio", "chaos", "autopilot", "geo", "reconcile", "ingest",
+		"throughput", "portfolio", "chaos", "autopilot", "geo", "reconcile", "ingest", "diskfault",
 	}
 
 	selected := []string{which}
@@ -150,6 +150,12 @@ func run(which string, o exp.Options, scatter bool, csvDir, htmlOut string) erro
 				return err
 			}
 			fmt.Println(exp.RenderIngest(study))
+		case "diskfault":
+			study, err := exp.RunDiskFault(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(exp.RenderDiskFault(study))
 		case "autopilot":
 			rows, err := exp.RunAutopilot(o)
 			if err != nil {

@@ -55,6 +55,16 @@
 // its posted /v1/specs desired state. GET /v1/readyz answers 503 until
 // durable recovery has replayed and the loop (when enabled) is
 // running; probes should prefer it over state-coupled endpoints.
+//
+// When a tenant's journal fail-stops (EIO/failed fsync on its WAL) the
+// tenant enters degraded read-only mode: reads, compute and status keep
+// serving while durability-requiring mutations answer 503 + Retry-After
+// and /v1/readyz names the degraded tenants. A background probe retries
+// store recovery every -faultprobe (backing off while the disk stays
+// sick) and restores full service once the journal reopens. -faultinject
+// backs every tenant store with a disk-fault injector and exposes
+// POST/GET /v1/debug/diskfault for chaos drills — never set it outside
+// a drill.
 package main
 
 import (
@@ -71,6 +81,8 @@ import (
 	"time"
 
 	"wsdeploy/internal/autopilot"
+	"wsdeploy/internal/chaos"
+	"wsdeploy/internal/faultfs"
 	"wsdeploy/internal/httpapi"
 	"wsdeploy/internal/ingest"
 	"wsdeploy/internal/obs"
@@ -125,6 +137,8 @@ func main() {
 	ingestBatch := flag.Int("ingestbatch", 0, "max deploy requests per ingest flush (0: default 64)")
 	ingestDelay := flag.Duration("ingestdelay", 0, "how long an ingest flush waits for more requests (0: flush immediately)")
 	ingestQueue := flag.Int("ingestqueue", 0, "bounded deploy queue per shard; overflow sheds with 503 (0: default 256)")
+	faultInject := flag.Bool("faultinject", false, "back the tenant stores with a disk-fault injector and expose POST/GET /v1/debug/diskfault (chaos tooling only)")
+	faultProbe := flag.Duration("faultprobe", 2*time.Second, "base cadence of the degraded-store recovery probe (backs off exponentially while the disk stays sick)")
 	flag.Parse()
 
 	if *autoCheck {
@@ -138,6 +152,7 @@ func main() {
 		MaxShardQueue: *maxShardQueue,
 		DefaultQuota:  tenant.Quota{PlansPerSec: *planRate},
 	}
+	var injector *faultfs.Injector
 	if *dataDir != "" {
 		mode, err := store.ParseSyncMode(*fsyncMode)
 		if err != nil {
@@ -145,6 +160,13 @@ func main() {
 		}
 		tcfg.DataDir = *dataDir
 		tcfg.Store = store.Options{Sync: mode}
+		if *faultInject {
+			// One injector under every tenant store: the debug endpoint
+			// arms faults against the live daemon's real I/O.
+			injector = faultfs.NewInjector(nil)
+			tcfg.Store.FS = injector
+			fmt.Println("wsdeployd: DISK-FAULT INJECTION ENABLED — /v1/debug/diskfault is live")
+		}
 	}
 	reg, err := tenant.Open(tcfg)
 	if err != nil {
@@ -179,6 +201,7 @@ func main() {
 			MaxQueue:   *ingestQueue,
 		},
 		DisableIngest: !*ingestOn,
+		FaultInjector: injector,
 	})
 	if err != nil {
 		log.Fatalf("replaying recovered state: %v", err)
@@ -239,6 +262,40 @@ func main() {
 	} else {
 		close(reconcileDone)
 	}
+	// Degraded-store recovery probe: whenever any tenant's journal has
+	// fail-stopped (disk fault mid-append), keep trying store.Reopen on a
+	// backoff until the disk heals, then log the recovery. Healthy
+	// periods cost one DegradedTenants scan per base interval.
+	probeDone := make(chan struct{})
+	if *dataDir != "" && *faultProbe > 0 {
+		policy := chaos.RetryPolicy{BaseBackoff: *faultProbe, MaxBackoff: 16 * *faultProbe}
+		go func() {
+			defer close(probeDone)
+			attempt := 0
+			for {
+				if !policy.Sleep(ctx, attempt) {
+					return
+				}
+				if len(api.DegradedTenants()) == 0 {
+					attempt = 0
+					continue
+				}
+				recovered, degraded := api.ProbeDegraded()
+				if len(recovered) > 0 {
+					log.Printf("wsdeployd: recovered degraded tenants %v", recovered)
+				}
+				if len(degraded) > 0 {
+					attempt++
+					log.Printf("wsdeployd: tenants still degraded after probe: %v (next probe in %s)",
+						degraded, policy.Backoff(attempt))
+				} else {
+					attempt = 0
+				}
+			}
+		}()
+	} else {
+		close(probeDone)
+	}
 	api.SetReady(true)
 
 	errc := make(chan error, 1)
@@ -254,6 +311,7 @@ func main() {
 	stop() // restore default signal handling: a second ^C kills immediately
 	api.SetReady(false)
 	<-reconcileDone
+	<-probeDone
 
 	fmt.Printf("wsdeployd shutting down (draining up to %s)\n", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)

@@ -1,0 +1,283 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wsdeploy/internal/faultfs"
+	"wsdeploy/internal/store"
+)
+
+// Disk-fault sweep: the byte-offset kill -9 idiom of RecordSweep
+// applied to fault points. Instead of truncating a disk image at every
+// byte, the sweep arms a faultfs.Injector with every fault kind at
+// every operation index of that kind's class — EIO on the 1st write,
+// the 2nd write, …, fsync failure on the 1st sync, …, rename failure
+// on each rename — and drives the same scripted workload through each
+// poisoned run. The invariant is the same as the crash sweep's: every
+// record is either fully applied or cleanly rejected. A rejected
+// append must surface store.ErrDegraded (never panic, never a silent
+// half-write); after the injector heals and Reopen succeeds, the
+// record retries, and the state recovered by a final clean open must
+// be byte-identical to the reference reduction. Slow I/O must change
+// nothing but latency.
+
+// ApplyDiskEvent folds a DiskFault/DiskHeal plan event into an
+// injector — the bridge that lets a chaos Plan drive the storage
+// layer the way it drives the sim and fabric. DiskFault arms the named
+// fault sticky from the next matching operation on; DiskHeal disarms.
+// Other kinds are ignored. Reports whether the event was a disk event.
+func ApplyDiskEvent(in *faultfs.Injector, ev Event) bool {
+	switch ev.Kind {
+	case DiskFault:
+		kind, err := faultfs.ParseKind(ev.Fault)
+		if err != nil {
+			return false
+		}
+		in.Arm(faultfs.Fault{Kind: kind, At: -1, Sticky: true})
+		return true
+	case DiskHeal:
+		in.Clear()
+		return true
+	}
+	return false
+}
+
+// FaultSweepReport summarizes one exhaustive sweep.
+type FaultSweepReport struct {
+	Runs        int                  // total poisoned runs (one per fault point)
+	PerKind     map[faultfs.Kind]int // runs per fault kind
+	OpsPerRun   map[faultfs.Op]int   // op counts of the clean workload, the sweep bounds
+	Degraded    int                  // runs where the store fail-stopped and recovered via Reopen
+	Rejected    int                  // runs where the op failed without degrading (snapshot-path faults, open-time faults)
+	Quarantined int64                // total tail bytes quarantined across runs
+}
+
+func (r *FaultSweepReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "disk-fault sweep: %d runs (", r.Runs)
+	for i, k := range faultfs.Kinds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", k, r.PerKind[k])
+	}
+	fmt.Fprintf(&b, "); %d degraded+reopened, %d rejected clean, %d tail bytes quarantined", r.Degraded, r.Rejected, r.Quarantined)
+	return b.String()
+}
+
+// DiskFaultSweep runs the exhaustive fault-point sweep in scratch: a
+// scripted workload of `records` journalled appends with a snapshot
+// (and WAL compaction) after `snapshotAt` of them, once per fault
+// point. Every run must converge to the same recovered state as the
+// clean run or the sweep fails with the offending fault point named.
+func DiskFaultSweep(scratch string, records, snapshotAt int) (*FaultSweepReport, error) {
+	// Clean instrumented run: establishes the reference reduction and
+	// counts the workload's operations per class, which bound the sweep.
+	cleanIn := faultfs.NewInjector(nil)
+	ref, err := runFaultWorkload(filepath.Join(scratch, "clean"), cleanIn, records, snapshotAt)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: clean run: %w", err)
+	}
+	if ref.reopens > 0 {
+		return nil, fmt.Errorf("chaos: clean run recovered a degraded store — the workload itself is broken")
+	}
+	ops := cleanIn.Counts()
+
+	rep := &FaultSweepReport{
+		PerKind:   make(map[faultfs.Kind]int),
+		OpsPerRun: ops,
+	}
+	run := 0
+	for _, kind := range faultfs.Kinds {
+		points := ops[kind.Class()]
+		if kind == faultfs.SlowIO {
+			points = 1 // delays every op in one run; per-index sweeps add nothing
+		}
+		for at := 0; at < points; at++ {
+			dir := filepath.Join(scratch, fmt.Sprintf("run-%03d", run))
+			run++
+			if err := runFaultPoint(dir, kind, at, records, snapshotAt, ref, rep); err != nil {
+				return nil, fmt.Errorf("chaos: fault %s at %s[%d]: %w", kind, kind.Class(), at, err)
+			}
+			rep.Runs++
+			rep.PerKind[kind]++
+		}
+	}
+	return rep, nil
+}
+
+// runFaultPoint executes one poisoned run and verifies its outcome.
+func runFaultPoint(dir string, kind faultfs.Kind, at, records, snapshotAt int, ref faultRunResult, rep *FaultSweepReport) error {
+	in := faultfs.NewInjector(nil)
+	in.Arm(faultfs.Fault{Kind: kind, At: at, Delay: 100 * time.Microsecond})
+	got, err := runFaultWorkload(dir, in, records, snapshotAt)
+	if err != nil {
+		return err
+	}
+	if kind != faultfs.SlowIO {
+		if in.Fired() == 0 {
+			return fmt.Errorf("armed fault never fired (workload has %d %s ops)", rep.OpsPerRun[kind.Class()], kind.Class())
+		}
+		if got.reopens > 0 {
+			rep.Degraded++
+		} else {
+			rep.Rejected++
+		}
+		rep.Quarantined += got.quarantined
+	}
+	if !bytes.Equal(got.reduction, ref.reduction) {
+		return fmt.Errorf("recovered state diverges from reference\n got: %s\nwant: %s", got.reduction, ref.reduction)
+	}
+	return nil
+}
+
+// faultWorkloadState is the reduction the sweep compares: the ordered
+// payloads of every acknowledged record.
+type faultWorkloadState struct {
+	Applied []int `json:"applied"`
+}
+
+// faultRunResult carries one run's reduction plus its forensic counters.
+type faultRunResult struct {
+	reduction   []byte
+	reopens     int64
+	quarantined int64
+}
+
+// runFaultWorkload drives the scripted workload through a store backed
+// by in, healing the injector and recovering the store the first time
+// the armed fault fires, then closes everything and returns the
+// reduction of a final clean recovery. Every step asserts the
+// fail-stop contract as it goes.
+func runFaultWorkload(dir string, in *faultfs.Injector, records, snapshotAt int) (faultRunResult, error) {
+	var res faultRunResult
+	opts := store.Options{Sync: store.SyncAlways, FS: in}
+
+	// Open itself is a fault point (the boot-time directory fsync): a
+	// faulted open must fail cleanly, and succeed once healed.
+	st, _, err := store.Open(dir, opts)
+	if err != nil {
+		if in.Fired() == 0 {
+			return res, fmt.Errorf("open failed without the fault firing: %w", err)
+		}
+		in.Clear()
+		if st, _, err = store.Open(dir, opts); err != nil {
+			return res, fmt.Errorf("reopen after healed open fault: %w", err)
+		}
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			st.Close()
+		}
+	}()
+
+	state := faultWorkloadState{Applied: []int{}}
+	heal := func(opErr error) error {
+		// A failed operation must be a loud, typed rejection — and if
+		// the journal fail-stopped, Reopen (after healing) must bring
+		// it back with every acknowledged record intact.
+		if in.Fired() == 0 {
+			return fmt.Errorf("operation failed without the fault firing: %w", opErr)
+		}
+		in.Clear()
+		if st.Failed() != nil {
+			if !errors.Is(st.Failed(), store.ErrDegraded) {
+				return fmt.Errorf("fail-stop cause is not ErrDegraded: %w", st.Failed())
+			}
+			if err := st.Reopen(); err != nil {
+				return fmt.Errorf("reopen on healed disk: %w", err)
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < records; i++ {
+		if _, err := st.Append("sweep", map[string]int{"n": i}); err != nil {
+			if st.Failed() != nil && !errors.Is(err, store.ErrDegraded) {
+				return res, fmt.Errorf("degraded append error does not wrap ErrDegraded: %w", err)
+			}
+			if rerr := heal(err); rerr != nil {
+				return res, rerr
+			}
+			// The rejected record was never acknowledged; retrying it
+			// exactly once must succeed and must not duplicate anything.
+			if _, err := st.Append("sweep", map[string]int{"n": i}); err != nil {
+				return res, fmt.Errorf("retry after recovery: %w", err)
+			}
+		}
+		state.Applied = append(state.Applied, i)
+
+		if i+1 == snapshotAt {
+			blob, _ := json.Marshal(state)
+			if err := st.Snapshot(blob, st.LastSeq()); err != nil {
+				// Snapshot faults must not lose journalled records: the
+				// WAL stays authoritative whether or not the store also
+				// fail-stopped (pre-snapshot fsync under weaker sync
+				// modes). Heal, recover if needed, and move on without
+				// retrying the snapshot.
+				if rerr := heal(err); rerr != nil {
+					return res, rerr
+				}
+			}
+		}
+	}
+
+	status := st.Status()
+	res.reopens = status.Reopens
+	res.quarantined = status.QuarantinedBytes
+	if err := st.Close(); err != nil {
+		// The workload runs SyncAlways, so every acknowledged record was
+		// already fsynced before Close's final flush: a faulted close
+		// fsync is a loud no-op. Anything else is a real failure.
+		if in.Fired() == 0 {
+			return res, fmt.Errorf("close: %w", err)
+		}
+		in.Clear()
+	}
+	closed = true
+
+	// No crash artifacts may survive any run: a stale temp file would
+	// shadow the next boot's recovery.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return res, err
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			return res, fmt.Errorf("stale temp file survived the run: %s", e.Name())
+		}
+	}
+
+	// Final clean recovery on the real filesystem: the reduction the
+	// sweep compares runs against.
+	st2, rec, err := store.Open(dir, store.Options{Sync: store.SyncAlways})
+	if err != nil {
+		return res, fmt.Errorf("final recovery: %w", err)
+	}
+	defer st2.Close()
+	recovered := faultWorkloadState{Applied: []int{}}
+	if len(rec.Snapshot) > 0 {
+		if err := json.Unmarshal(rec.Snapshot, &recovered); err != nil {
+			return res, fmt.Errorf("decoding recovered snapshot: %w", err)
+		}
+	}
+	for _, r := range rec.Records {
+		var p struct {
+			N int `json:"n"`
+		}
+		if err := json.Unmarshal(r.Data, &p); err != nil {
+			return res, fmt.Errorf("decoding recovered record %d: %w", r.Seq, err)
+		}
+		recovered.Applied = append(recovered.Applied, p.N)
+	}
+	res.reduction, err = json.Marshal(recovered)
+	return res, err
+}

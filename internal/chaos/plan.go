@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 
+	"wsdeploy/internal/faultfs"
 	"wsdeploy/internal/stats"
 )
 
@@ -63,6 +64,17 @@ const (
 	Partition Kind = "partition"
 	// Heal removes the partition.
 	Heal Kind = "heal"
+
+	// DiskFault makes the control plane's journal disk misbehave:
+	// Event.Fault names a faultfs fault kind (write-error, short-write,
+	// no-space, sync-error, rename-error, slow-io) armed sticky from
+	// this event's time. Unlike the fleet-level events above, it targets
+	// the daemon's own durability layer, driving a store into degraded
+	// read-only mode rather than crashing a workflow server.
+	DiskFault Kind = "disk-fault"
+	// DiskHeal clears the armed disk fault; the recovery probe can then
+	// bring degraded stores back.
+	DiskHeal Kind = "disk-heal"
 )
 
 // Event is one timed fault. Times are virtual seconds — the cost
@@ -76,6 +88,7 @@ type Event struct {
 	To      int     `json:"to,omitempty"`      // link/loss events; -1 = any
 	Factor  float64 `json:"factor,omitempty"`  // slowdown × or loss probability
 	Servers []int   `json:"servers,omitempty"` // partition group
+	Fault   string  `json:"fault,omitempty"`   // disk-fault kind (faultfs.Kind)
 }
 
 // Plan is a deterministic schedule of fault events.
@@ -117,7 +130,11 @@ func (p *Plan) Validate(n int) error {
 					return fmt.Errorf("chaos: event %d (%s) names non-existent server %d", i, ev.Kind, s)
 				}
 			}
-		case Heal:
+		case Heal, DiskHeal:
+		case DiskFault:
+			if _, err := faultfs.ParseKind(ev.Fault); err != nil {
+				return fmt.Errorf("chaos: event %d (%s): %v", i, ev.Kind, err)
+			}
 		default:
 			return fmt.Errorf("chaos: event %d has unknown kind %q", i, ev.Kind)
 		}

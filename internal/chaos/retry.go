@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy is the wall-clock retry/backoff helper for control-plane
+// operations that poll a possibly-sick resource — most prominently the
+// daemon's degraded-store recovery probe. It is the wall-clock sibling
+// of fabric.RetryPolicy (which runs in virtual seconds inside the
+// fabric): exponential backoff with a cap, and every sleep honours
+// context cancellation and deadlines instead of sleeping through them.
+type RetryPolicy struct {
+	// MaxAttempts bounds Do's attempts; default 10.
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failure; default 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; default 1s.
+	MaxBackoff time.Duration
+}
+
+// WithDefaults fills zero fields.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 10
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	return p
+}
+
+// Backoff returns the delay before attempt (0-based attempt counter:
+// attempt 0 retries after BaseBackoff), doubling per attempt up to
+// MaxBackoff.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.WithDefaults()
+	d := p.BaseBackoff
+	for i := 0; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// Sleep blocks for the attempt's backoff or until ctx is done,
+// whichever comes first, and reports whether the caller should
+// continue (false means the context was cancelled mid-backoff).
+func (p RetryPolicy) Sleep(ctx context.Context, attempt int) bool {
+	t := time.NewTimer(p.Backoff(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Do runs fn until it succeeds, MaxAttempts is exhausted, or ctx is
+// cancelled — including mid-backoff: a cancelled context aborts the
+// wait immediately and returns ctx.Err() joined with the last failure.
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
+	p = p.WithDefaults()
+	var last error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return wrapRetryErr(err, last)
+		}
+		if last = fn(); last == nil {
+			return nil
+		}
+		if attempt == p.MaxAttempts-1 {
+			break
+		}
+		if !p.Sleep(ctx, attempt) {
+			return wrapRetryErr(ctx.Err(), last)
+		}
+	}
+	return fmt.Errorf("chaos: retries exhausted after %d attempts: %w", p.MaxAttempts, last)
+}
+
+func wrapRetryErr(ctxErr, last error) error {
+	if last == nil {
+		return ctxErr
+	}
+	return fmt.Errorf("%w (last attempt: %v)", ctxErr, last)
+}

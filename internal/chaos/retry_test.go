@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyBackoffGrowth(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryPolicyDoSucceedsAfterFailures(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("not yet")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryPolicyExhaustsAttempts(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond}
+	sentinel := errors.New("still broken")
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return sentinel })
+	if calls != 3 || !errors.Is(err, sentinel) {
+		t.Fatalf("Do = %v after %d calls, want wrapped sentinel after 3", err, calls)
+	}
+}
+
+// TestRetryPolicyCancelAbortsMidBackoff is the satellite's contract: a
+// context cancelled while the policy is sleeping aborts the wait
+// immediately instead of sleeping through it.
+func TestRetryPolicyCancelAbortsMidBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour, MaxBackoff: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- p.Do(ctx, func() error { return errors.New("fail once, then sleep an hour") })
+	}()
+	time.Sleep(20 * time.Millisecond) // let Do enter the backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cancellation took %v — the backoff slept through it", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do never returned after cancellation — backoff ignored the context")
+	}
+}
+
+func TestRetryPolicyDeadlineRespected(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 100, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := p.Do(ctx, func() error { return errors.New("never") })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRetryPolicySleepCancelled(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if p.Sleep(ctx, 0) {
+		t.Fatal("Sleep on a cancelled context must report false")
+	}
+}

@@ -1,0 +1,74 @@
+// Package faultfs abstracts the handful of filesystem operations the
+// durability layer (internal/store) performs, so that disk faults —
+// EIO on write, fsync failure, short/torn writes, ENOSPC, slow I/O,
+// rename failure — can be injected at any chosen operation index
+// without patching the store itself.
+//
+// The interface is deliberately narrow: it covers exactly the calls a
+// CRC-framed WAL plus atomic-rename snapshots need (append writes,
+// fsync, atomic temp→rename, directory sync, recovery-time reads and
+// truncation). Production code uses OS(), a zero-cost passthrough to
+// package os; tests and the chaos harness wrap it in an Injector.
+package faultfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// Op classifies filesystem operations for fault targeting. A fault is
+// armed against one class and fires when that class's operation
+// counter reaches the fault's index, mirroring the byte-offset-sweep
+// idiom of chaos.RecordSweep applied to fault points.
+type Op string
+
+const (
+	// OpWrite covers File.Write calls (WAL frames, snapshot bytes).
+	OpWrite Op = "write"
+	// OpSync covers File.Sync calls (file and directory fsync).
+	OpSync Op = "sync"
+	// OpRename covers FS.Rename calls (atomic snapshot/WAL publish).
+	OpRename Op = "rename"
+)
+
+// File is the writable-handle surface the store needs: append writes,
+// fsync, close. *os.File satisfies it directly.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the store needs. All methods have
+// identical semantics to their package-os counterparts.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+}
+
+// OS returns the passthrough filesystem backed by package os. It is
+// stateless; callers may share the returned value freely.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }

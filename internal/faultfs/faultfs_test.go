@@ -1,0 +1,164 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	if err := fsys.MkdirAll(filepath.Join(dir, "a/b"), 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	name := filepath.Join(dir, "a/b/f.txt")
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := fsys.ReadFile(name)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := fsys.Truncate(name, 2); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	renamed := filepath.Join(dir, "a/b/g.txt")
+	if err := fsys.Rename(name, renamed); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	ents, err := fsys.ReadDir(filepath.Join(dir, "a/b"))
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fsys.Remove(renamed); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestInjectorWriteFaultsAtIndex(t *testing.T) {
+	for _, kind := range []Kind{WriteErr, NoSpace} {
+		in := NewInjector(OS())
+		name := filepath.Join(t.TempDir(), "f")
+		f, err := in.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatalf("%s: OpenFile: %v", kind, err)
+		}
+		in.Arm(Fault{Kind: kind, At: 1})
+		if _, err := f.Write([]byte("aa")); err != nil {
+			t.Fatalf("%s: write 0 should pass: %v", kind, err)
+		}
+		if _, err := f.Write([]byte("bb")); err == nil {
+			t.Fatalf("%s: write 1 should fail", kind)
+		}
+		if _, err := f.Write([]byte("cc")); err != nil {
+			t.Fatalf("%s: non-sticky fault must clear after firing: %v", kind, err)
+		}
+		if in.Fired() != 1 {
+			t.Fatalf("%s: Fired = %d, want 1", kind, in.Fired())
+		}
+		f.Close()
+		got, _ := os.ReadFile(name)
+		if string(got) != "aacc" {
+			t.Fatalf("%s: file = %q, want aacc (failed write persists nothing)", kind, got)
+		}
+	}
+}
+
+func TestInjectorShortWriteIsTorn(t *testing.T) {
+	in := NewInjector(OS())
+	name := filepath.Join(t.TempDir(), "f")
+	f, _ := in.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	in.Arm(Fault{Kind: ShortWrite, At: 0})
+	n, err := f.Write([]byte("abcdefgh"))
+	if err == nil {
+		t.Fatal("short write should report an error")
+	}
+	if n != 4 {
+		t.Fatalf("short write n = %d, want 4", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(name)
+	if string(got) != "abcd" {
+		t.Fatalf("file = %q, want torn prefix abcd", got)
+	}
+}
+
+func TestInjectorSyncAndRenameFaults(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS())
+	f, _ := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	in.Arm(Fault{Kind: SyncErr, At: 0, Sticky: true})
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Sync = %v, want EIO", err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sticky fault must keep firing")
+	}
+	in.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync after Clear: %v", err)
+	}
+	f.Close()
+
+	in.Arm(Fault{Kind: RenameErr, At: -1})
+	if err := in.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Rename = %v, want EIO", err)
+	}
+	if err := in.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); err != nil {
+		t.Fatalf("Rename after one-shot: %v", err)
+	}
+}
+
+func TestInjectorSlowIODelaysWithoutFailing(t *testing.T) {
+	in := NewInjector(OS())
+	name := filepath.Join(t.TempDir(), "f")
+	f, _ := in.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	in.Arm(Fault{Kind: SlowIO, Delay: 1})
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("slow-io write must succeed: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("slow-io sync must succeed: %v", err)
+	}
+	if in.Fired() < 2 {
+		t.Fatalf("Fired = %d, want >= 2", in.Fired())
+	}
+	f.Close()
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(string(k))
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %q, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("bit-rot"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestKindClasses(t *testing.T) {
+	want := map[Kind]Op{
+		WriteErr: OpWrite, ShortWrite: OpWrite, NoSpace: OpWrite,
+		SyncErr: OpSync, RenameErr: OpRename, SlowIO: "",
+	}
+	for k, op := range want {
+		if k.Class() != op {
+			t.Fatalf("%s.Class() = %q, want %q", k, k.Class(), op)
+		}
+	}
+}

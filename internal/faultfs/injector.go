@@ -1,0 +1,247 @@
+package faultfs
+
+import (
+	"fmt"
+	"io/fs"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Kind names an injectable disk-fault flavour.
+type Kind string
+
+const (
+	// WriteErr fails a write with EIO; nothing reaches the file.
+	WriteErr Kind = "write-error"
+	// ShortWrite persists only the first half of the buffer, then
+	// fails with EIO — a torn write.
+	ShortWrite Kind = "short-write"
+	// NoSpace fails a write with ENOSPC; nothing reaches the file.
+	NoSpace Kind = "no-space"
+	// SyncErr fails an fsync (file or directory) with EIO. Data may
+	// or may not be on disk — the caller must treat it as lost.
+	SyncErr Kind = "sync-error"
+	// RenameErr fails a rename with EIO; the target is untouched.
+	RenameErr Kind = "rename-error"
+	// SlowIO delays every counted operation without failing it.
+	SlowIO Kind = "slow-io"
+)
+
+// Kinds lists every injectable fault kind, in sweep order.
+var Kinds = []Kind{WriteErr, ShortWrite, NoSpace, SyncErr, RenameErr, SlowIO}
+
+// ParseKind validates a fault-kind string.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if s == string(k) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("faultfs: unknown fault kind %q", s)
+}
+
+// Class reports the operation class a kind targets. SlowIO targets
+// every class and returns "".
+func (k Kind) Class() Op {
+	switch k {
+	case WriteErr, ShortWrite, NoSpace:
+		return OpWrite
+	case SyncErr:
+		return OpSync
+	case RenameErr:
+		return OpRename
+	default:
+		return ""
+	}
+}
+
+// Fault arms one injected fault.
+type Fault struct {
+	// Kind selects the failure flavour.
+	Kind Kind `json:"kind"`
+	// At is the zero-based index, within the kind's operation class,
+	// at which the fault fires. Negative means "the next operation"
+	// (resolved against the live counter at Arm time) — the natural
+	// choice when arming against a running daemon.
+	At int `json:"at"`
+	// Sticky keeps the fault firing for every operation at index >= At
+	// until Clear, modelling a sick disk rather than a one-shot blip.
+	Sticky bool `json:"sticky,omitempty"`
+	// Delay is the per-operation pause for SlowIO (default 1ms).
+	Delay time.Duration `json:"-"`
+}
+
+// Injector wraps an FS and fires at most one armed Fault at a chosen
+// per-class operation index. It is safe for concurrent use.
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	counts map[Op]int
+	fault  *Fault
+	fired  int
+}
+
+// NewInjector wraps inner (OS() if nil).
+func NewInjector(inner FS) *Injector {
+	if inner == nil {
+		inner = OS()
+	}
+	return &Injector{inner: inner, counts: make(map[Op]int)}
+}
+
+// Arm installs f, replacing any armed fault. A negative f.At is
+// resolved to the current counter of f's class, so the fault fires on
+// the very next matching operation.
+func (in *Injector) Arm(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if f.At < 0 {
+		f.At = in.counts[f.Kind.Class()]
+	}
+	in.fault = &f
+	in.fired = 0
+}
+
+// Clear disarms the injector; in-flight sticky faults stop firing.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.fault = nil
+}
+
+// Armed returns a copy of the armed fault, or nil.
+func (in *Injector) Armed() *Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fault == nil {
+		return nil
+	}
+	f := *in.fault
+	return &f
+}
+
+// Fired reports how many operations the armed fault has failed or
+// delayed since the last Arm.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Ops reports how many operations of a class have been observed.
+func (in *Injector) Ops(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// Counts returns a snapshot of every class counter.
+func (in *Injector) Counts() map[Op]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Op]int, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// step advances op's counter and decides whether the armed fault
+// fires for this operation. The returned kind is "" when the
+// operation should proceed untouched; SlowIO returns a delay instead.
+func (in *Injector) step(op Op) (Kind, time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	idx := in.counts[op]
+	in.counts[op]++
+	f := in.fault
+	if f == nil {
+		return "", 0
+	}
+	if f.Kind == SlowIO {
+		in.fired++
+		d := f.Delay
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		return SlowIO, d
+	}
+	if f.Kind.Class() != op {
+		return "", 0
+	}
+	if idx == f.At || (f.Sticky && idx > f.At) {
+		in.fired++
+		return f.Kind, 0
+	}
+	return "", 0
+}
+
+func faultErr(kind Kind, op Op, errno syscall.Errno) error {
+	return fmt.Errorf("faultfs: injected %s on %s: %w", kind, op, errno)
+}
+
+// MkdirAll is never fault-injected: directory creation happens once at
+// open and is not part of the durability contract under test.
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error)       { return in.inner.ReadFile(name) }
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return in.inner.ReadDir(name) }
+func (in *Injector) Remove(name string) error                   { return in.inner.Remove(name) }
+func (in *Injector) Truncate(name string, size int64) error     { return in.inner.Truncate(name, size) }
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	switch kind, delay := in.step(OpRename); kind {
+	case RenameErr:
+		return faultErr(RenameErr, OpRename, syscall.EIO)
+	case SlowIO:
+		time.Sleep(delay)
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	switch kind, delay := jf.in.step(OpWrite); kind {
+	case WriteErr:
+		return 0, faultErr(WriteErr, OpWrite, syscall.EIO)
+	case NoSpace:
+		return 0, faultErr(NoSpace, OpWrite, syscall.ENOSPC)
+	case ShortWrite:
+		n, err := jf.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, faultErr(ShortWrite, OpWrite, syscall.EIO)
+	case SlowIO:
+		time.Sleep(delay)
+	}
+	return jf.f.Write(p)
+}
+
+func (jf *injFile) Sync() error {
+	switch kind, delay := jf.in.step(OpSync); kind {
+	case SyncErr:
+		return faultErr(SyncErr, OpSync, syscall.EIO)
+	case SlowIO:
+		time.Sleep(delay)
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injFile) Close() error { return jf.f.Close() }

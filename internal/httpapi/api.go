@@ -60,8 +60,10 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -71,6 +73,7 @@ import (
 	"wsdeploy/internal/cost"
 	"wsdeploy/internal/deploy"
 	"wsdeploy/internal/engine"
+	"wsdeploy/internal/faultfs"
 	"wsdeploy/internal/ingest"
 	"wsdeploy/internal/network"
 	"wsdeploy/internal/obs"
@@ -173,6 +176,11 @@ type Options struct {
 	// request-at-a-time — the pre-batching behavior. The load harness
 	// uses it as the unbatched baseline.
 	DisableIngest bool
+	// FaultInjector, when set, exposes the disk-fault debug surface
+	// (POST/GET /v1/debug/diskfault) over the injector that backs the
+	// tenant stores. Chaos and smoke tooling only — never set it in a
+	// deployment that isn't deliberately hurting its own disks.
+	FaultInjector *faultfs.Injector
 }
 
 // NewHandler builds an in-memory API handler. It owns a tracer backed
@@ -254,12 +262,20 @@ func NewHandlerWith(opts Options) (*Handler, error) {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		// Ready but possibly wounded: a degraded tenant serves reads and
+		// compute, so the process stays ready — the response names the
+		// tenants currently rejecting mutations so probes can see the
+		// partial outage.
+		out := map[string]any{"ready": true}
+		if deg := h.DegradedTenants(); len(deg) > 0 {
+			out["degraded"] = deg
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 	h.mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"algorithms": append(core.KnownAlgorithms(), PortfolioAlgorithm)})
 	})
-	h.mux.HandleFunc("POST /v1/deploy", h.admit((*tenantState).deploy))
+	h.mux.HandleFunc("POST /v1/deploy", h.admit(requireDurable((*tenantState).deploy)))
 	h.mux.HandleFunc("POST /v1/compare", h.admit((*tenantState).compare))
 	h.mux.HandleFunc("POST /v1/portfolio", h.admit((*tenantState).portfolio))
 	h.mux.HandleFunc("POST /v1/simulate", h.admit(stateless(h.simulate)))
@@ -275,6 +291,9 @@ func NewHandlerWith(opts Options) (*Handler, error) {
 	h.registerDeployments()
 	h.registerTenants()
 	h.registerSpecs()
+	if opts.FaultInjector != nil {
+		h.registerDiskFault(opts.FaultInjector)
+	}
 	return h, nil
 }
 
@@ -318,24 +337,57 @@ func (h *Handler) Ready() bool { return h.ready.Load() }
 // extra exporters or inspect the flight recorder in tests.
 func (h *Handler) Tracer() *obs.Tracer { return h.tracer }
 
-// statusWriter captures the response code for the request span.
+// statusWriter captures the response code for the request span and
+// whether anything reached the wire yet — the panic recovery needs to
+// know if a 500 envelope can still be written coherently.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
 	sw.code = code
+	sw.wrote = true
 	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// recoverPanic is the deferred backstop under every request: a handler
+// panic becomes the standard 500 JSON envelope (when no response bytes
+// have gone out yet; a half-written response stays as-is — the broken
+// body is the client's signal) instead of tearing down the connection
+// with an opaque EOF. http.ErrAbortHandler keeps its net/http meaning
+// and re-panics. Every recovery is counted and logged with the stack.
+func (h *Handler) recoverPanic(sw *statusWriter, r *http.Request) {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	if rec == http.ErrAbortHandler {
+		panic(rec)
+	}
+	obsPanics.Inc()
+	log.Printf("httpapi: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+	if !sw.wrote {
+		writeErr(sw, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+	}
 }
 
 // ServeHTTP implements http.Handler. Every request is timed into the
 // "httpapi.request_seconds" histogram and traced as an "http.request"
 // span (metrics/debug endpoints excluded — scrapers would drown the
-// flight recorder's window of actual planning work).
+// flight recorder's window of actual planning work), and every request
+// runs under the panic backstop.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	if r.Method == http.MethodGet {
-		h.mux.ServeHTTP(w, r)
+		defer h.recoverPanic(sw, r)
+		h.mux.ServeHTTP(sw, r)
 		return
 	}
 	start := time.Now()
@@ -343,11 +395,15 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sp.SetAttr("method", r.Method)
 	sp.SetAttr("path", r.URL.Path)
 	sp.SetAttr("tenant", requestTenant(r))
-	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	// Span end and latency run after the panic recovery (defers are
+	// LIFO), so a recovered panic's 500 lands in the span status.
+	defer func() {
+		sp.SetInt("status", int64(sw.code))
+		sp.End()
+		obsRequests.ObserveDuration(time.Since(start))
+	}()
+	defer h.recoverPanic(sw, r)
 	h.mux.ServeHTTP(sw, r)
-	sp.SetInt("status", int64(sw.code))
-	sp.End()
-	obsRequests.ObserveDuration(time.Since(start))
 }
 
 // apiError is the uniform error envelope.

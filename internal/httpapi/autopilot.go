@@ -44,9 +44,9 @@ type autopilotState struct {
 
 // registerAutopilot wires the autopilot endpoints onto the handler's mux.
 func (h *Handler) registerAutopilot() {
-	h.mux.HandleFunc("POST /v1/autopilot", h.admit(func(ts *tenantState, w http.ResponseWriter, r *http.Request) {
+	h.mux.HandleFunc("POST /v1/autopilot", h.admit(requireDurable(func(ts *tenantState, w http.ResponseWriter, r *http.Request) {
 		ts.pilot.run(ts, w, r)
-	}))
+	})))
 	h.mux.HandleFunc("GET /v1/autopilot", h.withTenant(func(ts *tenantState, w http.ResponseWriter, r *http.Request) {
 		ts.pilot.get(w, r)
 	}))

@@ -52,9 +52,14 @@ func (j tenantJournal) Record(typ string, data any) error {
 // if the WAL has outgrown the replay bound. fn writes the HTTP
 // response itself.
 func (ts *tenantState) mutate(fn func()) {
-	ts.snapMu.RLock()
-	fn()
-	ts.snapMu.RUnlock()
+	func() {
+		// Deferred so a panicking handler (caught by the ServeHTTP
+		// backstop) cannot leak the read lock and wedge every future
+		// snapshot behind it.
+		ts.snapMu.RLock()
+		defer ts.snapMu.RUnlock()
+		fn()
+	}()
 	ts.maybeSnapshot()
 }
 
@@ -63,7 +68,9 @@ func (ts *tenantState) mutate(fn func()) {
 // do not fail the request that tripped the threshold: the WAL itself
 // is intact, only replay stays long.
 func (ts *tenantState) maybeSnapshot() {
-	if ts.store == nil {
+	if ts.store == nil || ts.store.Failed() != nil {
+		// A fail-stopped store rejects snapshots anyway; skipping here
+		// keeps degraded reads from churning snapshot errors.
 		return
 	}
 	if ts.store.LastSeq()-ts.store.SnapshotSeq() < ts.h.snapEvery {

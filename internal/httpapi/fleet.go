@@ -50,15 +50,15 @@ func fleetFn(fn func(*fleetState, http.ResponseWriter, *http.Request)) tenantHan
 // registerFleet wires the fleet endpoints onto the handler's mux,
 // resolving each request's tenant; mutations pass admission first.
 func (h *Handler) registerFleet() {
-	h.mux.HandleFunc("PUT /v1/fleet", h.admit(fleetFn((*fleetState).create)))
+	h.mux.HandleFunc("PUT /v1/fleet", h.admit(requireDurable(fleetFn((*fleetState).create))))
 	h.mux.HandleFunc("GET /v1/fleet/status", h.withTenant(fleetFn((*fleetState).status)))
-	h.mux.HandleFunc("POST /v1/fleet/workflows", h.admit(fleetFn((*fleetState).deployWorkflow)))
-	h.mux.HandleFunc("DELETE /v1/fleet/workflows/{id}", h.admit(fleetFn((*fleetState).removeWorkflow)))
-	h.mux.HandleFunc("POST /v1/fleet/servers", h.admit(fleetFn((*fleetState).serverUp)))
-	h.mux.HandleFunc("DELETE /v1/fleet/servers/{index}", h.admit(fleetFn((*fleetState).serverDown)))
-	h.mux.HandleFunc("POST /v1/fleet/rebalance", h.admit(fleetFn((*fleetState).rebalance)))
+	h.mux.HandleFunc("POST /v1/fleet/workflows", h.admit(requireDurable(fleetFn((*fleetState).deployWorkflow))))
+	h.mux.HandleFunc("DELETE /v1/fleet/workflows/{id}", h.admit(requireDurable(fleetFn((*fleetState).removeWorkflow))))
+	h.mux.HandleFunc("POST /v1/fleet/servers", h.admit(requireDurable(fleetFn((*fleetState).serverUp))))
+	h.mux.HandleFunc("DELETE /v1/fleet/servers/{index}", h.admit(requireDurable(fleetFn((*fleetState).serverDown))))
+	h.mux.HandleFunc("POST /v1/fleet/rebalance", h.admit(requireDurable(fleetFn((*fleetState).rebalance))))
 	h.mux.HandleFunc("GET /v1/fleet/snapshot", h.withTenant(fleetFn((*fleetState).snapshot)))
-	h.mux.HandleFunc("PUT /v1/fleet/snapshot", h.admit(fleetFn((*fleetState).restore)))
+	h.mux.HandleFunc("PUT /v1/fleet/snapshot", h.admit(requireDurable(fleetFn((*fleetState).restore))))
 }
 
 // requireFleet returns the fleet or writes a 409.

@@ -1,0 +1,54 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPanicRecoveryMiddleware: a panicking handler must answer the
+// standard 500 JSON envelope instead of killing the connection, the
+// server must keep serving afterwards, and the panic must be counted.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	h := NewHandler()
+	h.mux.HandleFunc("POST /v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	h.mux.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("read-path bug")
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	before := obsPanics.Value()
+	resp, out := do(t, http.MethodPost, srv.URL+"/v1/boom", `{}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking POST = %d, want 500", resp.StatusCode)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "internal error") {
+		t.Fatalf("panic response is not the standard envelope: %v", out)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("panic response Content-Type = %q", ct)
+	}
+
+	// GET requests skip the span plumbing but share the backstop.
+	resp, err := http.Get(srv.URL + "/v1/boom")
+	if err != nil {
+		t.Fatalf("GET after panic: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking GET = %d, want 500", resp.StatusCode)
+	}
+
+	if got := obsPanics.Value(); got < before+2 {
+		t.Fatalf("httpapi.panics = %d, want >= %d", got, before+2)
+	}
+
+	// The process survived: ordinary routes still serve.
+	getBody(t, srv, "/v1/readyz")
+	wf, n := specPair(t)
+	mustOK(t, srv, http.MethodPost, "/v1/deploy", `{"workflow": `+wf+`, "network": `+n+`}`)
+}

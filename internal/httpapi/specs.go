@@ -81,11 +81,11 @@ func specFn(fn func(*specState, http.ResponseWriter, *http.Request)) tenantHandl
 // registerSpecs wires the declarative endpoints onto the mux.
 func (h *Handler) registerSpecs() {
 	h.mux.HandleFunc("GET /v1/specs", h.withTenant(specFn((*specState).list)))
-	h.mux.HandleFunc("POST /v1/specs", h.admit(specFn((*specState).put)))
+	h.mux.HandleFunc("POST /v1/specs", h.admit(requireDurable(specFn((*specState).put))))
 	h.mux.HandleFunc("GET /v1/specs/{name}", h.withTenant(specFn((*specState).get)))
-	h.mux.HandleFunc("DELETE /v1/specs/{name}", h.admit(specFn((*specState).delete)))
+	h.mux.HandleFunc("DELETE /v1/specs/{name}", h.admit(requireDurable(specFn((*specState).delete))))
 	h.mux.HandleFunc("GET /v1/specs/{name}/status", h.withTenant(specFn((*specState).status)))
-	h.mux.HandleFunc("POST /v1/reconcile", h.admit(specFn((*specState).reconcile)))
+	h.mux.HandleFunc("POST /v1/reconcile", h.admit(requireDurable(specFn((*specState).reconcile))))
 }
 
 // specStatus is the convergence row every read endpoint reports.
@@ -254,11 +254,15 @@ func (ss *specState) reconcile(w http.ResponseWriter, r *http.Request) {
 			lines = append(lines, a.String())
 		}
 	})
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"converged": last.Converged,
 		"lag":       last.Lag,
 		"actions":   lines,
-	})
+	}
+	if last.Held {
+		out["held"] = true
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // runPassLocked runs one reconcile pass against the tenant's live
@@ -268,6 +272,11 @@ func (ss *specState) reconcile(w http.ResponseWriter, r *http.Request) {
 func (ss *specState) runPassLocked(t float64) reconcile.PassResult {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	// A degraded tenant holds its loop: every reconcile action journals
+	// before it acknowledges, so passes against a fail-stopped store
+	// would only burn 503s. The hold lifts on the pass after the
+	// recovery probe reopens the journal.
+	ss.rec.SetHold(ss.ts.degradedErr() != nil)
 	ss.ts.fleet.mu.Lock()
 	defer ss.ts.fleet.mu.Unlock()
 	ss.exec.Fleet = ss.ts.fleet.l

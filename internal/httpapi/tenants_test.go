@@ -317,8 +317,8 @@ func TestTenantDurableRecoveryIndependent(t *testing.T) {
 	if resp, out := do(t, http.MethodPost, srv.URL+"/v1/tenants", `{"name": "acme"}`); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create acme = %d: %v", resp.StatusCode, out)
 	}
-	churn(t, srv, "", 4)      // default tenant, small history
-	churn(t, srv, "acme", 6)  // acme, different history
+	churn(t, srv, "", 4)     // default tenant, small history
+	churn(t, srv, "acme", 6) // acme, different history
 	before := map[string]map[string]string{}
 	for _, name := range []string{"", "acme"} {
 		before[name] = map[string]string{}

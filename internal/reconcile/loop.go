@@ -17,6 +17,7 @@ var (
 	obsActions = obs.Default().Counter("reconcile.actions")
 	obsErrors  = obs.Default().Counter("reconcile.action_errors")
 	obsLag     = obs.Default().Gauge("reconcile.generation_lag")
+	obsHeld    = obs.Default().Counter("reconcile.held_passes")
 )
 
 // Config tunes one reconciler.
@@ -50,6 +51,7 @@ type PassResult struct {
 	Actions   []Action
 	Lag       uint64 // total generation lag after the pass
 	Converged bool   // every spec's structural diff was empty
+	Held      bool   // the pass ran while the loop was held and did nothing
 }
 
 // Reconciler is one tenant's convergence loop: it owns no state machine
@@ -65,6 +67,7 @@ type Reconciler struct {
 	pending  []Incident
 	livePen  float64 // last measured Time Penalty; < 0 before any feed
 	escalate bool    // next performance step is a redeploy
+	hold     bool    // passes are no-ops until the hold lifts
 
 	passes  uint64
 	actions []Action // ordered log across passes
@@ -105,6 +108,26 @@ func (r *Reconciler) ObserveWindow(t float64, loads []float64) {
 	}
 }
 
+// SetHold pauses (true) or resumes (false) the loop. While held, every
+// RunPass is a no-op that reports Held — incidents and windows keep
+// accumulating so the first pass after the hold lifts sees everything
+// that happened meanwhile. The HTTP layer holds a tenant's loop while
+// its journal is degraded: reconcile actions journal before they
+// acknowledge, so acting on a fail-stopped store would only burn passes
+// on rejections. Safe for concurrent use.
+func (r *Reconciler) SetHold(hold bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hold = hold
+}
+
+// Held reports whether the loop is currently held.
+func (r *Reconciler) Held() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hold
+}
+
 // LivePenalty reports the last measured Time Penalty from the live
 // window feed; ok is false before any window has been observed.
 func (r *Reconciler) LivePenalty() (pen float64, ok bool) {
@@ -137,6 +160,11 @@ func (r *Reconciler) RunPass(t float64) PassResult {
 		defer sp.End()
 	}
 	r.mu.Lock()
+	if r.hold {
+		r.mu.Unlock()
+		obsHeld.Inc()
+		return PassResult{Held: true, Lag: r.set.TotalLag()}
+	}
 	incidents := r.pending
 	r.pending = nil
 	livePen := r.livePen

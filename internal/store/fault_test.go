@@ -1,0 +1,340 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wsdeploy/internal/faultfs"
+)
+
+type faultPayload struct {
+	N int `json:"n"`
+}
+
+// appendN appends records 0..n-1, returning how many were acknowledged
+// and the first error (nil if all acked).
+func faultAppendN(s *Store, n int) (acked int, err error) {
+	for i := 0; i < n; i++ {
+		if _, err = s.Append("t", faultPayload{N: i}); err != nil {
+			return acked, err
+		}
+		acked++
+	}
+	return acked, nil
+}
+
+// replayNs decodes the recovered records back into their payload ints.
+func replayNs(t *testing.T, rec *Recovery) []int {
+	t.Helper()
+	var out []int
+	for _, r := range rec.Records {
+		var p faultPayload
+		if err := json.Unmarshal(r.Data, &p); err != nil {
+			t.Fatalf("decoding replayed record %d: %v", r.Seq, err)
+		}
+		out = append(out, p.N)
+	}
+	return out
+}
+
+func TestAppendWriteFaultFailStops(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s, _ := openT(t, dir, Options{Sync: SyncAlways, FS: in})
+
+	if _, err := faultAppendN(s, 3); err != nil {
+		t.Fatalf("healthy appends: %v", err)
+	}
+	in.Arm(faultfs.Fault{Kind: faultfs.WriteErr, At: -1})
+	_, err := s.Append("t", faultPayload{N: 99})
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("faulted append = %v, want ErrDegraded", err)
+	}
+	if s.Failed() == nil {
+		t.Fatal("Failed() must be sticky after a write fault")
+	}
+	// The fault is one-shot and gone, but the store must stay
+	// fail-stopped: no retry on the dirty handle.
+	if _, err := s.Append("t", faultPayload{N: 100}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("append while degraded = %v, want ErrDegraded", err)
+	}
+	if err := s.Snapshot([]byte("state"), 1); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("snapshot while degraded = %v, want ErrDegraded", err)
+	}
+	st := s.Status()
+	if !st.Degraded || st.Fault == "" || st.LastSeq != 3 {
+		t.Fatalf("degraded status = %+v", st)
+	}
+
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("Reopen on healthy disk: %v", err)
+	}
+	if s.Failed() != nil {
+		t.Fatalf("Failed() after Reopen = %v", s.Failed())
+	}
+	if _, err := s.Append("t", faultPayload{N: 3}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openT(t, dir, Options{Sync: SyncAlways})
+	defer s2.Close()
+	if got := replayNs(t, rec); len(got) != 4 || got[3] != 3 {
+		t.Fatalf("replayed %v, want [0 1 2 3]", got)
+	}
+}
+
+func TestFsyncFaultQuarantinesUnackedTail(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s, _ := openT(t, dir, Options{Sync: SyncAlways, FS: in})
+
+	if _, err := faultAppendN(s, 2); err != nil {
+		t.Fatalf("healthy appends: %v", err)
+	}
+	// The frame hits the file, then fsync fails: the record was never
+	// acknowledged, so Reopen must cut it from the log.
+	in.Arm(faultfs.Fault{Kind: faultfs.SyncErr, At: -1})
+	if _, err := s.Append("t", faultPayload{N: 99}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("faulted append = %v, want ErrDegraded", err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	st := s.Status()
+	if st.QuarantinedBytes == 0 || st.Reopens != 1 {
+		t.Fatalf("status after reopen = %+v, want quarantined bytes and one reopen", st)
+	}
+	q, err := os.ReadFile(filepath.Join(dir, quarantineName))
+	if err != nil || int64(len(q)) != st.QuarantinedBytes {
+		t.Fatalf("quarantine file = %d bytes, %v; want %d", len(q), err, st.QuarantinedBytes)
+	}
+	if _, err := s.Append("t", faultPayload{N: 2}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	s.Close()
+
+	s2, rec := openT(t, dir, Options{Sync: SyncAlways})
+	defer s2.Close()
+	if got := replayNs(t, rec); len(got) != 3 || got[2] != 2 {
+		t.Fatalf("replayed %v, want [0 1 2] (unacked 99 cut)", got)
+	}
+}
+
+func TestShortWriteTornFrameQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s, _ := openT(t, dir, Options{Sync: SyncAlways, FS: in})
+
+	faultAppendN(s, 1)
+	in.Arm(faultfs.Fault{Kind: faultfs.ShortWrite, At: -1})
+	if _, err := s.Append("t", faultPayload{N: 99}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("torn append = %v, want ErrDegraded", err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("Reopen over torn frame: %v", err)
+	}
+	if _, err := s.Append("t", faultPayload{N: 1}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	s.Close()
+
+	s2, rec := openT(t, dir, Options{Sync: SyncAlways})
+	defer s2.Close()
+	if got := replayNs(t, rec); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("replayed %v, want [0 1]", got)
+	}
+}
+
+func TestReopenStaysDegradedWhileDiskSick(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s, _ := openT(t, dir, Options{Sync: SyncAlways, FS: in})
+	defer s.Close()
+
+	faultAppendN(s, 1)
+	in.Arm(faultfs.Fault{Kind: faultfs.SyncErr, At: -1, Sticky: true})
+	if _, err := s.Append("t", faultPayload{N: 99}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("faulted append = %v, want ErrDegraded", err)
+	}
+	// The sticky fault still fails Reopen's fsync proof.
+	if err := s.Reopen(); err == nil || s.Failed() == nil {
+		t.Fatalf("Reopen on a sick disk must stay degraded (err=%v, failed=%v)", err, s.Failed())
+	}
+	in.Clear()
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("Reopen after heal: %v", err)
+	}
+	if _, err := s.Append("t", faultPayload{N: 1}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+func TestSnapshotWriteFaultLeavesStoreHealthy(t *testing.T) {
+	for _, kind := range []faultfs.Kind{faultfs.WriteErr, faultfs.SyncErr, faultfs.RenameErr} {
+		t.Run(string(kind), func(t *testing.T) {
+			dir := t.TempDir()
+			in := faultfs.NewInjector(nil)
+			// SyncAlways keeps the pre-snapshot fsync off the path, so the
+			// armed fault lands inside writeFileAtomic.
+			s, _ := openT(t, dir, Options{Sync: SyncAlways, FS: in})
+			defer s.Close()
+			faultAppendN(s, 3)
+
+			in.Arm(faultfs.Fault{Kind: kind, At: -1})
+			if err := s.Snapshot([]byte("covered-3"), 3); err == nil {
+				t.Fatal("faulted snapshot must fail")
+			}
+			if s.Failed() != nil {
+				t.Fatalf("snapshot fault must not fail-stop the WAL: %v", s.Failed())
+			}
+			assertNoTempFiles(t, dir)
+			// The store keeps accepting appends and a retried snapshot
+			// succeeds once the fault passes.
+			if _, err := s.Append("t", faultPayload{N: 3}); err != nil {
+				t.Fatalf("append after snapshot fault: %v", err)
+			}
+			if err := s.Snapshot([]byte("covered-4"), 4); err != nil {
+				t.Fatalf("retried snapshot: %v", err)
+			}
+		})
+	}
+}
+
+func TestSnapshotPreFsyncFaultFailStops(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s, _ := openT(t, dir, Options{Sync: SyncNone, FS: in})
+	defer s.Close()
+	faultAppendN(s, 3)
+
+	// Under SyncNone the appends are unsynced; the snapshot's catch-up
+	// fsync failing means acknowledged records are in doubt.
+	in.Arm(faultfs.Fault{Kind: faultfs.SyncErr, At: -1})
+	if err := s.Snapshot([]byte("covered-3"), 3); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("snapshot with failed catch-up fsync = %v, want ErrDegraded", err)
+	}
+	if s.Failed() == nil {
+		t.Fatal("store must fail-stop when the catch-up fsync fails")
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if err := s.Snapshot([]byte("covered-3"), 3); err != nil {
+		t.Fatalf("snapshot after recovery: %v", err)
+	}
+}
+
+// TestSnapshotFaultSweepNoStaleTemps drives the atomic
+// write→fsync→rename sequence into every failure stage at every
+// operation index and proves the invariant the recovery path depends
+// on: no *.tmp file is ever left for a fresh Open to trip over, and
+// when one is simulated (crash before cleanup), Open removes it.
+func TestSnapshotFaultSweepNoStaleTemps(t *testing.T) {
+	for _, kind := range []faultfs.Kind{faultfs.WriteErr, faultfs.ShortWrite, faultfs.NoSpace, faultfs.SyncErr, faultfs.RenameErr} {
+		cls := kind.Class()
+		for at := 0; at < 8; at++ {
+			t.Run(fmt.Sprintf("%s@%d", kind, at), func(t *testing.T) {
+				dir := t.TempDir()
+				in := faultfs.NewInjector(nil)
+				s, _ := openT(t, dir, Options{Sync: SyncAlways, FS: in})
+				defer s.Close()
+				faultAppendN(s, 3)
+
+				base := in.Ops(cls)
+				in.Arm(faultfs.Fault{Kind: kind, At: base + at})
+				snapErr := s.Snapshot([]byte("covered-3"), 3)
+				in.Clear()
+				assertNoTempFiles(t, dir)
+				if snapErr != nil && s.Failed() != nil {
+					if err := s.Reopen(); err != nil {
+						t.Fatalf("Reopen: %v", err)
+					}
+				}
+				if _, err := s.Append("t", faultPayload{N: 3}); err != nil {
+					t.Fatalf("append after snapshot attempt (err=%v): %v", snapErr, err)
+				}
+				s.Close()
+
+				s2, rec := openT(t, dir, Options{Sync: SyncAlways})
+				defer s2.Close()
+				assertNoTempFiles(t, dir)
+				if got := rec.LastSeq(); got != 4 {
+					t.Fatalf("recovered LastSeq = %d, want 4 (snapErr=%v)", got, snapErr)
+				}
+			})
+		}
+	}
+}
+
+// TestOpenRemovesStaleTempFiles plants crash artifacts — a finished
+// snapshot temp and a WAL rewrite temp — and proves recovery discards
+// both.
+func TestOpenRemovesStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Sync: SyncAlways})
+	faultAppendN(s, 2)
+	s.Close()
+
+	for _, stale := range []string{snapName(7) + tmpSuffix, walName + tmpSuffix} {
+		if err := os.WriteFile(filepath.Join(dir, stale), []byte("partial"), 0o644); err != nil {
+			t.Fatalf("planting %s: %v", stale, err)
+		}
+	}
+	s2, rec := openT(t, dir, Options{Sync: SyncAlways})
+	defer s2.Close()
+	if got := rec.LastSeq(); got != 2 {
+		t.Fatalf("recovered LastSeq = %d, want 2", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestDegradedGaugeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s, _ := openT(t, dir, Options{Sync: SyncAlways, FS: in})
+
+	before := obsDegraded.Value()
+	in.Arm(faultfs.Fault{Kind: faultfs.WriteErr, At: -1})
+	s.Append("t", faultPayload{N: 0})
+	if got := obsDegraded.Value(); got != before+1 {
+		t.Fatalf("degraded gauge after fault = %v, want %v", got, before+1)
+	}
+	// A second fault on the same store must not double-count.
+	s.Append("t", faultPayload{N: 1})
+	if got := obsDegraded.Value(); got != before+1 {
+		t.Fatalf("degraded gauge after second reject = %v, want %v", got, before+1)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if got := obsDegraded.Value(); got != before {
+		t.Fatalf("degraded gauge after recovery = %v, want %v", got, before)
+	}
+	// Closing a degraded store releases the gauge too.
+	in.Arm(faultfs.Fault{Kind: faultfs.WriteErr, At: -1})
+	s.Append("t", faultPayload{N: 2})
+	s.Close()
+	if got := obsDegraded.Value(); got != before {
+		t.Fatalf("degraded gauge after close = %v, want %v", got, before)
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == tmpSuffix {
+			t.Fatalf("stale temp file survived: %s", e.Name())
+		}
+	}
+}

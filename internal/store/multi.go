@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"wsdeploy/internal/faultfs"
 )
 
 // Multi-tenant layout. A root data directory holds one subdirectory per
@@ -99,7 +101,9 @@ func MigrateLegacy(root, name string) (bool, error) {
 			return false, fmt.Errorf("store: migrating %s into %s: %w", f, dst, err)
 		}
 	}
-	if err := syncDir(root); err != nil {
+	// Migration is a one-time, pre-daemon operation; it stays on the
+	// real filesystem rather than any injected one.
+	if err := syncDir(faultfs.OS(), root); err != nil {
 		return true, fmt.Errorf("store: syncing %s after migration: %w", root, err)
 	}
 	return true, nil

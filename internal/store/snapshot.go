@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"wsdeploy/internal/faultfs"
 )
 
 // Snapshot files are named snap-<seq>.bin where seq is the last record
@@ -40,38 +42,41 @@ func parseSnapName(name string) (uint64, bool) {
 
 // writeFileAtomic writes data to path via a temp file in the same
 // directory: write → fsync → rename → fsync(dir). After it returns the
-// file is durably either absent or complete, never partial.
-func writeFileAtomic(path string, data []byte) error {
+// file is durably either absent or complete, never partial. On failure
+// the temp file is removed and the returned Op tags the stage that
+// failed ("" for open/close), so callers can feed the per-class fault
+// counters.
+func writeFileAtomic(fsys faultfs.FS, path string, data []byte) (faultfs.Op, error) {
 	tmp := path + tmpSuffix
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return faultfs.OpWrite, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return faultfs.OpSync, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return "", err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return faultfs.OpRename, err
 	}
-	return syncDir(filepath.Dir(path))
+	return faultfs.OpSync, syncDir(fsys, filepath.Dir(path))
 }
 
 // syncDir fsyncs a directory so a just-created or just-renamed entry
 // survives a power cut.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -85,8 +90,8 @@ func syncDir(dir string) error {
 // written atomically, so a named snapshot that fails its checksum is
 // interior damage, not a crash artifact. Leftover temp files from a
 // crashed snapshot attempt are removed.
-func loadLatestSnapshot(dir string, maxRecord int) (state []byte, seq uint64, err error) {
-	entries, err := os.ReadDir(dir)
+func loadLatestSnapshot(fsys faultfs.FS, dir string, maxRecord int) (state []byte, seq uint64, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -94,7 +99,7 @@ func loadLatestSnapshot(dir string, maxRecord int) (state []byte, seq uint64, er
 	found := false
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), tmpSuffix) {
-			os.Remove(filepath.Join(dir, e.Name()))
+			fsys.Remove(filepath.Join(dir, e.Name()))
 			continue
 		}
 		if s, ok := parseSnapName(e.Name()); ok && (!found || s > best) {
@@ -104,7 +109,7 @@ func loadLatestSnapshot(dir string, maxRecord int) (state []byte, seq uint64, er
 	if !found {
 		return nil, 0, nil
 	}
-	raw, err := os.ReadFile(filepath.Join(dir, snapName(best)))
+	raw, err := fsys.ReadFile(filepath.Join(dir, snapName(best)))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -120,22 +125,22 @@ func loadLatestSnapshot(dir string, maxRecord int) (state []byte, seq uint64, er
 
 // pruneSnapshots removes every snapshot older than keep. Best-effort:
 // stale files cost disk, not correctness.
-func pruneSnapshots(dir string, keep uint64) {
-	entries, err := os.ReadDir(dir)
+func pruneSnapshots(fsys faultfs.FS, dir string, keep uint64) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		if s, ok := parseSnapName(e.Name()); ok && s < keep {
-			os.Remove(filepath.Join(dir, e.Name()))
+			fsys.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 }
 
 // snapshotSeqs lists the covered sequences of every snapshot present,
 // ascending — Status reporting.
-func snapshotSeqs(dir string) []uint64 {
-	entries, err := os.ReadDir(dir)
+func snapshotSeqs(fsys faultfs.FS, dir string) []uint64 {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil
 	}

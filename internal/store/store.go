@@ -8,19 +8,41 @@ import (
 	"sync"
 	"time"
 
+	"wsdeploy/internal/faultfs"
 	"wsdeploy/internal/obs"
 )
 
 // Process-wide durability metrics on the shared obs registry: the
 // daemon's /metrics shows the WAL's write and recovery activity next to
-// the engine, fabric and fleet series.
+// the engine, fabric and fleet series. The store.fault_* counters and
+// the store.degraded gauge surface disk misbehaviour: how many
+// write/fsync/rename operations failed, and how many stores are
+// currently fail-stopped waiting for a successful Reopen.
 var (
-	obsAppends   = obs.Default().Counter("store.appends")
-	obsReplays   = obs.Default().Counter("store.records_replayed")
-	obsSnapshots = obs.Default().Counter("store.snapshots")
-	obsTorn      = obs.Default().Counter("store.torn_truncations")
-	obsFsync     = obs.Default().Histogram("store.fsync_seconds")
+	obsAppends      = obs.Default().Counter("store.appends")
+	obsReplays      = obs.Default().Counter("store.records_replayed")
+	obsSnapshots    = obs.Default().Counter("store.snapshots")
+	obsTorn         = obs.Default().Counter("store.torn_truncations")
+	obsFsync        = obs.Default().Histogram("store.fsync_seconds")
+	obsFaultWrites  = obs.Default().Counter("store.fault_writes")
+	obsFaultSyncs   = obs.Default().Counter("store.fault_syncs")
+	obsFaultRenames = obs.Default().Counter("store.fault_renames")
+	obsReopens      = obs.Default().Counter("store.reopens")
+	obsQuarantined  = obs.Default().Counter("store.quarantined_bytes")
+	obsDegraded     = obs.Default().Gauge("store.degraded")
 )
+
+// countFaultOp feeds the per-class fault counters from an op tag.
+func countFaultOp(op faultfs.Op) {
+	switch op {
+	case faultfs.OpWrite:
+		obsFaultWrites.Inc()
+	case faultfs.OpSync:
+		obsFaultSyncs.Inc()
+	case faultfs.OpRename:
+		obsFaultRenames.Inc()
+	}
+}
 
 // Options tunes a Store.
 type Options struct {
@@ -35,6 +57,10 @@ type Options struct {
 	// Tracer, when set, emits store.recover / store.append /
 	// store.snapshot spans. Nil leaves tracing off.
 	Tracer *obs.Tracer
+	// FS is the filesystem every WAL and snapshot operation goes
+	// through; default faultfs.OS(). Tests and the chaos harness
+	// install a faultfs.Injector here to make the disk misbehave.
+	FS faultfs.FS
 
 	// now overrides the clock for interval-sync tests.
 	now syncClock
@@ -46,6 +72,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRecordBytes <= 0 {
 		o.MaxRecordBytes = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS()
 	}
 	if o.now == nil {
 		o.now = time.Now
@@ -88,6 +117,13 @@ type Status struct {
 	TornBytes    int64    `json:"tornBytes"`  // torn tail dropped at open (0 = clean shutdown or lucky crash)
 	Snapshots    int64    `json:"snapshots"`  // snapshots taken by this process
 	SnapshotSeqs []uint64 `json:"snapshotSeqs,omitempty"`
+	// Degraded reports a fail-stopped journal: a write or fsync failed,
+	// the dirty handle was abandoned, and appends are rejected with
+	// ErrDegraded until Reopen succeeds. Fault carries the cause.
+	Degraded         bool   `json:"degraded,omitempty"`
+	Fault            string `json:"fault,omitempty"`
+	Reopens          int64  `json:"reopens,omitempty"`          // successful degraded-mode recoveries
+	QuarantinedBytes int64  `json:"quarantinedBytes,omitempty"` // unacknowledged tail bytes moved aside by Reopen
 }
 
 // Store is the durable state engine. All methods are safe for
@@ -97,8 +133,8 @@ type Store struct {
 	opts Options
 
 	mu          sync.Mutex
-	wal         *os.File
-	walBytes    int64
+	wal         faultfs.File // nil while degraded with the dirty handle already dropped
+	walBytes    int64        // acknowledged good bytes; the file may hold a dirty tail beyond this while degraded
 	walRecords  int64
 	lastSeq     uint64
 	snapshotSeq uint64
@@ -108,6 +144,15 @@ type Store struct {
 	tornBytes   int64
 	snapshots   int64
 	closed      bool
+
+	// Degraded-mode state (see degraded.go): failed is the sticky
+	// fail-stop cause, quarantineFrom the acknowledged byte boundary
+	// beyond which the WAL is untrusted.
+	failed         error
+	quarantineFrom int64
+	quarantined    int64
+	reopens        int64
+	degradedUp     bool // this store currently counted in the store.degraded gauge
 }
 
 // Open mounts (creating if needed) the durable state directory and
@@ -120,10 +165,10 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	sp.SetAttr("dir", dir)
 	defer sp.End()
 
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	state, snapSeq, err := loadLatestSnapshot(dir, opts.MaxRecordBytes)
+	state, snapSeq, err := loadLatestSnapshot(opts.FS, dir, opts.MaxRecordBytes)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,8 +176,8 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	// A crash between snapshot rename and WAL compaction can leave a
 	// finished wal.log.tmp; the intact old wal.log wins (its extra
 	// records are skipped by sequence), the temp is discarded.
-	os.Remove(walPath + tmpSuffix)
-	raw, err := os.ReadFile(walPath)
+	opts.FS.Remove(walPath + tmpSuffix)
+	raw, err := opts.FS.ReadFile(walPath)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("store: reading WAL: %w", err)
 	}
@@ -141,7 +186,7 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 		return nil, nil, err
 	}
 	if scan.torn > 0 {
-		if err := os.Truncate(walPath, scan.goodEnd); err != nil {
+		if err := opts.FS.Truncate(walPath, scan.goodEnd); err != nil {
 			return nil, nil, fmt.Errorf("store: truncating torn tail: %w", err)
 		}
 		obsTorn.Inc()
@@ -160,11 +205,11 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	}
 	obsReplays.Add(int64(len(rec.Records)))
 
-	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := opts.FS.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: opening WAL: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(opts.FS, dir); err != nil {
 		wal.Close()
 		return nil, nil, fmt.Errorf("store: syncing %s: %w", dir, err)
 	}
@@ -206,13 +251,27 @@ func (s *Store) Append(typ string, data any) (uint64, error) {
 	if s.closed {
 		return 0, fmt.Errorf("store: append %s: store is closed", typ)
 	}
+	if s.failed != nil {
+		return 0, fmt.Errorf("store: append %s: %w", typ, s.failed)
+	}
 	seq := s.lastSeq + 1
 	frame := encodeFrame(nil, mustMarshal(Record{Seq: seq, Type: typ, Data: payload}))
 	if len(frame)-frameHeader > s.opts.MaxRecordBytes {
 		return 0, fmt.Errorf("store: %s record of %d bytes exceeds the %d-byte limit", typ, len(frame)-frameHeader, s.opts.MaxRecordBytes)
 	}
+	// No store counter advances until the record is both written and
+	// (per the sync discipline) synced: a failed append leaves the
+	// acknowledged state exactly as it was, and the store fail-stops —
+	// the partially-written tail is quarantined by Reopen, never
+	// retried on the dirty handle.
+	goodEnd := s.walBytes
 	if _, err := s.wal.Write(frame); err != nil {
-		return 0, fmt.Errorf("store: appending %s record: %w", typ, err)
+		countFaultOp(faultfs.OpWrite)
+		return 0, fmt.Errorf("store: appending %s record: %w", typ, s.failStopLocked("write", err, goodEnd))
+	}
+	if err := s.maybeSync(); err != nil {
+		countFaultOp(faultfs.OpSync)
+		return 0, fmt.Errorf("store: syncing WAL after %s record: %w", typ, s.failStopLocked("fsync", err, goodEnd))
 	}
 	s.walBytes += int64(len(frame))
 	s.walRecords++
@@ -220,9 +279,6 @@ func (s *Store) Append(typ string, data any) (uint64, error) {
 	s.appended++
 	obsAppends.Inc()
 	sp.SetInt("seq", int64(seq))
-	if err := s.maybeSync(); err != nil {
-		return 0, fmt.Errorf("store: syncing WAL: %w", err)
-	}
 	return seq, nil
 }
 
@@ -277,6 +333,9 @@ func (s *Store) Snapshot(state []byte, coveredSeq uint64) error {
 	if s.closed {
 		return fmt.Errorf("store: snapshot: store is closed")
 	}
+	if s.failed != nil {
+		return fmt.Errorf("store: snapshot: %w", s.failed)
+	}
 	if coveredSeq > s.lastSeq {
 		return fmt.Errorf("store: snapshot claims seq %d but the log only reaches %d", coveredSeq, s.lastSeq)
 	}
@@ -288,13 +347,20 @@ func (s *Store) Snapshot(state []byte, coveredSeq uint64) error {
 	}
 	// The snapshot must not outrun the durable log: if the WAL has
 	// unsynced records at or below coveredSeq, a crash after the rename
-	// but before writeback would lose them from both places.
+	// but before writeback would lose them from both places. A failed
+	// pre-snapshot fsync therefore fail-stops the journal: acknowledged
+	// records are in doubt on the dirty handle.
 	if s.opts.Sync != SyncAlways {
 		if err := s.fsync(); err != nil {
-			return fmt.Errorf("store: syncing WAL before snapshot: %w", err)
+			countFaultOp(faultfs.OpSync)
+			return fmt.Errorf("store: syncing WAL before snapshot: %w", s.failStopLocked("fsync", err, s.walBytes))
 		}
 	}
-	if err := writeFileAtomic(filepath.Join(s.dir, snapName(coveredSeq)), encodeFrame(nil, state)); err != nil {
+	// A failed snapshot write does NOT fail-stop: the WAL is intact and
+	// fully synced, so the store keeps accepting appends; the attempt's
+	// temp file is already cleaned up by writeFileAtomic.
+	if op, err := writeFileAtomic(s.opts.FS, filepath.Join(s.dir, snapName(coveredSeq)), encodeFrame(nil, state)); err != nil {
+		countFaultOp(op)
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
 	s.snapshotSeq = coveredSeq
@@ -306,7 +372,7 @@ func (s *Store) Snapshot(state []byte, coveredSeq uint64) error {
 		// replay does redundant (skipped) work next open.
 		return fmt.Errorf("store: compacting WAL: %w", err)
 	}
-	pruneSnapshots(s.dir, coveredSeq)
+	pruneSnapshots(s.opts.FS, s.dir, coveredSeq)
 	sp.SetInt("wal_bytes", s.walBytes)
 	return nil
 }
@@ -315,7 +381,7 @@ func (s *Store) Snapshot(state []byte, coveredSeq uint64) error {
 // coveredSeq, atomically swapping it into place. Caller holds s.mu.
 func (s *Store) compactLocked(coveredSeq uint64) error {
 	walPath := filepath.Join(s.dir, walName)
-	raw, err := os.ReadFile(walPath)
+	raw, err := s.opts.FS.ReadFile(walPath)
 	if err != nil {
 		return err
 	}
@@ -334,18 +400,24 @@ func (s *Store) compactLocked(coveredSeq uint64) error {
 	if err := s.wal.Close(); err != nil {
 		return err
 	}
-	if err := writeFileAtomic(walPath, keep); err != nil {
+	if op, err := writeFileAtomic(s.opts.FS, walPath, keep); err != nil {
+		countFaultOp(op)
 		// The old wal.log is still in place (the rename never happened);
-		// reopen it so the store stays writable.
-		if wal, rerr := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644); rerr == nil {
+		// reopen it so the store stays writable. If even the reopen
+		// fails the store fail-stops — degraded, recoverable by Reopen —
+		// rather than dying outright.
+		if wal, rerr := s.opts.FS.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644); rerr == nil {
 			s.wal = wal
 		} else {
-			s.closed = true
+			s.wal = nil
+			s.failStopLocked("compact-reopen", rerr, s.walBytes)
 		}
 		return err
 	}
-	wal, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := s.opts.FS.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		s.wal = nil
+		s.failStopLocked("compact-reopen", err, int64(len(keep)))
 		return err
 	}
 	s.wal = wal
@@ -372,22 +444,32 @@ func (s *Store) SnapshotSeq() uint64 {
 func (s *Store) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Status{
-		Dir:          s.dir,
-		Sync:         s.opts.Sync.String(),
-		LastSeq:      s.lastSeq,
-		SnapshotSeq:  s.snapshotSeq,
-		WALBytes:     s.walBytes,
-		WALRecords:   s.walRecords,
-		Appended:     s.appended,
-		Replayed:     s.replayed,
-		TornBytes:    s.tornBytes,
-		Snapshots:    s.snapshots,
-		SnapshotSeqs: snapshotSeqs(s.dir),
+	st := Status{
+		Dir:              s.dir,
+		Sync:             s.opts.Sync.String(),
+		LastSeq:          s.lastSeq,
+		SnapshotSeq:      s.snapshotSeq,
+		WALBytes:         s.walBytes,
+		WALRecords:       s.walRecords,
+		Appended:         s.appended,
+		Replayed:         s.replayed,
+		TornBytes:        s.tornBytes,
+		Snapshots:        s.snapshots,
+		SnapshotSeqs:     snapshotSeqs(s.opts.FS, s.dir),
+		Reopens:          s.reopens,
+		QuarantinedBytes: s.quarantined,
 	}
+	if s.failed != nil {
+		st.Degraded = true
+		st.Fault = s.failed.Error()
+	}
+	return st
 }
 
-// Close fsyncs and closes the WAL. The store rejects further appends.
+// Close closes the WAL, fsyncing first unless the store is degraded —
+// a fail-stopped journal's dirty handle is never fsynced (the write
+// path already failed; retrying fsync on it could ack lies). The store
+// rejects further appends either way.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -395,6 +477,16 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.degradedUp {
+		obsDegraded.Add(-1)
+		s.degradedUp = false
+	}
+	if s.wal == nil {
+		return nil
+	}
+	if s.failed != nil {
+		return s.wal.Close()
+	}
 	if err := s.fsync(); err != nil {
 		s.wal.Close()
 		return err

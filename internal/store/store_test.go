@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"wsdeploy/internal/faultfs"
 )
 
 // openT opens a store in dir, failing the test on error.
@@ -315,7 +317,7 @@ func TestOldSnapshotsPruned(t *testing.T) {
 	if err := s.Snapshot([]byte("b"), 4); err != nil {
 		t.Fatal(err)
 	}
-	seqs := snapshotSeqs(dir)
+	seqs := snapshotSeqs(faultfs.OS(), dir)
 	if len(seqs) != 1 || seqs[0] != 4 {
 		t.Fatalf("snapshots on disk: %v", seqs)
 	}

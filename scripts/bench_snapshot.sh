@@ -5,12 +5,12 @@
 # perf regression shows up as a reviewable diff instead of an
 # anecdote.
 #
-#   scripts/bench_snapshot.sh [output.json]      # default BENCH_pr9.json
+#   scripts/bench_snapshot.sh [output.json]      # default BENCH_pr10.json
 #   scripts/bench_snapshot.sh delta [base] [head]
 #
 # The committed snapshots form a PR-over-PR trajectory: the seed's
 # numbers live in BENCH_baseline.json, prior PRs' in BENCH_pr<N>.json,
-# the current PR's in BENCH_pr9.json, and `delta` prints the
+# the current PR's in BENCH_pr10.json, and `delta` prints the
 # per-benchmark change between any two snapshots (CI runs it
 # non-blocking so drift shows up in the job log without gating merges).
 #
@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "delta" ]; then
     BASE="${2:-BENCH_baseline.json}"
-    HEAD="${3:-BENCH_pr9.json}"
+    HEAD="${3:-BENCH_pr10.json}"
     echo "bench: delta ${BASE} -> ${HEAD}" >&2
     awk '
     FNR == 1 { file++ }
@@ -59,7 +59,7 @@ if [ "${1:-}" = "delta" ]; then
     exit 0
 fi
 
-OUT="${1:-BENCH_pr9.json}"
+OUT="${1:-BENCH_pr10.json}"
 BENCHTIME="${BENCHTIME:-1x}"
 RAW="$(mktemp)"
 trap 'rm -f "${RAW}"' EXIT
@@ -73,6 +73,7 @@ run() { # run <package> <bench regexp>
 run . 'BenchmarkPortfolio'
 run ./internal/chaos 'BenchmarkChaosRecovery'
 run ./internal/ingest 'BenchmarkIngest'
+run ./internal/store 'BenchmarkWAL'
 
 awk -v benchtime="${BENCHTIME}" '
 BEGIN {

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Disk-fault smoke test: boot wsdeployd with fault injection enabled,
+# seed durable state, arm a sticky fsync fault through the debug
+# surface, and require the full degraded-mode contract on a live
+# process: the in-flight mutation is rejected, subsequent mutations
+# answer 503 + Retry-After while reads keep serving 200, /v1/readyz
+# names the degraded tenant, and after the fault clears the recovery
+# probe restores full service without losing any acknowledged state.
+# CI runs this on every push; locally: scripts/diskfault_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-8941}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+DATA="${WORK}/data"
+BIN="${WORK}/wsdeployd"
+PID=""
+
+cleanup() {
+    [ -n "${PID}" ] && kill -9 "${PID}" 2>/dev/null || true
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+go build -o "${BIN}" ./cmd/wsdeployd
+
+start() {
+    # -fsync always so the armed sync fault fires on the next append;
+    # -faultprobe short so recovery is fast once the fault clears.
+    "${BIN}" -addr "${ADDR}" -data "${DATA}" -fsync always -faultinject -faultprobe 200ms &
+    PID=$!
+    for _ in $(seq 1 100); do
+        if curl -sf "http://${ADDR}/v1/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "wsdeployd did not become ready on ${ADDR}" >&2
+    exit 1
+}
+
+# status <method> <path> [body] — status code only, no -f (we want 5xx).
+status() {
+    local method="$1" path="$2" body="${3:-}"
+    if [ -n "${body}" ]; then
+        curl -s -o /dev/null -w '%{http_code}' -X "${method}" "http://${ADDR}${path}" -d "${body}"
+    else
+        curl -s -o /dev/null -w '%{http_code}' -X "${method}" "http://${ADDR}${path}"
+    fi
+}
+
+NET='{"name":"smoke","servers":[{"name":"S1","powerHz":1e9},{"name":"S2","powerHz":2e9},{"name":"S3","powerHz":3e9}],"bus":{"speedBps":1e8}}'
+WF='workflow w op A 20M msg 7581B op B 30M msg 7581B op C 10M'
+
+start
+echo "diskfault_smoke: seeding state (pid ${PID})"
+curl -sf -X PUT  "http://${ADDR}/v1/fleet" -d "{\"network\": ${NET}}" >/dev/null
+curl -sf -X POST "http://${ADDR}/v1/fleet/workflows" \
+    -d "{\"id\": \"billing\", \"workflowWdl\": \"${WF}\"}" >/dev/null
+BEFORE="$(curl -sf "http://${ADDR}/v1/fleet/status")"
+
+echo "diskfault_smoke: arming sticky fsync fault"
+curl -sf -X POST "http://${ADDR}/v1/debug/diskfault" \
+    -d '{"kind": "sync-error", "sticky": true}' >/dev/null
+
+# The mutation that trips the fault is rejected loudly (journal before
+# acknowledge) and fail-stops the tenant's journal.
+CODE="$(status POST /v1/fleet/workflows "{\"id\": \"orders\", \"workflowWdl\": \"${WF}\"}")"
+if [ "${CODE}" != "503" ]; then
+    echo "diskfault_smoke: mutation tripping the fault = ${CODE}, want 503" >&2
+    exit 1
+fi
+
+# Degraded read-only: mutations shed with 503 + Retry-After, reads 200.
+HDRS="$(curl -s -D - -o /dev/null -X POST "http://${ADDR}/v1/fleet/rebalance")"
+if ! echo "${HDRS}" | grep -q "^HTTP/1.1 503"; then
+    echo "diskfault_smoke: degraded mutation not shed with 503:" >&2
+    echo "${HDRS}" >&2
+    exit 1
+fi
+if ! echo "${HDRS}" | grep -qi "^Retry-After:"; then
+    echo "diskfault_smoke: degraded 503 carries no Retry-After" >&2
+    exit 1
+fi
+for path in /v1/fleet/status /v1/store/status /v1/deployments; do
+    CODE="$(status GET "${path}")"
+    if [ "${CODE}" != "200" ]; then
+        echo "diskfault_smoke: degraded read ${path} = ${CODE}, want 200" >&2
+        exit 1
+    fi
+done
+
+READYZ="$(curl -sf "http://${ADDR}/v1/readyz")"
+if ! echo "${READYZ}" | grep -q '"degraded"'; then
+    echo "diskfault_smoke: readyz does not report the degraded tenant: ${READYZ}" >&2
+    exit 1
+fi
+echo "diskfault_smoke: degraded contract holds: ${READYZ}"
+
+echo "diskfault_smoke: clearing the fault, waiting for the recovery probe"
+curl -sf -X POST "http://${ADDR}/v1/debug/diskfault" -d '{"clear": true}' >/dev/null
+RECOVERED=0
+for _ in $(seq 1 50); do
+    if ! curl -sf "http://${ADDR}/v1/readyz" | grep -q '"degraded"'; then
+        RECOVERED=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "${RECOVERED}" != "1" ]; then
+    echo "diskfault_smoke: tenant never left degraded mode after the fault cleared" >&2
+    exit 1
+fi
+
+# Full service is back and the pre-fault state survived.
+CODE="$(status POST /v1/fleet/rebalance)"
+if [ "${CODE}" != "200" ]; then
+    echo "diskfault_smoke: post-recovery mutation = ${CODE}, want 200" >&2
+    exit 1
+fi
+AFTER="$(curl -sf "http://${ADDR}/v1/fleet/status")"
+if ! echo "${AFTER}" | grep -q '"workflows": 2'; then
+    echo "diskfault_smoke: post-recovery fleet lost state: ${AFTER}" >&2
+    echo "  (seeded: ${BEFORE})" >&2
+    exit 1
+fi
+
+# And it is durable again: kill -9, restart on the same directory, and
+# the recovered fleet must match what recovery re-anchored.
+echo "diskfault_smoke: kill -9 ${PID} and restart to prove durability"
+kill -9 "${PID}"
+wait "${PID}" 2>/dev/null || true
+PID=""
+start
+REPLAYED="$(curl -sf "http://${ADDR}/v1/fleet/status")"
+if [ "${REPLAYED}" != "${AFTER}" ]; then
+    echo "diskfault_smoke: replayed fleet diverged from pre-crash fleet" >&2
+    diff <(echo "${AFTER}") <(echo "${REPLAYED}") >&2 || true
+    exit 1
+fi
+
+echo "diskfault_smoke: PASS — degraded read-only mode, probe recovery and post-recovery durability all hold"
